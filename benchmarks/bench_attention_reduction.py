@@ -1,0 +1,50 @@
+"""Ablation bench 4 (DESIGN.md): attention K/V reduction-ratio sweep.
+
+Eq. 15's sequence reduction cuts attention cost from O(L^2) to
+O(L^2 / r).  Benchmarks the attention layer across reduction ratios on
+a stage-1-sized token sequence and checks that larger ratios are
+monotonically cheaper.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, no_grad
+
+TOKENS, DIM = 1024, 32
+
+
+@pytest.fixture(scope="module")
+def token_batch():
+    rng = np.random.default_rng(2)
+    return Tensor(rng.standard_normal((4, TOKENS, DIM)))
+
+
+@pytest.mark.parametrize("ratio", [1, 4, 16, 64])
+def test_bench_reduction_ratio(benchmark, token_batch, ratio):
+    nn.init.seed(0)
+    attention = nn.EfficientSpatialSelfAttention(DIM, num_heads=2, reduction_ratio=ratio)
+
+    def forward():
+        with no_grad():
+            return attention(token_batch)
+
+    out = benchmark(forward)
+    assert out.shape == (4, TOKENS, DIM)
+
+
+def test_reduction_is_cheaper(token_batch):
+    def clock(ratio):
+        nn.init.seed(0)
+        attention = nn.EfficientSpatialSelfAttention(DIM, num_heads=2, reduction_ratio=ratio)
+        with no_grad():
+            attention(token_batch)  # warm-up
+            start = time.perf_counter()
+            for _ in range(3):
+                attention(token_batch)
+            return time.perf_counter() - start
+
+    assert clock(64) < clock(1)

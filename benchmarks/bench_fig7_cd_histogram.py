@@ -1,0 +1,35 @@
+"""Fig. 7 bench: CD-error distribution across methods.
+
+Regenerates the Fig. 7 bucket percentages from the session-trained
+models and benchmarks the CD-measurement path (development-rate →
+Eikonal → per-contact CD) that produces them.
+"""
+
+import numpy as np
+
+from repro.experiments import TABLE2_METHODS, fig7
+from repro.litho import contact_cds, development_arrival
+
+
+def test_bench_cd_measurement(benchmark, data, settings):
+    """The full per-clip CD measurement chain on ground truth."""
+    _, test_set = data
+    sample = test_set.samples[0]
+    config = settings.config
+
+    def measure():
+        arrival = development_arrival(sample.inhibitor, config.grid, config.develop)
+        return contact_cds(arrival, sample.contacts, config.grid, config.develop)
+
+    cds = benchmark(measure)
+    assert cds["x"].shape == (len(sample.contacts),)
+
+
+def test_regenerated_fig7(trained_methods):
+    results = [trained_methods[name][1] for name in TABLE2_METHODS]
+    buckets = fig7.run(results=results)
+    print("\n" + fig7.format_figure(buckets))
+    for name, axes in buckets.items():
+        for axis in ("x", "y"):
+            pct = axes[axis]
+            assert np.isclose(np.nansum(pct), 100.0), (name, axis)

@@ -1,0 +1,54 @@
+"""Figs. 8 & 9 bench: prediction visualizations.
+
+Builds the top/bottom surface maps (Fig. 8) and center/corner vertical
+cuts (Fig. 9) from the session-trained SDM-PEB, benchmarks prediction +
+panel extraction, and checks the paper's qualitative claim that
+absolute errors stay small across the plane.
+"""
+
+import numpy as np
+
+from repro.core import label_to_inhibitor
+from repro.experiments.fig8_fig9 import VisualizationResult, _contact_rows, ascii_heatmap
+
+
+def build_visual(trained_methods, data, settings) -> VisualizationResult:
+    trainer, _ = trained_methods["SDM-PEB"]
+    _, test_set = data
+    sample = test_set.samples[0]
+    label = trainer.predict(sample.acid[None], batch_size=1)[0]
+    prediction = label_to_inhibitor(label, settings.config.peb.catalysis_rate)
+    center_row, corner_row = _contact_rows(sample, settings.config.grid)
+    return VisualizationResult(truth=sample.inhibitor, prediction=prediction,
+                               center_row=center_row, corner_row=corner_row)
+
+
+def test_bench_visualization(benchmark, trained_methods, data, settings):
+    result = benchmark(build_visual, trained_methods, data, settings)
+    assert result.prediction.shape == result.truth.shape
+
+
+def test_fig8_error_claim(trained_methods, data, settings):
+    """Fig. 8: most positions deviate by less than ~0.1 in inhibitor."""
+    result = build_visual(trained_methods, data, settings)
+    for which in ("top", "bottom"):
+        panel = result.panel(which)
+        within = (np.abs(panel["difference"]) <= 0.1).mean()
+        assert within > 0.7, f"{which}: only {within:.0%} within 0.1"
+
+
+def test_fig9_vertical_consistency(trained_methods, data, settings):
+    """Fig. 9: predicted vertical profiles follow the truth's layer trend."""
+    result = build_visual(trained_methods, data, settings)
+    for which in ("center", "corner"):
+        cut = result.vertical_cut(which)
+        truth_profile = cut["truth"].mean(axis=1)
+        pred_profile = cut["prediction"].mean(axis=1)
+        correlation = np.corrcoef(truth_profile, pred_profile)[0, 1]
+        assert correlation > 0.5, f"{which}: corr {correlation:.2f}"
+
+
+def test_ascii_heatmap_renders():
+    values = np.linspace(0.0, 1.0, 64).reshape(8, 8)
+    art = ascii_heatmap(values)
+    assert len(art.split("\n")) == 8

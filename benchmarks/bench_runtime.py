@@ -1,0 +1,50 @@
+"""Runtime bench: surrogate inference vs the rigorous solver.
+
+The paper's RT column: SDM-PEB at 1.06 s vs S-Litho's 147 s (138x).
+On the numpy substrate absolute numbers shrink, but the reproduced
+shape — every surrogate much faster than the rigorous bake it
+replaces — must hold.
+"""
+
+import numpy as np
+
+from repro.config import PEBConfig
+from repro.experiments import TABLE2_METHODS
+from repro.litho import RigorousPEBSolver
+from repro.tensor import Tensor, no_grad
+
+
+def test_bench_rigorous_reference(benchmark, data, settings):
+    """The rigorous bake at the Table I baseline time step (dt = 0.1 s)."""
+    _, test_set = data
+    acid = test_set.samples[0].acid
+    solver = RigorousPEBSolver(settings.config.grid, settings.config.peb,
+                               time_step_s=0.1)
+    result = benchmark.pedantic(solver.solve, args=(acid,), rounds=1, iterations=1)
+    assert np.all(np.isfinite(result.inhibitor))
+
+
+def test_all_surrogates_faster_than_rigorous(trained_methods, data, settings):
+    """The headline speedup claim, at benchmark scale."""
+    import time
+
+    _, test_set = data
+    acid = test_set.samples[0].acid
+    solver = RigorousPEBSolver(settings.config.grid, settings.config.peb,
+                               time_step_s=0.1)
+    start = time.perf_counter()
+    solver.solve(acid)
+    rigorous = time.perf_counter() - start
+
+    print(f"\nrigorous bake (dt=0.1 s): {rigorous:.3f} s")
+    x = Tensor(acid[None])
+    for name in TABLE2_METHODS:
+        model = trained_methods[name][0].model
+        model.eval()
+        with no_grad():
+            model(x)  # warm-up
+            start = time.perf_counter()
+            model(x)
+            elapsed = time.perf_counter() - start
+        print(f"{name:<16} {elapsed:.4f} s   ({rigorous / elapsed:6.1f}x)")
+        assert elapsed < rigorous, f"{name} slower than the rigorous solver"

@@ -1,0 +1,64 @@
+"""Ablation bench 1 (DESIGN.md): chunked vs sequential selective scan.
+
+The chunked kernel plays the role of Mamba's hardware-aware parallel
+scan; it must match the sequential reference bit-for-bit (to roundoff)
+while running substantially faster on long sequences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ssm import scan_chunked, scan_sequential
+
+LENGTH, CHANNELS, STATES = 4096, 16, 8
+
+
+@pytest.fixture(scope="module")
+def sequences():
+    rng = np.random.default_rng(0)
+    decay = np.exp(-rng.uniform(0.01, 2.0, size=(1, LENGTH, CHANNELS, STATES)))
+    drive = rng.standard_normal((1, LENGTH, CHANNELS, STATES))
+    return decay, drive
+
+
+def test_bench_sequential(benchmark, sequences):
+    decay, drive = sequences
+    benchmark(scan_sequential, decay, drive)
+
+
+def test_bench_chunked(benchmark, sequences):
+    decay, drive = sequences
+    benchmark(scan_chunked, decay, drive)
+
+
+@pytest.mark.parametrize("chunk", [8, 16, 64])
+def test_bench_chunk_sizes(benchmark, sequences, chunk):
+    decay, drive = sequences
+    benchmark(scan_chunked, decay, drive, chunk)
+
+
+def test_kernels_equivalent(sequences):
+    decay, drive = sequences
+    assert np.allclose(scan_chunked(decay, drive), scan_sequential(decay, drive))
+
+
+def test_chunked_is_faster_when_overhead_dominated(sequences):
+    """The chunked kernel amortizes python-loop overhead; its win is
+    largest for small per-step workloads (few channels/states), which is
+    the regime inside the quick-scale SDM units.  At very wide states
+    the extra flops of the cumprod trick can cancel the win — hence the
+    narrow-state shapes here."""
+    import time
+
+    rng = np.random.default_rng(1)
+    decay = np.exp(-rng.uniform(0.01, 2.0, size=(1, LENGTH, 4, 4)))
+    drive = rng.standard_normal((1, LENGTH, 4, 4))
+
+    def clock(fn):
+        fn(decay, drive)  # warm-up
+        start = time.perf_counter()
+        for _ in range(3):
+            fn(decay, drive)
+        return time.perf_counter() - start
+
+    assert clock(scan_chunked) < clock(scan_sequential)

@@ -1,0 +1,68 @@
+"""Table I bench: the rigorous PEB solver at the paper's parameters.
+
+Benchmarks the ground-truth generator (the S-Litho substitute) at the
+Table I physics configuration and verifies the solver's convergence
+ordering: Strang splitting beats Lie at equal dt, and both converge to
+the fine-step reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import GridConfig, PEBConfig
+from repro.litho import RigorousPEBSolver
+
+GRID = GridConfig(size_um=1.0, nx=32, ny=32, nz=8)
+
+
+def sample_acid():
+    rng = np.random.default_rng(0)
+    base = rng.random((GRID.nz, GRID.ny, GRID.nx))
+    return 0.8 * base ** 3  # sparse bright regions, like a contact layer
+
+
+@pytest.fixture(scope="module")
+def acid():
+    return sample_acid()
+
+
+@pytest.fixture(scope="module")
+def reference(acid):
+    return RigorousPEBSolver(GRID, PEBConfig(), splitting="strang",
+                             time_step_s=0.05).solve(acid).inhibitor
+
+
+def test_bench_baseline_timestep(benchmark, acid):
+    """Full 90 s bake at the Table I baseline dt = 0.1 s."""
+    solver = RigorousPEBSolver(GRID, PEBConfig(), time_step_s=0.1)
+    result = benchmark.pedantic(solver.solve, args=(acid,), rounds=1, iterations=1)
+    assert np.all(result.inhibitor >= 0.0) and np.all(result.inhibitor <= 1.0)
+
+
+def test_bench_dataset_timestep(benchmark, acid, reference):
+    """The dataset-generation setting: Strang at dt = 0.25 s."""
+    solver = RigorousPEBSolver(GRID, PEBConfig(), splitting="strang", time_step_s=0.25)
+    result = benchmark.pedantic(solver.solve, args=(acid,), rounds=1, iterations=1)
+    assert np.abs(result.inhibitor - reference).max() < 0.03
+
+
+def test_bench_one_step(benchmark, acid):
+    """A single operator-splitting step (the solver's inner kernel)."""
+    solver = RigorousPEBSolver(GRID, PEBConfig(), time_step_s=0.1)
+    base = np.full_like(acid, PEBConfig().base_initial)
+    inhibitor = np.ones_like(acid)
+
+    def step():
+        a, b, i = solver._react(acid, base, inhibitor, solver.dt)
+        return solver._diffuse(a, b)
+
+    benchmark(step)
+
+
+def test_convergence_ordering(acid, reference):
+    """Strang at dt=0.5 must beat Lie at dt=0.5 against the reference."""
+    lie = RigorousPEBSolver(GRID, PEBConfig(), splitting="lie", time_step_s=0.5).solve(acid)
+    strang = RigorousPEBSolver(GRID, PEBConfig(), splitting="strang", time_step_s=0.5).solve(acid)
+    err_lie = np.abs(lie.inhibitor - reference).max()
+    err_strang = np.abs(strang.inhibitor - reference).max()
+    assert err_strang < err_lie

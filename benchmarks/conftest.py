@@ -1,0 +1,71 @@
+"""Shared fixtures for the benchmark suite.
+
+Training is expensive, so models are trained once per session at the
+quick reproduction scale and shared across the Table II / Table III /
+Fig. 7 / Fig. 8-9 benches.  Dataset generation is cached on disk under
+``.repro_cache`` so repeated benchmark runs skip the rigorous solver.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import nn
+from repro.experiments import (
+    ExperimentSettings, TABLE2_METHODS, build_method, build_ablation,
+    prepare_data, train_method, evaluate_method,
+)
+from repro.experiments.harness import _reference_cds
+from repro.experiments.table3 import ABLATIONS
+
+
+def bench_settings() -> ExperimentSettings:
+    settings = ExperimentSettings.quick()
+    # long enough that every method (FNO converges slowest) clearly
+    # beats the mean predictor and the Table II ordering is meaningful
+    settings.epochs = 50
+    settings.lr_step_size = 18
+    settings.cache_dir = ".repro_cache"
+    return settings
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return bench_settings()
+
+
+@pytest.fixture(scope="session")
+def data(settings):
+    """(train_set, test_set) at benchmark scale, disk-cached."""
+    return prepare_data(settings)
+
+
+@pytest.fixture(scope="session")
+def reference_cds(data, settings):
+    train_set, test_set = data
+    limit = min(settings.cd_clips or len(test_set), len(test_set))
+    return _reference_cds(test_set, settings, limit)
+
+
+def _train_all(names, builder, data, settings, reference):
+    train_set, test_set = data
+    trained = {}
+    for name in names:
+        nn.init.seed(settings.init_seed)
+        model, loss_config = builder(name, settings.config.grid)
+        trainer = train_method(model, loss_config, train_set, settings)
+        result = evaluate_method(name, trainer, test_set, settings, reference)
+        trained[name] = (trainer, result)
+    return trained
+
+
+@pytest.fixture(scope="session")
+def trained_methods(data, settings, reference_cds):
+    """All five Table II methods, trained once and evaluated."""
+    return _train_all(TABLE2_METHODS, build_method, data, settings, reference_cds)
+
+
+@pytest.fixture(scope="session")
+def trained_ablations(data, settings, reference_cds):
+    """All Table III SDM-PEB variants, trained once and evaluated."""
+    return _train_all(ABLATIONS, build_ablation, data, settings, reference_cds)

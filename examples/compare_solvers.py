@@ -1,0 +1,30 @@
+"""Compare all five learned PEB solvers (a small Table II).
+
+Trains DeepCNN, TEMPO-resist, FNO, DeePEB and SDM-PEB on the same
+clips and prints the paper-style comparison table.  Uses a reduced
+setting so it finishes in a few minutes; run the full reproduction with
+
+    python -m repro.experiments.table2
+
+Usage:  python examples/compare_solvers.py
+"""
+
+from repro.config import GridConfig, LithoConfig
+from repro.experiments import ExperimentSettings, table2
+
+settings = ExperimentSettings(
+    num_clips=10,
+    epochs=12,
+    lr_step_size=5,
+    config=LithoConfig(grid=GridConfig(size_um=1.0, nx=32, ny=32, nz=4)),
+    cd_clips=2,
+    cache_dir=".repro_cache",
+)
+
+print("Training all five methods on a shared 10-clip dataset "
+      "(reduced scale; see repro.experiments.table2 for the full run)...\n")
+results = table2.run(settings, verbose=True)
+print()
+print(table2.format_table(results))
+print("\nPaper's Table II shape: SDM-PEB < DeePEB < {FNO, TEMPO-resist, "
+      "DeepCNN} on inhibitor/rate error and CD error.")

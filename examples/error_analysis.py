@@ -1,0 +1,68 @@
+"""Where do PEB surrogates fail?  Depth, frequency and region analysis.
+
+Trains a fast baseline (DeepCNN) and SDM-PEB briefly, then uses
+``repro.analysis`` to decompose their test errors the way the paper's
+discussion does: per depth layer, per spatial-frequency band, and per
+region (contact interior / edge / background), plus the depth-coupling
+probe that separates per-slice models from true 3D models.
+
+    python examples/error_analysis.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.analysis import (
+    depth_coupling_score, error_by_depth, error_by_region, radial_error_spectrum,
+)
+from repro.config import GridConfig, LithoConfig
+from repro.core import label_to_inhibitor
+from repro.experiments import (
+    ExperimentSettings, build_method, prepare_data, train_method,
+)
+
+settings = ExperimentSettings(
+    num_clips=10, epochs=15, lr_step_size=6,
+    config=LithoConfig(grid=GridConfig(size_um=1.0, nx=32, ny=32, nz=4)),
+    cache_dir=".repro_cache",
+)
+
+print("preparing data and training two surrogates (a few minutes)...")
+train_set, test_set = prepare_data(settings)
+models = {}
+for name in ("TEMPO-resist", "SDM-PEB"):
+    nn.init.seed(0)
+    model, loss_config = build_method(name, settings.config.grid)
+    trainer = train_method(model, loss_config, train_set, settings)
+    models[name] = trainer
+
+k_c = settings.config.peb.catalysis_rate
+truth = test_set.inhibitors()
+
+for name, trainer in models.items():
+    predicted = label_to_inhibitor(trainer.predict(test_set.inputs()), k_c)
+    print(f"\n=== {name} ===")
+
+    profile = error_by_depth(predicted, truth)
+    print("RMSE per depth layer (top -> bottom):",
+          np.array2string(profile, precision=4))
+
+    freqs, power = radial_error_spectrum(predicted, truth, num_bins=8)
+    low, high = power[:4].sum(), power[4:].sum()
+    print(f"error power: low-frequency {low:.3e} vs high-frequency {high:.3e} "
+          f"(ratio {low / max(high, 1e-12):.1f})")
+
+    sample = test_set.samples[0]
+    pred_one = label_to_inhibitor(trainer.predict(sample.acid[None]), k_c)[0]
+    regions = error_by_region(pred_one, sample.inhibitor, sample.contacts,
+                              settings.config.grid)
+    print(f"RMSE by region: interior {regions.interior:.4f}  "
+          f"edge {regions.edge:.4f}  background {regions.background:.4f}")
+
+    coupling = depth_coupling_score(trainer.model, sample.acid)
+    print(f"depth-coupling score: {coupling:.3f} "
+          f"({'per-slice 2D model' if coupling == 0 else '3D model'})")
+
+print("\nExpected shape: errors concentrate at contact edges for every "
+      "method; TEMPO-resist couples depth not at all (score 0.0) while "
+      "SDM-PEB's three-direction scan gives a high coupling score.")

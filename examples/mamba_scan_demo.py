@@ -1,0 +1,64 @@
+"""Inside the SDM unit: selective scans on depthwise sequences.
+
+A standalone demonstration of the state-space machinery (Section II-B /
+III-C): builds a selective SSM, shows the causal selective scan on a
+synthetic depthwise signal, compares the sequential kernel with the
+chunked "hardware-aware" kernel, and demonstrates the three-direction
+PEB selective scan on a feature volume.
+
+    python examples/mamba_scan_demo.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import nn
+from repro.core import SDMUnit
+from repro.ssm import SelectiveSSM, scan_chunked, scan_sequential, hippo_legs_matrix
+from repro.tensor import Tensor
+
+rng = np.random.default_rng(0)
+
+print("1) HiPPO initialization (Eq. 6): diagonal of the LegS matrix")
+print("   A diag:", np.diag(hippo_legs_matrix(6)))
+
+print("\n2) selective scan kernels agree, chunked is faster on long sequences")
+length = 4096
+a = np.exp(-rng.uniform(0.01, 2.0, size=(1, length, 8, 4)))
+b = rng.standard_normal((1, length, 8, 4))
+start = time.perf_counter()
+h_seq = scan_sequential(a, b)
+t_seq = time.perf_counter() - start
+start = time.perf_counter()
+h_chunk = scan_chunked(a, b)
+t_chunk = time.perf_counter() - start
+print(f"   max |difference| = {np.abs(h_seq - h_chunk).max():.2e}")
+print(f"   sequential {t_seq * 1e3:.1f} ms vs chunked {t_chunk * 1e3:.1f} ms "
+      f"({t_seq / t_chunk:.1f}x)")
+
+print("\n3) SelectiveSSM is causal and input-selective")
+nn.init.seed(0)
+ssm = SelectiveSSM(channels=4, state_dim=8)
+x = rng.standard_normal((1, 12, 4))
+y = ssm(Tensor(x)).numpy()
+perturbed = x.copy()
+perturbed[0, 6] += 5.0
+y2 = ssm(Tensor(perturbed)).numpy()
+print(f"   change before t=6: {np.abs(y2[0, :6] - y[0, :6]).max():.2e} (causal)")
+print(f"   change after  t=6: {np.abs(y2[0, 6:] - y[0, 6:]).max():.2f} (propagates)")
+
+print("\n4) the SDM unit mixes a (B, C, D, H, W) volume across depth")
+unit = SDMUnit(channels=6, state_dim=4)
+volume = rng.standard_normal((1, 6, 8, 6, 6))
+out = unit(Tensor(volume)).numpy()
+perturbed = volume.copy()
+perturbed[0, 0, 4] += 1.0     # poke one channel at depth level 4
+out2 = unit(Tensor(perturbed)).numpy()
+per_level = np.abs(out2 - out).max(axis=(0, 1, 3, 4))
+print("   max |output change| per depth level after poking level 4:")
+for level, change in enumerate(per_level):
+    marker = " <- poked" if level == 4 else ""
+    print(f"     level {level}: {change:.4f}{marker}")
+print("   (non-zero at every level: the three-direction scan carries "
+      "information both down and up the resist stack)")

@@ -1,0 +1,54 @@
+"""Quickstart: simulate one clip end-to-end and train a small SDM-PEB.
+
+Walks the full public API:
+
+1. generate a contact mask clip,
+2. run the optical + Dill exposure to get the 3D photoacid latent image,
+3. run the rigorous PEB solver for the ground-truth inhibitor,
+4. train a small SDM-PEB surrogate on a few clips,
+5. predict the held-out clip and compare.
+
+Runs in a couple of minutes on a laptop CPU:
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.config import GridConfig, LithoConfig
+from repro.core import SDMPEB, Trainer, TrainConfig, label_to_inhibitor
+from repro.data import generate_dataset
+from repro.experiments import sdmpeb_config_for
+from repro.metrics import nrmse, rmse
+
+# A small grid keeps this example fast; see repro.config.paper_scale_config
+# for the finer 128x128x8 setting.
+config = LithoConfig(grid=GridConfig(size_um=1.0, nx=32, ny=32, nz=4))
+
+print("1) generating 6 clips through the rigorous flow "
+      "(mask -> optics -> Dill -> reaction-diffusion PEB)...")
+dataset = generate_dataset(6, config, cache_dir=".repro_cache", verbose=True)
+train_set, test_set = dataset.split(train_fraction=0.84)  # 5 train / 1 test
+
+print("\n2) building SDM-PEB...")
+nn.init.seed(0)
+model = SDMPEB(sdmpeb_config_for(config.grid))
+print(f"   {model.num_parameters()} parameters")
+
+print("\n3) training (paper: 500 epochs on 2x RTX 3090; here: a short CPU run)...")
+trainer = Trainer(model, train_set.inputs(), train_set.labels(),
+                  TrainConfig(epochs=20, learning_rate=3e-3, lr_step_size=8))
+trainer.fit(verbose=True)
+
+print("\n4) predicting the held-out clip...")
+sample = test_set.samples[0]
+predicted_label = trainer.predict(sample.acid[None])[0]
+predicted = label_to_inhibitor(predicted_label, config.peb.catalysis_rate)
+
+print(f"   inhibitor RMSE : {rmse(predicted, sample.inhibitor) * 1e3:.2f}e-3")
+print(f"   inhibitor NRMSE: {nrmse(predicted, sample.inhibitor) * 100:.2f}%")
+worst = np.abs(predicted - sample.inhibitor).max()
+print(f"   worst voxel |error|: {worst:.3f}")
+print("\nNext: examples/full_flow_cd.py (development + CD measurement) and "
+      "examples/compare_solvers.py (the Table II comparison).")

@@ -1,0 +1,57 @@
+"""Study of the rigorous PEB solver: convergence, splitting, baking physics.
+
+Explores the ground-truth generator on its own:
+
+* time-step convergence of Lie vs Strang splitting,
+* what the bake does physically (standing-wave smoothing, acid-base
+  neutralization front, surface out-diffusion),
+* the DCT-spectral vs explicit-FDM lateral diffusion ablation.
+
+    python examples/rigorous_solver_study.py
+"""
+
+import numpy as np
+
+from repro.config import GridConfig, LithoConfig, PEBConfig
+from repro.litho import (
+    generate_clip, aerial_image_stack, initial_photoacid, RigorousPEBSolver,
+)
+
+config = LithoConfig(grid=GridConfig(size_um=1.0, nx=32, ny=32, nz=8))
+grid, peb = config.grid, config.peb
+
+clip = generate_clip(3, grid=grid)
+aerial = aerial_image_stack(clip.pattern, grid, config.optics)
+acid0 = initial_photoacid(aerial, config.exposure)
+
+print("1) time-step convergence (reference: Strang at dt = 0.05 s)")
+reference = RigorousPEBSolver(grid, peb, splitting="strang", time_step_s=0.05).solve(acid0)
+print(f"   {'dt':>6} {'Lie err':>10} {'Strang err':>11}")
+for dt in (0.1, 0.25, 0.5, 1.0):
+    lie = RigorousPEBSolver(grid, peb, splitting="lie", time_step_s=dt).solve(acid0)
+    strang = RigorousPEBSolver(grid, peb, splitting="strang", time_step_s=dt).solve(acid0)
+    err_lie = np.abs(lie.inhibitor - reference.inhibitor).max()
+    err_strang = np.abs(strang.inhibitor - reference.inhibitor).max()
+    print(f"   {dt:>6.2f} {err_lie:>10.2e} {err_strang:>11.2e}")
+
+print("\n2) standing-wave smoothing: vertical ripple of acid, before vs after bake")
+iy, ix = np.unravel_index(np.argmax(acid0[0]), acid0[0].shape)
+result = RigorousPEBSolver(grid, peb, splitting="strang", time_step_s=0.25).solve(
+    acid0, record_every=90)
+column0 = acid0[:, iy, ix]
+column1 = result.acid[:, iy, ix]
+print(f"   initial acid column : {np.array2string(column0, precision=3)}")
+print(f"   final acid column   : {np.array2string(column1, precision=3)}")
+print(f"   ripple (std/mean)   : {column0.std() / column0.mean():.3f} -> "
+      f"{column1.std() / column1.mean():.3f}")
+
+print("\n3) acid-base neutralization: the quencher eats the diffused tail")
+print(f"   base initial {peb.base_initial}, final min {result.base.min():.4f} "
+      f"(depleted inside contacts), final max {result.base.max():.4f}")
+
+print("\n4) lateral-diffusion integrator ablation: DCT-exact vs explicit FDM")
+dct_result = RigorousPEBSolver(grid, peb, lateral_mode="dct", time_step_s=0.1).solve(acid0)
+fdm_result = RigorousPEBSolver(grid, peb, lateral_mode="fdm", time_step_s=0.1).solve(acid0)
+gap = np.abs(dct_result.inhibitor - fdm_result.inhibitor).max()
+print(f"   max |inhibitor difference| = {gap:.2e} "
+      "(FDM converges to the spectral integrator as dt -> 0)")

@@ -1,0 +1,29 @@
+"""SDM-PEB reproduction: Spatial-Depthwise Mamba for PEB simulation.
+
+Subpackages
+-----------
+``repro.tensor``       numpy autograd engine (the PyTorch substitute)
+``repro.nn``           neural-network layers and optimizers
+``repro.ssm``          selective-scan state-space models (Mamba)
+``repro.core``         the SDM-PEB model, losses and trainer
+``repro.baselines``    DeepCNN / TEMPO-resist / FNO / DeePEB
+``repro.litho``        rigorous lithography substrate (S-Litho substitute)
+``repro.data``         dataset generation and caching
+``repro.experiments``  regeneration of every paper table and figure
+"""
+
+from . import config
+from .config import (
+    GridConfig, OpticsConfig, ExposureConfig, PEBConfig, DevelopConfig,
+    LithoConfig, tiny_test_config, paper_scale_config,
+)
+from . import metrics
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "config", "metrics",
+    "GridConfig", "OpticsConfig", "ExposureConfig", "PEBConfig",
+    "DevelopConfig", "LithoConfig", "tiny_test_config", "paper_scale_config",
+    "__version__",
+]

@@ -1,0 +1,142 @@
+"""Prediction-error analysis tools.
+
+The paper argues about *where* surrogates fail: FNO misses
+high-frequency detail, TEMPO-resist misses cross-depth interactions,
+and errors concentrate at contact edges (Figs. 8-9 discussion).  This
+module quantifies those claims for any predicted/true inhibitor pair:
+
+* :func:`error_by_depth` — RMSE per resist layer;
+* :func:`radial_error_spectrum` — radially-averaged power spectrum of
+  the error field (low vs high spatial frequency content);
+* :func:`error_by_region` — error split into contact-interior,
+  contact-edge and background bands;
+* :func:`depth_coupling_score` — how much a model's prediction at one
+  layer uses *other* layers' inputs (probe-based).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import GridConfig
+from repro.litho.mask import Contact
+
+
+def error_by_depth(predicted: np.ndarray, truth: np.ndarray) -> np.ndarray:
+    """Per-depth-layer RMSE of a (nz, ny, nx) pair (or batches thereof)."""
+    predicted, truth = np.asarray(predicted), np.asarray(truth)
+    if predicted.shape != truth.shape:
+        raise ValueError("shape mismatch")
+    squared = (predicted - truth) ** 2
+    depth_axis = -3
+    other_axes = tuple(i for i in range(squared.ndim) if i != squared.ndim + depth_axis)
+    return np.sqrt(squared.mean(axis=other_axes))
+
+
+def radial_error_spectrum(predicted: np.ndarray, truth: np.ndarray,
+                          num_bins: int = 16) -> tuple[np.ndarray, np.ndarray]:
+    """Radially-averaged 2D power spectrum of the per-layer error.
+
+    Returns ``(frequencies, power)`` where frequencies are in cycles
+    per pixel, averaged over depth layers.  A model that only captures
+    low frequencies shows a power excess at the high-frequency end.
+    """
+    predicted, truth = np.asarray(predicted), np.asarray(truth)
+    if predicted.shape != truth.shape:
+        raise ValueError("shape mismatch")
+    error = predicted - truth
+    if error.ndim == 2:
+        error = error[None]
+    nz, ny, nx = error.shape[-3:]
+    error = error.reshape(-1, ny, nx)
+    spectrum = np.abs(np.fft.fft2(error)) ** 2
+    fy = np.fft.fftfreq(ny)
+    fx = np.fft.fftfreq(nx)
+    radius = np.hypot(fy[:, None], fx[None, :])
+    # bins reach the spectrum corner (Nyquist in both axes)
+    edges = np.linspace(0.0, np.sqrt(0.5), num_bins + 1)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    power = np.zeros(num_bins)
+    for i, (lo, hi) in enumerate(zip(edges[:-1], edges[1:])):
+        # the last bin is closed so the corner Nyquist mode is included
+        upper = radius <= hi if i == num_bins - 1 else radius < hi
+        mask = (radius >= lo) & upper
+        power[i] = spectrum[:, mask].mean() if mask.any() else 0.0
+    return centers, power
+
+
+def region_masks(contacts, grid: GridConfig, edge_band_nm: float = 40.0) -> dict[str, np.ndarray]:
+    """(ny, nx) boolean masks: contact interior / edge band / background."""
+    x = (np.arange(grid.nx) + 0.5) * grid.dx_nm
+    y = (np.arange(grid.ny) + 0.5) * grid.dy_nm
+    interior = np.zeros((grid.ny, grid.nx), dtype=bool)
+    dilated = np.zeros((grid.ny, grid.nx), dtype=bool)
+    for contact in contacts:
+        (x0, x1), (y0, y1) = contact.x_range, contact.y_range
+        interior |= np.outer((y >= y0) & (y <= y1), (x >= x0) & (x <= x1))
+        dilated |= np.outer((y >= y0 - edge_band_nm) & (y <= y1 + edge_band_nm),
+                            (x >= x0 - edge_band_nm) & (x <= x1 + edge_band_nm))
+    edge = dilated & ~interior
+    return {"interior": interior, "edge": edge, "background": ~dilated}
+
+
+@dataclass
+class RegionErrors:
+    """RMSE per spatial region."""
+
+    interior: float
+    edge: float
+    background: float
+
+
+def error_by_region(predicted: np.ndarray, truth: np.ndarray, contacts,
+                    grid: GridConfig, edge_band_nm: float = 40.0) -> RegionErrors:
+    """Split the volumetric RMSE into contact / edge / background regions."""
+    predicted, truth = np.asarray(predicted), np.asarray(truth)
+    if predicted.shape != truth.shape:
+        raise ValueError("shape mismatch")
+    masks = region_masks(contacts, grid, edge_band_nm)
+    squared = (predicted - truth) ** 2
+
+    def regional(name):
+        mask = masks[name]
+        if not mask.any():
+            return float("nan")
+        return float(np.sqrt(squared[..., mask].mean()))
+
+    return RegionErrors(interior=regional("interior"), edge=regional("edge"),
+                        background=regional("background"))
+
+
+def depth_coupling_score(model, acid: np.ndarray, probe_layer: int | None = None,
+                         magnitude: float = 0.5, seed: int = 0) -> float:
+    """How strongly a surrogate couples depth levels, in [0, ~inf).
+
+    Perturbs one input depth layer with noise and measures the output
+    change on *all other* layers relative to the change on the
+    perturbed layer itself.  A per-slice 2D model (TEMPO-resist) scores
+    exactly 0; depthwise models score higher the more they mix depth.
+    """
+    rng = np.random.default_rng(seed)
+    acid = np.asarray(acid, dtype=np.float64)
+    nz = acid.shape[0]
+    layer = nz // 2 if probe_layer is None else probe_layer
+    base = _predict_label(model, acid)
+    perturbed = acid.copy()
+    perturbed[layer] += magnitude * rng.random(acid.shape[1:])
+    changed = _predict_label(model, perturbed)
+    delta = np.abs(changed - base)
+    own = delta[layer].mean()
+    others = np.concatenate([delta[:layer], delta[layer + 1:]]).mean()
+    if own == 0.0:
+        return 0.0
+    return float(others / own)
+
+
+def _predict_label(model, acid: np.ndarray) -> np.ndarray:
+    from repro.tensor import Tensor, no_grad
+
+    with no_grad():
+        return model(Tensor(acid[None])).numpy()[0]

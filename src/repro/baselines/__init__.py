@@ -1,0 +1,17 @@
+"""Baseline learned PEB surrogates compared against SDM-PEB (Table II)."""
+
+from .common import SurrogateBase
+from .spectral import SpectralConv3d, spectral_conv3d
+from .deepcnn import DeepCNN, DeepCNNConfig, ResidualBlock
+from .tempo import TempoResist, TempoResistConfig
+from .fno import FNO3d, FNOConfig, FourierLayer, coordinate_channels
+from .deepeb import DeePEB, DeePEBConfig
+
+__all__ = [
+    "SurrogateBase",
+    "SpectralConv3d", "spectral_conv3d",
+    "DeepCNN", "DeepCNNConfig", "ResidualBlock",
+    "TempoResist", "TempoResistConfig",
+    "FNO3d", "FNOConfig", "FourierLayer", "coordinate_channels",
+    "DeePEB", "DeePEBConfig",
+]

@@ -1,0 +1,64 @@
+"""Shared plumbing for baseline surrogates.
+
+Every baseline follows the Trainer interface: forward maps photoacid
+(B, D, H, W) to label Y (B, D, H, W), and ``set_output_stats`` installs
+the output de-normalization affine.
+"""
+
+from __future__ import annotations
+
+from repro import tensor as T
+from repro.nn.module import Module
+
+
+class SurrogateBase(Module):
+    """Base class handling input reshaping and output de-normalization."""
+
+    def __init__(self):
+        super().__init__()
+        self.output_mean = 0.0
+        self.output_std = 1.0
+
+    def set_output_stats(self, mean: float, std: float) -> None:
+        """Record label statistics applied to the raw network output."""
+        if std <= 0:
+            raise ValueError("std must be positive")
+        self.output_mean = float(mean)
+        self.output_std = float(std)
+
+    def _as_volume(self, acid):
+        """Normalize input to (B, 1, D, H, W)."""
+        if acid.ndim == 4:
+            batch, depth, height, width = acid.shape
+            return T.reshape(acid, (batch, 1, depth, height, width))
+        if acid.ndim == 5:
+            return acid
+        raise ValueError(f"expected 4D or 5D input, got shape {acid.shape}")
+
+    def _finish(self, decoded):
+        """(B, 1, D, H, W) -> de-normalized (B, D, H, W)."""
+        out = T.reshape(decoded, (decoded.shape[0],) + decoded.shape[2:])
+        return out * self.output_std + self.output_mean
+
+    def forward(self, acid):
+        return self._finish(self.body(self._as_volume(acid)))
+
+    def body(self, x):
+        """(B, 1, D, H, W) -> (B, 1, D, H, W) network body."""
+        raise NotImplementedError
+
+    def predict_inhibitor(self, acid):
+        """Inference convenience: photoacid volume(s) -> inhibitor volume(s)."""
+        import numpy as np
+
+        from repro.config import PEBConfig
+        from repro.core.label import label_to_inhibitor
+        from repro.tensor import Tensor, no_grad
+
+        acid = np.asarray(acid, dtype=np.float64)
+        squeeze = acid.ndim == 3
+        batch = acid[None] if squeeze else acid
+        with no_grad():
+            label = self.forward(Tensor(batch)).numpy()
+        inhibitor = label_to_inhibitor(label, PEBConfig().catalysis_rate)
+        return inhibitor[0] if squeeze else inhibitor

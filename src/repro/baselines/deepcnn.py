@@ -1,0 +1,57 @@
+"""DeepCNN baseline (Watanabe et al. [41], with residual connections).
+
+A plain 3D convolutional network: stem, residual conv blocks, head.
+The paper's comparison "customized [41] with a residual connection for
+adaption to our problem"; this is that architecture at reproduction
+scale.  Fast but purely local — it cannot model long-range acid
+diffusion, which is exactly the failure mode Table II exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tensor import functional as F
+from repro.nn.conv import Conv3d
+from repro.nn.module import Module, ModuleList
+from .common import SurrogateBase
+
+
+@dataclass(frozen=True)
+class DeepCNNConfig:
+    width: int = 16
+    num_blocks: int = 3
+    kernel_size: int = 3
+
+
+class ResidualBlock(Module):
+    """conv-ReLU-conv with identity skip."""
+
+    def __init__(self, channels: int, kernel_size: int = 3):
+        super().__init__()
+        pad = kernel_size // 2
+        self.conv1 = Conv3d(channels, channels, kernel_size, padding=pad)
+        self.conv2 = Conv3d(channels, channels, kernel_size, padding=pad)
+
+    def forward(self, x):
+        return x + self.conv2(F.relu(self.conv1(x)))
+
+
+class DeepCNN(SurrogateBase):
+    """Residual 3D CNN surrogate."""
+
+    def __init__(self, config: DeepCNNConfig | None = None):
+        super().__init__()
+        self.config = config if config is not None else DeepCNNConfig()
+        cfg = self.config
+        pad = cfg.kernel_size // 2
+        self.stem = Conv3d(1, cfg.width, cfg.kernel_size, padding=pad)
+        self.blocks = ModuleList([ResidualBlock(cfg.width, cfg.kernel_size)
+                                  for _ in range(cfg.num_blocks)])
+        self.head = Conv3d(cfg.width, 1, cfg.kernel_size, padding=pad)
+
+    def body(self, x):
+        x = F.relu(self.stem(x))
+        for block in self.blocks:
+            x = block(x)
+        return self.head(x)

@@ -1,0 +1,56 @@
+"""DeePEB baseline (Wang et al. [15]): FNO + CNN hybrid.
+
+DeePEB "extends FNO by integrating CNN-based local learning branches to
+capture high-frequency information": a spectral (global, low-frequency)
+path and a convolutional (local, high-frequency) path run in parallel
+and are fused before the head.  This was the previous state of the art
+that SDM-PEB improves on in Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import tensor as T
+from repro.tensor import functional as F
+from repro.nn.conv import Conv3d
+from repro.nn.module import ModuleList
+from .common import SurrogateBase
+from .fno import FourierLayer
+from .deepcnn import ResidualBlock
+
+
+@dataclass(frozen=True)
+class DeePEBConfig:
+    width: int = 10
+    num_fourier_layers: int = 2
+    num_cnn_blocks: int = 2
+    modes: tuple = (3, 6, 6)
+
+
+class DeePEB(SurrogateBase):
+    """Parallel global-spectral and local-CNN branches, fused."""
+
+    def __init__(self, config: DeePEBConfig | None = None):
+        super().__init__()
+        self.config = config if config is not None else DeePEBConfig()
+        cfg = self.config
+        self.lift = Conv3d(1, cfg.width, 1)
+        self.fourier_layers = ModuleList([FourierLayer(cfg.width, cfg.modes)
+                                          for _ in range(cfg.num_fourier_layers)])
+        self.cnn_stem = Conv3d(cfg.width, cfg.width, 3, padding=1)
+        self.cnn_blocks = ModuleList([ResidualBlock(cfg.width)
+                                      for _ in range(cfg.num_cnn_blocks)])
+        self.fuse = Conv3d(2 * cfg.width, cfg.width, 1)
+        self.head = Conv3d(cfg.width, 1, 3, padding=1)
+
+    def body(self, x):
+        lifted = self.lift(x)
+        spectral = lifted
+        for layer in self.fourier_layers:
+            spectral = layer(spectral)
+        local = F.relu(self.cnn_stem(lifted))
+        for block in self.cnn_blocks:
+            local = block(local)
+        fused = F.gelu(self.fuse(T.concatenate([spectral, local], axis=1)))
+        return self.head(fused)

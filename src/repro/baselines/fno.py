@@ -1,0 +1,74 @@
+"""FNO baseline (Li et al. [19]): 3D Fourier Neural Operator.
+
+Lift -> N Fourier layers (spectral conv + pointwise linear path, GELU)
+-> projection head.  Normalized grid coordinates are appended to the
+input, as in the original FNO.  Strong on the smooth low-frequency
+component of the PEB operator; Table II shows it misses high-frequency
+detail near contact edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import tensor as T
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+from repro.nn.conv import Conv3d
+from repro.nn.module import Module, ModuleList
+from .common import SurrogateBase
+from .spectral import SpectralConv3d
+
+
+@dataclass(frozen=True)
+class FNOConfig:
+    width: int = 10
+    num_layers: int = 3
+    modes: tuple = (3, 6, 6)
+    use_coordinates: bool = True
+
+
+def coordinate_channels(shape: tuple[int, int, int]) -> np.ndarray:
+    """(3, D, H, W) normalized coordinate volume in [0, 1]."""
+    axes = [np.linspace(0.0, 1.0, n) for n in shape]
+    grids = np.meshgrid(*axes, indexing="ij")
+    return np.stack(grids, axis=0)
+
+
+class FourierLayer(Module):
+    """Spectral conv + pointwise (1x1x1) conv, summed, GELU."""
+
+    def __init__(self, width: int, modes):
+        super().__init__()
+        self.spectral = SpectralConv3d(width, width, modes)
+        self.pointwise = Conv3d(width, width, 1)
+
+    def forward(self, x):
+        return F.gelu(self.spectral(x) + self.pointwise(x))
+
+
+class FNO3d(SurrogateBase):
+    """The Fourier Neural Operator surrogate."""
+
+    def __init__(self, config: FNOConfig | None = None):
+        super().__init__()
+        self.config = config if config is not None else FNOConfig()
+        cfg = self.config
+        in_channels = 1 + (3 if cfg.use_coordinates else 0)
+        self.lift = Conv3d(in_channels, cfg.width, 1)
+        self.layers = ModuleList([FourierLayer(cfg.width, cfg.modes)
+                                  for _ in range(cfg.num_layers)])
+        self.project = Conv3d(cfg.width, 1, 1)
+
+    def body(self, x):
+        if self.config.use_coordinates:
+            batch = x.shape[0]
+            coords = coordinate_channels(x.shape[2:])
+            coords = np.broadcast_to(coords[None], (batch,) + coords.shape).copy()
+            x = T.concatenate([x, Tensor(coords)], axis=1)
+        x = self.lift(x)
+        for layer in self.layers:
+            x = layer(x)
+        return self.project(x)

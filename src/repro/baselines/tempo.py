@@ -1,0 +1,64 @@
+"""TEMPO-resist baseline (Ye et al. [5], adapted to 3D PEB).
+
+TEMPO predicts 3D aerial images as a stack of independent 2D slices
+from a generator conditioned on the height level.  The adaptation here
+keeps that per-depth-slice 2D structure: an encoder-decoder of
+(1, k, k) convolutions — i.e. genuinely 2D receptive fields — plus a
+learned per-depth embedding added at the bottleneck so each level can
+specialize.  Depth levels never exchange information, which is the
+architectural limitation Table II attributes to this method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import tensor as T
+from repro.tensor import functional as F
+from repro.nn.conv import Conv3d, ConvTranspose3d
+from repro.nn.module import Parameter
+from repro.nn import init
+from .common import SurrogateBase
+
+
+@dataclass(frozen=True)
+class TempoResistConfig:
+    width: int = 12
+    #: number of 2x down/up sampling stages
+    depth_levels: int = 8
+
+
+class TempoResist(SurrogateBase):
+    """Per-depth-slice 2D encoder-decoder with depth embeddings."""
+
+    def __init__(self, config: TempoResistConfig | None = None):
+        super().__init__()
+        self.config = config if config is not None else TempoResistConfig()
+        width = self.config.width
+        # All kernels are (1, k, k): strictly per-slice 2D operations.
+        self.enc1 = Conv3d(1, width, (1, 3, 3), padding=(0, 1, 1))
+        self.down1 = Conv3d(width, 2 * width, (1, 2, 2), stride=(1, 2, 2))
+        self.down2 = Conv3d(2 * width, 2 * width, (1, 2, 2), stride=(1, 2, 2))
+        self.depth_embedding = Parameter(
+            init.normal((self.config.depth_levels, 2 * width), std=0.1))
+        self.mid = Conv3d(2 * width, 2 * width, (1, 3, 3), padding=(0, 1, 1))
+        self.up1 = ConvTranspose3d(2 * width, 2 * width, (1, 2, 2), stride=(1, 2, 2))
+        self.up2 = ConvTranspose3d(2 * width, width, (1, 2, 2), stride=(1, 2, 2))
+        self.head = Conv3d(2 * width, 1, (1, 3, 3), padding=(0, 1, 1))
+
+    def body(self, x):
+        depth = x.shape[2]
+        if depth > self.config.depth_levels:
+            raise ValueError(f"model supports up to {self.config.depth_levels} depth levels, got {depth}")
+        skip = F.relu(self.enc1(x))
+        down = F.relu(self.down1(skip))
+        down = F.relu(self.down2(down))
+        embedding = self.depth_embedding[:depth]                  # (D, 2w)
+        embedding = T.reshape(T.transpose(embedding), (1, -1, depth, 1, 1))
+        down = down + embedding
+        down = F.relu(self.mid(down))
+        up = F.relu(self.up1(down))
+        up = F.relu(self.up2(up))
+        return self.head(T.concatenate([up, skip], axis=1))

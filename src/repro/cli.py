@@ -1,0 +1,181 @@
+"""Command-line interface for the SDM-PEB reproduction.
+
+Subcommands mirror the stages a user actually runs:
+
+* ``simulate``  — run the rigorous flow on seeded clips and cache them;
+* ``train``     — fit a surrogate (any Table II method) on cached clips
+  and save its weights;
+* ``predict``   — load weights and predict inhibitor volumes for clips;
+* ``evaluate``  — full Table II-style evaluation of saved weights;
+* ``reproduce`` — regenerate all tables/figures (wraps
+  :mod:`repro.experiments.reproduce_all`).
+
+Usage:  python -m repro.cli <subcommand> [options]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro import nn
+from repro.config import GridConfig, LithoConfig
+from repro.core import label_to_inhibitor
+from repro.data import generate_dataset
+from repro.experiments import (
+    ExperimentSettings, TABLE2_METHODS, build_method, evaluate_method,
+    train_method,
+)
+
+
+def _settings_from_args(args) -> ExperimentSettings:
+    grid = GridConfig(size_um=args.clip_um, nx=args.nx, ny=args.nx, nz=args.nz)
+    settings = ExperimentSettings(
+        num_clips=args.clips, epochs=args.epochs, cache_dir=args.cache,
+        config=LithoConfig(grid=grid),
+    )
+    return settings
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--clips", type=int, default=12, help="number of clips")
+    parser.add_argument("--nx", type=int, default=32, help="x/y grid points")
+    parser.add_argument("--nz", type=int, default=4, help="depth grid points")
+    parser.add_argument("--clip-um", type=float, default=1.0, help="clip size in um")
+    parser.add_argument("--cache", default=".repro_cache", help="dataset cache dir")
+
+
+def cmd_simulate(args) -> int:
+    settings = _settings_from_args(args)
+    dataset = generate_dataset(settings.num_clips, settings.config,
+                               cache_dir=settings.cache_dir, verbose=True)
+    seconds = sum(s.rigorous_seconds for s in dataset.samples)
+    print(f"\n{len(dataset)} clips cached in {settings.cache_dir} "
+          f"(rigorous solver time {seconds:.1f}s)")
+    return 0
+
+
+def cmd_train(args) -> int:
+    settings = _settings_from_args(args)
+    train_set, test_set = generate_dataset(
+        settings.num_clips, settings.config, cache_dir=settings.cache_dir,
+        verbose=True).split(0.8)
+    nn.init.seed(args.seed)
+    model, loss_config = build_method(args.method, settings.config.grid)
+    print(f"training {args.method} ({model.num_parameters()} parameters) "
+          f"for {settings.epochs} epochs...")
+    trainer = train_method(model, loss_config, train_set, settings, verbose=True)
+    model.save(args.weights)
+    stats = {"method": args.method, "output_mean": model.output_mean,
+             "output_std": model.output_std, "epochs": settings.epochs}
+    Path(args.weights).with_suffix(".json").write_text(json.dumps(stats, indent=2))
+    print(f"weights saved to {args.weights}")
+    return 0
+
+
+def _load_model(args, grid: GridConfig):
+    nn.init.seed(args.seed)
+    meta = json.loads(Path(args.weights).with_suffix(".json").read_text())
+    model, _ = build_method(meta["method"], grid)
+    model.load(args.weights)
+    model.set_output_stats(meta["output_mean"], meta["output_std"])
+    return model, meta
+
+
+def cmd_predict(args) -> int:
+    settings = _settings_from_args(args)
+    dataset = generate_dataset(settings.num_clips, settings.config,
+                               cache_dir=settings.cache_dir)
+    model, meta = _load_model(args, settings.config.grid)
+    sample = dataset.samples[args.clip]
+    inhibitor = model.predict_inhibitor(sample.acid)
+    np.savez_compressed(args.out, acid=sample.acid, inhibitor=inhibitor,
+                        truth=sample.inhibitor)
+    error = np.abs(inhibitor - sample.inhibitor)
+    print(f"{meta['method']} prediction for clip {args.clip}: "
+          f"max |error| {error.max():.4f}, mean {error.mean():.5f}")
+    print(f"arrays saved to {args.out}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from repro.core import Trainer, TrainConfig
+
+    settings = _settings_from_args(args)
+    train_set, test_set = generate_dataset(
+        settings.num_clips, settings.config, cache_dir=settings.cache_dir).split(0.8)
+    model, meta = _load_model(args, settings.config.grid)
+    trainer = Trainer(model, train_set.inputs(), train_set.labels(), TrainConfig(epochs=1))
+    # Trainer.__init__ resets output stats from data; restore the saved ones.
+    model.set_output_stats(meta["output_mean"], meta["output_std"])
+    result = evaluate_method(meta["method"], trainer, test_set, settings)
+    print(f"{'method':<16}: {result.name}")
+    print(f"{'RMSE(I)':<16}: {result.inhibitor_rmse * 1e3:.2f}e-3")
+    print(f"{'NRMSE(I)':<16}: {result.inhibitor_nrmse * 100:.2f}%")
+    print(f"{'RMSE(R)':<16}: {result.rate_rmse:.3f} nm/s")
+    print(f"{'NRMSE(R)':<16}: {result.rate_nrmse * 100:.2f}%")
+    print(f"{'CD error x/y':<16}: {result.cd_error_x:.2f} / {result.cd_error_y:.2f} nm")
+    print(f"{'runtime':<16}: {result.runtime_s:.3f} s/clip")
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    from repro.experiments.reproduce_all import run_all
+
+    settings = ExperimentSettings.quick() if args.quick else ExperimentSettings.full()
+    run_all(settings, Path(args.out))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="run the rigorous flow and cache clips")
+    _add_common(p)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("train", help="train a surrogate and save weights")
+    _add_common(p)
+    p.add_argument("--method", choices=TABLE2_METHODS, default="SDM-PEB")
+    p.add_argument("--epochs", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--weights", default="model.npz")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("predict", help="predict one clip with saved weights")
+    _add_common(p)
+    p.add_argument("--weights", default="model.npz")
+    p.add_argument("--clip", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="prediction.npz")
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("evaluate", help="evaluate saved weights on the test split")
+    _add_common(p)
+    p.add_argument("--weights", default="model.npz")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("reproduce", help="regenerate all tables and figures")
+    p.add_argument("--quick", action="store_true")
+    p.add_argument("--out", default="results")
+    p.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    # `train` defines --epochs; other subcommands fall back to a default.
+    if not hasattr(args, "epochs"):
+        args.epochs = 30
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,154 @@
+"""Configuration dataclasses for the full simulation flow.
+
+Default values follow Table I of the paper (PEB and development
+parameters) and Section IV (optical parameters: λ = 193 nm, NA = 1.35,
+2×2 µm clips).  Grid resolution is scaled down from the paper's
+0.5-2 nm grids so that the numpy substrate can run end-to-end on a CPU;
+every experiment records the grid it used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """Discretization of a resist volume.
+
+    The paper simulates 2×2 µm clips with 2 nm x-y resolution and
+    80 nm-thick resist at 1 nm z resolution (1000×1000×80 voxels).  The
+    scaled-down default keeps the same physical extent on a 64×64×8
+    grid (use :func:`paper_scale_config` for 128×128×8).
+    """
+
+    size_um: float = 2.0
+    nx: int = 64
+    ny: int = 64
+    nz: int = 8
+    thickness_nm: float = 80.0
+
+    @property
+    def dx_nm(self) -> float:
+        """x pitch in nm."""
+        return self.size_um * 1000.0 / self.nx
+
+    @property
+    def dy_nm(self) -> float:
+        """y pitch in nm."""
+        return self.size_um * 1000.0 / self.ny
+
+    @property
+    def dz_nm(self) -> float:
+        """z pitch in nm."""
+        return self.thickness_nm / self.nz
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """(nz, ny, nx) volume shape, depth-first like the model input."""
+        return (self.nz, self.ny, self.nx)
+
+
+@dataclass(frozen=True)
+class OpticsConfig:
+    """Partially coherent projection optics (Section IV of the paper)."""
+
+    wavelength_nm: float = 193.0
+    numerical_aperture: float = 1.35
+    #: annular source, inner/outer partial coherence factors
+    sigma_inner: float = 0.6
+    sigma_outer: float = 0.9
+    #: number of Abbe source points around the annulus
+    source_points: int = 16
+    #: resist refractive index (immersion ArF resist)
+    resist_index: float = 1.7
+    #: resist absorption coefficient (Dill B-like), per micrometre
+    absorption_per_um: float = 1.2
+    #: best-focus offset from the resist top surface, nm
+    focus_offset_nm: float = 40.0
+    #: substrate field reflectivity driving standing waves (period λ/2n);
+    #: the PEB's vertical diffusion exists to smooth exactly this
+    #: structure (Section I of the paper)
+    substrate_reflectivity: float = 0.3
+
+
+@dataclass(frozen=True)
+class ExposureConfig:
+    """Dill exposure model mapping aerial image to initial photoacid."""
+
+    #: Dill C (cm^2/mJ-like, folded with dose into one exposure constant)
+    dill_c: float = 0.05
+    #: exposure dose, calibrated so contacts print near design CD
+    #: on the default 64x64x8 grid (~full opening, small negative bias)
+    dose_mj_cm2: float = 120.0
+
+
+@dataclass(frozen=True)
+class PEBConfig:
+    """Post-exposure bake reaction-diffusion parameters (Table I).
+
+    Diffusion lengths convert to diffusivities via ``L = sqrt(2 D T)``
+    with ``T`` the bake duration: ``D = L^2 / (2 T)``.  "Normal" is the
+    z direction (normal to the wafer), "lateral" is in-plane.
+    """
+
+    normal_diffusion_length_acid_nm: float = 70.0
+    normal_diffusion_length_base_nm: float = 15.0
+    lateral_diffusion_length_acid_nm: float = 10.0
+    lateral_diffusion_length_base_nm: float = 10.0
+    catalysis_rate: float = 0.9            # k_c, 1/s
+    neutralization_rate: float = 8.6993    # k_r, 1/s
+    transfer_coefficient_acid: float = 0.027  # h_A (Robin B.C. at resist top)
+    transfer_coefficient_base: float = 0.0    # h_B
+    acid_saturation: float = 0.9           # [A]_sat
+    base_saturation: float = 0.0           # [B]_sat
+    inhibitor_initial: float = 1.0         # [I](t=0)
+    base_initial: float = 0.4              # [B](t=0)
+    time_step_s: float = 0.1               # baseline Δt (Table I)
+    duration_s: float = 90.0
+
+    def diffusivity(self, species: str, direction: str) -> float:
+        """nm²/s diffusivity for ``species`` in {'acid','base'} along ``direction`` in {'normal','lateral'}."""
+        lengths = {
+            ("acid", "normal"): self.normal_diffusion_length_acid_nm,
+            ("base", "normal"): self.normal_diffusion_length_base_nm,
+            ("acid", "lateral"): self.lateral_diffusion_length_acid_nm,
+            ("base", "lateral"): self.lateral_diffusion_length_base_nm,
+        }
+        key = (species, direction)
+        if key not in lengths:
+            raise KeyError(f"unknown species/direction {key}")
+        return lengths[key] ** 2 / (2.0 * self.duration_s)
+
+
+@dataclass(frozen=True)
+class DevelopConfig:
+    """Mack development model parameters (Table I)."""
+
+    r_max_nm_s: float = 40.0
+    r_min_nm_s: float = 0.0003
+    threshold: float = 0.5     # M_th
+    reaction_order: float = 30.0  # n
+    duration_s: float = 60.0
+
+
+@dataclass(frozen=True)
+class LithoConfig:
+    """Bundle of the full flow's configuration."""
+
+    grid: GridConfig = field(default_factory=GridConfig)
+    optics: OpticsConfig = field(default_factory=OpticsConfig)
+    exposure: ExposureConfig = field(default_factory=ExposureConfig)
+    peb: PEBConfig = field(default_factory=PEBConfig)
+    develop: DevelopConfig = field(default_factory=DevelopConfig)
+
+
+def tiny_test_config(nx: int = 32, ny: int = 32, nz: int = 4) -> LithoConfig:
+    """A small configuration for fast unit tests (same physics)."""
+    return LithoConfig(grid=GridConfig(nx=nx, ny=ny, nz=nz))
+
+
+def paper_scale_config() -> LithoConfig:
+    """Finer 128x128x8 grid (15.6 nm x-y pitch), closer to the paper's
+    resolution; used when accuracy matters more than wall-clock."""
+    return LithoConfig(grid=GridConfig(nx=128, ny=128, nz=8))

@@ -1,0 +1,25 @@
+"""SDM-PEB core: model, losses, label transform, trainer."""
+
+from .label import inhibitor_to_label, label_to_inhibitor, roundtrip_error
+from .losses import (
+    max_squared_error, PEBFocalLoss, DepthDivergenceRegularization,
+    LossConfig, SDMPEBLoss,
+)
+from .patch import OverlappedPatchEmbedding, NonOverlappedPatchMerging, make_merging
+from .sdm_unit import SDMUnit, THREE_DIRECTIONS, TWO_DIRECTIONS
+from .encoder import EncoderLayer
+from .decoder import Decoder, FeatureFusion
+from .model import SDMPEB, SDMPEBConfig
+from .trainer import Trainer, TrainConfig, TrainHistory
+
+__all__ = [
+    "inhibitor_to_label", "label_to_inhibitor", "roundtrip_error",
+    "max_squared_error", "PEBFocalLoss", "DepthDivergenceRegularization",
+    "LossConfig", "SDMPEBLoss",
+    "OverlappedPatchEmbedding", "NonOverlappedPatchMerging", "make_merging",
+    "SDMUnit", "THREE_DIRECTIONS", "TWO_DIRECTIONS",
+    "EncoderLayer",
+    "Decoder", "FeatureFusion",
+    "SDMPEB", "SDMPEBConfig",
+    "Trainer", "TrainConfig", "TrainHistory",
+]

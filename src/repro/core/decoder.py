@@ -1,0 +1,101 @@
+"""Feature fusion and decoder (right half of Fig. 2).
+
+Multi-scale encoder outputs are upsampled to the first stage's spatial
+resolution, concatenated along channels, and fused with an MLP.  The
+decoder is three transposed 3D convolutions with LeakyReLU activations
+between them (Section IV), restoring full input resolution and a single
+output channel in label (Y) space.
+"""
+
+from __future__ import annotations
+
+from repro import tensor as T
+from repro.tensor import functional as F
+from repro.nn.conv import ConvTranspose3d
+from repro.nn.linear import Linear
+from repro.nn.module import Module, ModuleList
+
+
+class FeatureFusion(Module):
+    """Upsample-concat-MLP fusion of per-stage feature maps."""
+
+    def __init__(self, stage_dims, fusion_dim: int):
+        super().__init__()
+        self.stage_dims = tuple(stage_dims)
+        self.fusion_dim = fusion_dim
+        self.mlp = Linear(sum(stage_dims), fusion_dim)
+
+    def forward(self, features):
+        if len(features) != len(self.stage_dims):
+            raise ValueError(f"expected {len(self.stage_dims)} feature maps, got {len(features)}")
+        target_h, target_w = features[0].shape[3], features[0].shape[4]
+        upsampled = []
+        for feature in features:
+            factor_h = target_h // feature.shape[3]
+            factor_w = target_w // feature.shape[4]
+            if factor_h * feature.shape[3] != target_h or factor_w * feature.shape[4] != target_w:
+                raise ValueError("stage resolutions must nest integrally")
+            upsampled.append(T.upsample_nearest3d(feature, (1, factor_h, factor_w)))
+        stacked = T.concatenate(upsampled, axis=1)
+        tokens = T.moveaxis(stacked, 1, 4)
+        fused = self.mlp(tokens)
+        return T.moveaxis(fused, 4, 1)
+
+
+def _upsample_factors(total: int, layers: int = 3) -> list[int]:
+    """Decompose a power-of-two total upsampling over ``layers`` layers."""
+    factors = []
+    remaining = total
+    while remaining > 1:
+        factors.append(2)
+        remaining //= 2
+    if 2 ** len(factors) != total:
+        raise ValueError(f"total upsampling {total} must be a power of two")
+    if len(factors) > layers:
+        raise ValueError(f"total upsampling {total} needs more than {layers} transpose convs")
+    factors += [1] * (layers - len(factors))
+    return factors
+
+
+class Decoder(Module):
+    """Three ConvTranspose3d layers with LeakyReLU in between.
+
+    ``skip_channels > 0`` adds a full-resolution skip input concatenated
+    before the last layer, giving the head direct access to fine detail
+    the downsampled encoder path cannot carry.
+    """
+
+    def __init__(self, in_channels: int, total_upsample: int, hidden_channels=(32, 16),
+                 out_channels: int = 1, negative_slope: float = 0.01,
+                 skip_channels: int = 0):
+        super().__init__()
+        factors = _upsample_factors(total_upsample)
+        channels = [in_channels, hidden_channels[0], hidden_channels[1], out_channels]
+        self.negative_slope = negative_slope
+        self.skip_channels = skip_channels
+        self.layers = ModuleList()
+        for i, factor in enumerate(factors):
+            last = i == len(factors) - 1
+            in_ch = channels[i] + (skip_channels if last else 0)
+            if factor == 2:
+                layer = ConvTranspose3d(in_ch, channels[i + 1],
+                                        kernel_size=(3, 2, 2), stride=(1, 2, 2),
+                                        padding=(1, 0, 0))
+            else:
+                layer = ConvTranspose3d(in_ch, channels[i + 1],
+                                        kernel_size=3, stride=1, padding=1)
+            self.layers.append(layer)
+        if skip_channels and factors[-1] != 1:
+            raise ValueError("skip input requires the last decoder layer to be stride-1")
+
+    def forward(self, x, skip=None):
+        if (skip is None) != (self.skip_channels == 0):
+            raise ValueError("skip tensor presence must match skip_channels")
+        count = len(self.layers)
+        for i, layer in enumerate(self.layers):
+            if i == count - 1 and skip is not None:
+                x = T.concatenate([x, skip], axis=1)
+            x = layer(x)
+            if i < count - 1:
+                x = F.leaky_relu(x, self.negative_slope)
+        return x

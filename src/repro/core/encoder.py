@@ -1,0 +1,51 @@
+"""Hierarchical encoder layer: efficient spatial attention + FFN + SDM unit.
+
+Each encoder layer (Fig. 2) treats every depth level as a plane of
+spatial tokens for the efficient self-attention and feed-forward
+sub-blocks (pre-norm, residual), then applies the SDM unit on the full
+3D feature map to mix information across depth levels.
+"""
+
+from __future__ import annotations
+
+from repro import tensor as T
+from repro.nn.attention import EfficientSpatialSelfAttention
+from repro.nn.linear import MLP
+from repro.nn.module import Module
+from repro.nn.norm import LayerNorm
+from .sdm_unit import SDMUnit, THREE_DIRECTIONS
+
+
+class EncoderLayer(Module):
+    """One stage's transformer block operating on (B, C, D, H, W)."""
+
+    def __init__(self, dim: int, num_heads: int = 1, reduction_ratio: int = 1,
+                 mlp_ratio: float = 2.0, use_sdm: bool = True,
+                 sdm_state_dim: int = 8, scan_directions=THREE_DIRECTIONS,
+                 scan_mode: str = "chunked", discretization: str = "zoh",
+                 ssm_type: str = "selective"):
+        super().__init__()
+        self.dim = dim
+        self.attn_norm = LayerNorm(dim)
+        self.attn = EfficientSpatialSelfAttention(dim, num_heads=num_heads,
+                                                  reduction_ratio=reduction_ratio)
+        self.ffn_norm = LayerNorm(dim)
+        self.ffn = MLP(dim, max(int(dim * mlp_ratio), dim))
+        if use_sdm:
+            self.sdm = SDMUnit(dim, state_dim=sdm_state_dim,
+                               directions=scan_directions, scan_mode=scan_mode,
+                               discretization=discretization, ssm_type=ssm_type)
+        else:
+            self.sdm = None
+
+    def forward(self, x):
+        batch, channels, depth, height, width = x.shape
+        # Per-depth-level spatial tokens: (B*D, H*W, C)
+        planes = T.reshape(T.moveaxis(x, 1, 4), (batch * depth, height * width, channels))
+        planes = planes + self.attn(self.attn_norm(planes))
+        planes = planes + self.ffn(self.ffn_norm(planes))
+        volume = T.moveaxis(
+            T.reshape(planes, (batch, depth, height, width, channels)), 4, 1)
+        if self.sdm is not None:
+            volume = volume + self.sdm(volume)
+        return volume

@@ -1,0 +1,34 @@
+"""Label normalization for inhibitor prediction.
+
+Following DeePEB (and Section III-D of the paper), the network predicts
+the quadratic negative-log transform of the inhibitor rather than the
+raw concentration:
+
+    Y = -ln(-ln([I]) / k_c)        [I] = exp(-k_c * exp(-Y))
+
+which linearizes the exponential dynamic range of [I] near 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: inhibitor values are clipped into this open interval before the log
+CLIP_EPS = 1e-9
+
+
+def inhibitor_to_label(inhibitor: np.ndarray, catalysis_rate: float) -> np.ndarray:
+    """Forward transform ``Y = -ln(-ln([I]) / k_c)``."""
+    clipped = np.clip(inhibitor, CLIP_EPS, 1.0 - CLIP_EPS)
+    return -np.log(-np.log(clipped) / catalysis_rate)
+
+
+def label_to_inhibitor(label: np.ndarray, catalysis_rate: float) -> np.ndarray:
+    """Inverse transform ``[I] = exp(-k_c * exp(-Y))``."""
+    return np.exp(-catalysis_rate * np.exp(-np.asarray(label, dtype=np.float64)))
+
+
+def roundtrip_error(inhibitor: np.ndarray, catalysis_rate: float) -> float:
+    """Max |I - inverse(forward(I))| — used by tests and sanity checks."""
+    label = inhibitor_to_label(inhibitor, catalysis_rate)
+    return float(np.abs(label_to_inhibitor(label, catalysis_rate) - np.clip(inhibitor, CLIP_EPS, 1 - CLIP_EPS)).max())

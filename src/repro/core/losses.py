@@ -1,0 +1,152 @@
+"""Training objectives of SDM-PEB (Section III-D).
+
+Three terms combine into the total loss (Eq. 22):
+
+* :func:`max_squared_error` — DeePEB's MaxSE (Eq. 16), the single worst
+  voxel error;
+* :class:`PEBFocalLoss` — Eq. 17, an error-modulated squared loss that
+  up-weights hard voxels to counter the extreme value imbalance of the
+  inhibitor distribution (Fig. 6);
+* :class:`DepthDivergenceRegularization` — Eqs. 18-21, a KL divergence
+  between softmax-normalized layer-to-layer forward-difference maps,
+  aligning the predicted depthwise evolution with the ground truth.
+
+Predictions/targets are (B, D, H, W) tensors in label (Y) space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import tensor as T
+from repro.tensor import Tensor, ensure_tensor
+from repro.tensor import functional as F
+
+
+def max_squared_error(prediction, target) -> Tensor:
+    """MaxSE (Eq. 16): the largest squared voxel error."""
+    prediction, target = ensure_tensor(prediction), ensure_tensor(target)
+    diff = prediction - target
+    return (diff * diff).max()
+
+
+class PEBFocalLoss:
+    """PEB focal loss (Eq. 17): ``sum |e|^gamma * e^2`` over voxels.
+
+    Parameters
+    ----------
+    gamma:
+        Focusing parameter; the paper sets γ = 1.
+    reduction:
+        ``"sum"`` reproduces Eq. 17 literally; ``"mean"`` divides by the
+        voxel count, which keeps gradient magnitudes independent of the
+        (scaled-down) grid size and is the trainer default.
+    """
+
+    def __init__(self, gamma: float = 1.0, reduction: str = "mean"):
+        if reduction not in ("sum", "mean"):
+            raise ValueError(f"unknown reduction {reduction!r}")
+        if gamma < 0:
+            raise ValueError("gamma must be non-negative")
+        self.gamma = gamma
+        self.reduction = reduction
+
+    def __call__(self, prediction, target) -> Tensor:
+        prediction, target = ensure_tensor(prediction), ensure_tensor(target)
+        diff = prediction - target
+        weight = T.abs_(diff) ** self.gamma if self.gamma != 0 else None
+        squared = diff * diff
+        modulated = squared * weight if weight is not None else squared
+        return modulated.sum() if self.reduction == "sum" else modulated.mean()
+
+
+class DepthDivergenceRegularization:
+    """Differential depth divergence regularization (Eqs. 18-21).
+
+    Layer-wise forward differences ΔY_d = Y_{d+1} - Y_d are converted to
+    spatial probability maps by a temperature-τ softmax over (H, W), and
+    the loss is the KL divergence of ground truth from prediction,
+    summed over layers and averaged over the batch.
+    """
+
+    def __init__(self, temperature: float = 0.1):
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+
+    def _difference_probabilities(self, volume) -> Tensor:
+        volume = ensure_tensor(volume)
+        delta = volume[:, 1:] - volume[:, :-1]           # (B, D-1, H, W)
+        b, d = delta.shape[0], delta.shape[1]
+        flat = T.reshape(delta, (b, d, -1)) * (1.0 / self.temperature)
+        return F.softmax(flat, axis=-1)
+
+    def __call__(self, prediction, target) -> Tensor:
+        prediction, target = ensure_tensor(prediction), ensure_tensor(target)
+        if prediction.shape != target.shape:
+            raise ValueError("prediction and target shapes must match")
+        if prediction.shape[1] < 2:
+            return Tensor(np.zeros(()))
+        p = self._difference_probabilities(prediction)
+        with_floor = 1e-12
+        q = self._difference_probabilities(target)
+        ratio = T.log(p + with_floor) - T.log(q + with_floor)
+        kl = (p * ratio).sum(axis=-1)                    # (B, D-1)
+        return kl.sum(axis=1).mean()
+
+
+@dataclass
+class LossConfig:
+    """Weights and hyperparameters of the combined objective (Eq. 22)."""
+
+    alpha: float = 1.0      # PEB focal loss weight
+    beta: float = 0.1       # depth divergence weight
+    gamma: float = 1.0      # focal focusing parameter
+    temperature: float = 0.1
+    focal_reduction: str = "mean"
+    use_maxse: bool = True
+    use_focal: bool = True
+    use_divergence: bool = True
+
+
+class SDMPEBLoss:
+    """The combined objective ``L = MaxSE + α·FL + β·Div`` with ablations.
+
+    Setting ``use_focal`` / ``use_divergence`` to False reproduces the
+    'w/o. Focal Loss' / 'w/o. Regularization' rows of Table III.
+    """
+
+    def __init__(self, config: LossConfig | None = None):
+        self.config = config if config is not None else LossConfig()
+        self._focal = PEBFocalLoss(self.config.gamma, self.config.focal_reduction)
+        self._divergence = DepthDivergenceRegularization(self.config.temperature)
+
+    def __call__(self, prediction, target) -> Tensor:
+        components = self.components(prediction, target)
+        return components["total"]
+
+    def components(self, prediction, target) -> dict[str, Tensor]:
+        """All loss terms plus the weighted total, for logging."""
+        cfg = self.config
+        terms: dict[str, Tensor] = {}
+        total = None
+
+        def accumulate(value):
+            nonlocal total
+            total = value if total is None else total + value
+
+        if cfg.use_maxse:
+            terms["maxse"] = max_squared_error(prediction, target)
+            accumulate(terms["maxse"])
+        if cfg.use_focal:
+            terms["focal"] = self._focal(prediction, target)
+            accumulate(terms["focal"] * cfg.alpha)
+        if cfg.use_divergence:
+            terms["divergence"] = self._divergence(prediction, target)
+            accumulate(terms["divergence"] * cfg.beta)
+        if total is None:
+            raise ValueError("at least one loss term must be enabled")
+        terms["total"] = total
+        return terms

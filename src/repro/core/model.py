@@ -1,0 +1,167 @@
+"""The SDM-PEB model (Fig. 2) and its configuration.
+
+Input: the 3D photoacid latent image (B, D, H, W) or (B, 1, D, H, W).
+Output: the predicted label volume Y (B, D, H, W); convert to inhibitor
+with :func:`repro.core.label.label_to_inhibitor`.
+
+The configuration exposes every switch used by the Table III ablation:
+``single_stage`` (Single Layer Encoder), ``scan_directions`` (2-D Scan),
+``patch_merging`` (Fig. 3), and ``use_sdm``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import tensor as T
+from repro.nn.conv import Conv3d, DepthwiseConv3d
+from repro.nn.module import Module, ModuleList
+from .decoder import Decoder, FeatureFusion
+from .encoder import EncoderLayer
+from .patch import make_merging
+from .sdm_unit import THREE_DIRECTIONS
+
+
+@dataclass(frozen=True)
+class SDMPEBConfig:
+    """Architecture hyperparameters (paper values in comments)."""
+
+    in_channels: int = 1
+    #: per-stage feature dims; paper: (64, 128, 320, 512)
+    stage_dims: tuple = (16, 32, 48, 64)
+    #: in-plane patch kernel per stage; paper: (15, 3, 3, 3)
+    patch_sizes: tuple = (7, 3, 3, 3)
+    #: in-plane stride per stage; paper: (8, 2, 2, 2)
+    strides: tuple = (4, 2, 2, 2)
+    #: attention heads per stage
+    num_heads: tuple = (1, 2, 2, 4)
+    #: attention K/V reduction ratio per stage; paper: (64, 16, 4, 1)
+    reduction_ratios: tuple = (16, 4, 1, 1)
+    mlp_ratio: float = 2.0
+    ssm_state_dim: int = 8
+    #: scan directions; TWO_DIRECTIONS reproduces the 2-D scan ablation
+    scan_directions: tuple = THREE_DIRECTIONS
+    scan_mode: str = "chunked"
+    discretization: str = "zoh"
+    #: 'selective' (Mamba) or 'lti' (S4D; the selectivity ablation)
+    ssm_type: str = "selective"
+    #: fusion MLP width; paper: 768
+    fusion_dim: int = 48
+    #: decoder hidden channels
+    decoder_dims: tuple = (16, 8)
+    #: full-resolution skip channels fed into the decoder head (0 = off)
+    input_skip_channels: int = 8
+    #: channels of the full-resolution residual refinement head (0 = off)
+    refine_channels: int = 8
+    #: 'overlapped' (default) or 'non_overlapped' (Fig. 3 ablation)
+    patch_merging: str = "overlapped"
+    use_sdm: bool = True
+    #: Table III "Single Layer Encoder": keep only stage 1
+    single_stage: bool = False
+
+    @property
+    def num_stages(self) -> int:
+        return 1 if self.single_stage else len(self.stage_dims)
+
+    def validate(self) -> None:
+        lengths = {len(self.stage_dims), len(self.patch_sizes), len(self.strides),
+                   len(self.num_heads), len(self.reduction_ratios)}
+        if len(lengths) != 1:
+            raise ValueError("per-stage config tuples must have equal lengths")
+        for dim, heads in zip(self.stage_dims, self.num_heads):
+            if dim % heads:
+                raise ValueError(f"stage dim {dim} not divisible by heads {heads}")
+
+
+class SDMPEB(Module):
+    """Spatial-Depthwise Mamba PEB surrogate model."""
+
+    def __init__(self, config: SDMPEBConfig | None = None):
+        super().__init__()
+        self.config = config if config is not None else SDMPEBConfig()
+        self.config.validate()
+        cfg = self.config
+        self.stem = DepthwiseConv3d(cfg.in_channels, kernel_size=3, padding=1)
+        stages = cfg.num_stages
+        self.embeddings = ModuleList()
+        self.encoders = ModuleList()
+        previous = cfg.in_channels
+        for i in range(stages):
+            self.embeddings.append(make_merging(
+                cfg.patch_merging, previous, cfg.stage_dims[i],
+                cfg.patch_sizes[i], cfg.strides[i]))
+            self.encoders.append(EncoderLayer(
+                cfg.stage_dims[i], num_heads=cfg.num_heads[i],
+                reduction_ratio=cfg.reduction_ratios[i], mlp_ratio=cfg.mlp_ratio,
+                use_sdm=cfg.use_sdm, sdm_state_dim=cfg.ssm_state_dim,
+                scan_directions=cfg.scan_directions, scan_mode=cfg.scan_mode,
+                discretization=cfg.discretization, ssm_type=cfg.ssm_type))
+            previous = cfg.stage_dims[i]
+        self.fusion = FeatureFusion(cfg.stage_dims[:stages], cfg.fusion_dim)
+        if cfg.input_skip_channels:
+            self.skip_proj = Conv3d(cfg.in_channels, cfg.input_skip_channels,
+                                    kernel_size=3, padding=1)
+        else:
+            self.skip_proj = None
+        self.decoder = Decoder(cfg.fusion_dim, total_upsample=cfg.strides[0],
+                               hidden_channels=cfg.decoder_dims,
+                               skip_channels=cfg.input_skip_channels)
+        if cfg.refine_channels:
+            self.refine_in = Conv3d(1 + cfg.in_channels, cfg.refine_channels,
+                                    kernel_size=3, padding=1)
+            self.refine_out = Conv3d(cfg.refine_channels, 1, kernel_size=3, padding=1)
+        else:
+            self.refine_in = None
+            self.refine_out = None
+        # Output de-normalization in label space, set from training data.
+        self.output_mean = 0.0
+        self.output_std = 1.0
+
+    def set_output_stats(self, mean: float, std: float) -> None:
+        """Record label statistics so raw network output is ~unit scale."""
+        if std <= 0:
+            raise ValueError("std must be positive")
+        self.output_mean = float(mean)
+        self.output_std = float(std)
+
+    def forward(self, acid):
+        """Photoacid (B, D, H, W) or (B, 1, D, H, W) -> label Y (B, D, H, W)."""
+        if acid.ndim == 4:
+            batch, depth, height, width = acid.shape
+            x = T.reshape(acid, (batch, 1, depth, height, width))
+        elif acid.ndim == 5:
+            x = acid
+        else:
+            raise ValueError(f"expected 4D or 5D input, got shape {acid.shape}")
+        acid_volume = x
+        x = x + self.stem(x)
+        skip = self.skip_proj(x) if self.skip_proj is not None else None
+        features = []
+        for embedding, encoder in zip(self.embeddings, self.encoders):
+            x = embedding(x)
+            x = encoder(x)
+            features.append(x)
+        fused = self.fusion(features)
+        decoded = self.decoder(fused, skip=skip)
+        if self.refine_in is not None:
+            from repro.tensor import functional as F
+
+            joined = T.concatenate([decoded, acid_volume], axis=1)
+            decoded = decoded + self.refine_out(F.silu(self.refine_in(joined)))
+        out = T.reshape(decoded, (decoded.shape[0],) + decoded.shape[2:])
+        return out * self.output_std + self.output_mean
+
+    def predict_inhibitor(self, acid: np.ndarray) -> np.ndarray:
+        """Inference convenience: photoacid volume(s) -> inhibitor volume(s)."""
+        from repro.tensor import Tensor, no_grad
+        from repro.config import PEBConfig
+        from .label import label_to_inhibitor
+
+        squeeze = acid.ndim == 3
+        batch = acid[None] if squeeze else acid
+        with no_grad():
+            label = self.forward(Tensor(np.asarray(batch, dtype=np.float64))).numpy()
+        inhibitor = label_to_inhibitor(label, PEBConfig().catalysis_rate)
+        return inhibitor[0] if squeeze else inhibitor

@@ -1,0 +1,67 @@
+"""Patch embedding and merging layers (Section III-B, Fig. 3).
+
+Depthwise *overlapped* patch merging downsamples the spatial (H, W)
+dimensions with a strided convolution whose kernel is larger than its
+stride, so neighbouring patches share boundary voxels — this preserves
+the local continuity that reaction-diffusion fields demand.  Depth
+resolution is always retained.  The non-overlapped variant (kernel ==
+stride) is kept for the Fig. 3 ablation.
+"""
+
+from __future__ import annotations
+
+from repro.nn.conv import Conv3d
+from repro.nn.module import Module
+
+
+class OverlappedPatchEmbedding(Module):
+    """Strided overlapping Conv3d: (B, C, D, H, W) -> (B, C', D, H/s, W/s).
+
+    ``patch_size`` is the in-plane kernel extent, ``stride`` the in-plane
+    downsampling factor; the depth axis uses a kernel of ``depth_kernel``
+    with unit stride and same-padding, so D is preserved.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, patch_size: int,
+                 stride: int, depth_kernel: int = 3):
+        super().__init__()
+        if patch_size < stride:
+            raise ValueError("overlapped embedding requires patch_size >= stride")
+        if patch_size % 2 != 1:
+            raise ValueError("patch_size must be odd for symmetric same-padding")
+        self.stride = stride
+        # SegFormer-style padding: output size is exactly H/stride for
+        # inputs divisible by the stride.
+        pad_plane = patch_size // 2
+        pad_depth = (depth_kernel - 1) // 2
+        self.proj = Conv3d(in_channels, out_channels,
+                           kernel_size=(depth_kernel, patch_size, patch_size),
+                           stride=(1, stride, stride),
+                           padding=(pad_depth, pad_plane, pad_plane))
+
+    def forward(self, x):
+        return self.proj(x)
+
+
+class NonOverlappedPatchMerging(Module):
+    """Kernel == stride merging (Fig. 3a), for the overlap ablation."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int):
+        super().__init__()
+        self.stride = stride
+        self.proj = Conv3d(in_channels, out_channels,
+                           kernel_size=(1, stride, stride),
+                           stride=(1, stride, stride), padding=0)
+
+    def forward(self, x):
+        return self.proj(x)
+
+
+def make_merging(kind: str, in_channels: int, out_channels: int, patch_size: int,
+                 stride: int) -> Module:
+    """Factory: ``kind`` is 'overlapped' or 'non_overlapped'."""
+    if kind == "overlapped":
+        return OverlappedPatchEmbedding(in_channels, out_channels, patch_size, stride)
+    if kind == "non_overlapped":
+        return NonOverlappedPatchMerging(in_channels, out_channels, stride)
+    raise ValueError(f"unknown patch merging kind {kind!r}")

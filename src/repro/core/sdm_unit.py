@@ -1,0 +1,139 @@
+"""Spatial-Depthwise Mamba-based attention unit (Section III-C, Fig. 5).
+
+The SDM unit reshapes an encoder feature map into a sequence, projects
+it into a gated pair (x, z), and runs three parallel selective scans:
+
+* **spatial scan** — along the depth axis at each spatial position;
+* **depth-forward scan** — raster order, shallow layers first;
+* **depth-backward scan** — the reverse raster order.
+
+Each direction has its own depthwise Conv1d + SiLU pre-processing and
+its own selective SSM.  The direction outputs are summed, gated by
+SiLU(z), projected back to the feature dimension and refined with a
+kernel-3 depthwise Conv3d.
+"""
+
+from __future__ import annotations
+
+from repro import tensor as T
+from repro.tensor import functional as F
+from repro.nn.conv import Conv1d, DepthwiseConv3d
+from repro.nn.linear import Linear
+from repro.nn.module import Module, ModuleList
+from repro.nn.norm import LayerNorm
+from repro.ssm.mamba import SelectiveSSM
+from repro.ssm.s4d import LTISSM
+
+THREE_DIRECTIONS = ("spatial", "depth_forward", "depth_backward")
+#: Table III's "2-D Scan" ablation (bidirectional scan adapted from [24])
+TWO_DIRECTIONS = ("depth_forward", "depth_backward")
+
+
+def _to_direction(seq, direction: str, dims: tuple[int, int, int]):
+    """Reorder a canonical (B, D*H*W, C) sequence for one scan direction.
+
+    Returns the reordered sequence, shaped (B', L', C) where the spatial
+    scan folds spatial positions into the batch.
+    """
+    depth, height, width = dims
+    if direction == "depth_forward":
+        return seq
+    if direction == "depth_backward":
+        return seq.flip(1)
+    if direction == "spatial":
+        batch, _, channels = seq.shape
+        volume = T.reshape(seq, (batch, depth, height, width, channels))
+        spatial_major = T.transpose(volume, (0, 2, 3, 1, 4))
+        return T.reshape(spatial_major, (batch * height * width, depth, channels))
+    raise ValueError(f"unknown scan direction {direction!r}")
+
+
+def _from_direction(seq, direction: str, dims: tuple[int, int, int], batch: int):
+    """Invert :func:`_to_direction` back to canonical order."""
+    depth, height, width = dims
+    if direction == "depth_forward":
+        return seq
+    if direction == "depth_backward":
+        return seq.flip(1)
+    if direction == "spatial":
+        channels = seq.shape[-1]
+        volume = T.reshape(seq, (batch, height, width, depth, channels))
+        depth_major = T.transpose(volume, (0, 3, 1, 2, 4))
+        return T.reshape(depth_major, (batch, depth * height * width, channels))
+    raise ValueError(f"unknown scan direction {direction!r}")
+
+
+class SDMUnit(Module):
+    """The spatial-depthwise Mamba attention unit.
+
+    Parameters
+    ----------
+    channels:
+        Feature dimension C of the incoming (B, C, D, H, W) map.
+    hidden_channels:
+        Inner gated dimension Ch (defaults to ``channels``).
+    state_dim:
+        SSM state size N per channel.
+    directions:
+        Scan directions; ``TWO_DIRECTIONS`` gives the 2-D scan ablation.
+    conv_kernel:
+        Depthwise Conv1d kernel applied before each scan.
+    """
+
+    def __init__(self, channels: int, hidden_channels: int | None = None,
+                 state_dim: int = 8, directions=THREE_DIRECTIONS,
+                 conv_kernel: int = 3, scan_mode: str = "chunked",
+                 discretization: str = "zoh", ssm_type: str = "selective"):
+        super().__init__()
+        if ssm_type not in ("selective", "lti"):
+            raise ValueError(f"unknown ssm_type {ssm_type!r}")
+        if not directions:
+            raise ValueError("at least one scan direction is required")
+        for direction in directions:
+            if direction not in THREE_DIRECTIONS:
+                raise ValueError(f"unknown scan direction {direction!r}")
+        hidden = hidden_channels if hidden_channels is not None else channels
+        self.channels = channels
+        self.hidden = hidden
+        self.directions = tuple(directions)
+        self.norm = LayerNorm(channels)
+        self.in_proj = Linear(channels, 2 * hidden)
+        self.convs = ModuleList([
+            Conv1d(hidden, hidden, conv_kernel, padding=(conv_kernel - 1) // 2, groups=hidden)
+            for _ in directions
+        ])
+        if ssm_type == "selective":
+            self.ssms = ModuleList([
+                SelectiveSSM(hidden, state_dim=state_dim, discretization=discretization,
+                             scan_mode=scan_mode)
+                for _ in directions
+            ])
+        else:
+            self.ssms = ModuleList([
+                LTISSM(hidden, state_dim=state_dim, scan_mode=scan_mode)
+                for _ in directions
+            ])
+        self.ssm_type = ssm_type
+        self.out_proj = Linear(hidden, channels)
+        self.refine = DepthwiseConv3d(channels, kernel_size=3, padding=1)
+
+    def forward(self, x):
+        """(B, C, D, H, W) -> (B, C, D, H, W); add residually outside."""
+        batch, channels, depth, height, width = x.shape
+        dims = (depth, height, width)
+        tokens = T.reshape(T.moveaxis(x, 1, 4), (batch, depth * height * width, channels))
+        tokens = self.norm(tokens)
+        projected = self.in_proj(tokens)
+        gate_in = projected[:, :, self.hidden:]
+        scan_in = projected[:, :, :self.hidden]
+        combined = None
+        for direction, conv, ssm in zip(self.directions, self.convs, self.ssms):
+            ordered = _to_direction(scan_in, direction, dims)
+            convolved = conv(ordered.swapaxes(1, 2)).swapaxes(1, 2)
+            scanned = ssm(F.silu(convolved))
+            restored = _from_direction(scanned, direction, dims, batch)
+            combined = restored if combined is None else combined + restored
+        gated = combined * F.silu(gate_in)
+        out = self.out_proj(gated)
+        volume = T.moveaxis(T.reshape(out, (batch, depth, height, width, channels)), 4, 1)
+        return self.refine(volume)

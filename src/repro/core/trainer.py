@@ -1,0 +1,179 @@
+"""Training loop for SDM-PEB and the baseline surrogates.
+
+Mirrors the paper's recipe scaled to CPU: Adam (the paper used SGD-style
+step decay at lr 0.03 on GPUs; Adam at a lower rate is the stable
+equivalent for the numpy substrate), step-decay schedule, gradient
+accumulation over clips, and the combined SDM-PEB objective.  Targets
+are standardized in label space; the model's output affine restores the
+original scale so losses/metrics are computed in true label units.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, no_grad
+from .losses import LossConfig, SDMPEBLoss
+
+
+@dataclass
+class TrainConfig:
+    """Optimization hyperparameters."""
+
+    epochs: int = 30
+    learning_rate: float = 3e-3
+    #: step-decay schedule (paper: step 100, gamma 0.7 over 500 epochs)
+    lr_step_size: int = 10
+    lr_gamma: float = 0.7
+    batch_size: int = 2
+    grad_clip: float = 10.0
+    weight_decay: float = 0.0
+    loss: LossConfig = field(default_factory=LossConfig)
+    shuffle_seed: int = 0
+    log_every: int = 0   # epochs between log records; 0 = every epoch
+    #: stop after this many epochs without validation improvement (0 = off;
+    #: requires validation data to be passed to the Trainer)
+    early_stop_patience: int = 0
+    #: restore the best-validation-loss parameters after fit()
+    restore_best: bool = True
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch training record."""
+
+    epochs: list[int] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+    learning_rates: list[float] = field(default_factory=list)
+    grad_norms: list[float] = field(default_factory=list)
+    val_losses: list[float] = field(default_factory=list)
+    best_epoch: int = 0
+    stopped_early: bool = False
+    wall_time_s: float = 0.0
+
+
+class Trainer:
+    """Trains a label-space surrogate on (photoacid, label) pairs.
+
+    ``inputs`` and ``targets`` are arrays of shape (N, D, H, W).  Any
+    model with a ``set_output_stats`` method and a (B, D, H, W) ->
+    (B, D, H, W) forward works — SDM-PEB and all baselines share this
+    interface.
+    """
+
+    def __init__(self, model, inputs: np.ndarray, targets: np.ndarray,
+                 config: TrainConfig | None = None,
+                 val_inputs: np.ndarray | None = None,
+                 val_targets: np.ndarray | None = None):
+        if len(inputs) != len(targets):
+            raise ValueError("inputs and targets must have the same length")
+        if len(inputs) == 0:
+            raise ValueError("empty training set")
+        if (val_inputs is None) != (val_targets is None):
+            raise ValueError("validation inputs and targets must be given together")
+        self.model = model
+        self.inputs = np.asarray(inputs, dtype=np.float64)
+        self.targets = np.asarray(targets, dtype=np.float64)
+        self.val_inputs = None if val_inputs is None else np.asarray(val_inputs, dtype=np.float64)
+        self.val_targets = None if val_targets is None else np.asarray(val_targets, dtype=np.float64)
+        self.config = config if config is not None else TrainConfig()
+        if self.config.early_stop_patience and self.val_inputs is None:
+            raise ValueError("early stopping requires validation data")
+        mean, std = float(self.targets.mean()), float(self.targets.std())
+        model.set_output_stats(mean, max(std, 1e-8))
+        self.loss_fn = SDMPEBLoss(self.config.loss)
+        self.optimizer = nn.Adam(model.parameters(), lr=self.config.learning_rate,
+                                 weight_decay=self.config.weight_decay)
+        self.scheduler = nn.StepDecay(self.optimizer, self.config.lr_step_size,
+                                      self.config.lr_gamma)
+        self.history = TrainHistory()
+
+    def _batches(self, rng: np.random.Generator):
+        order = rng.permutation(len(self.inputs))
+        size = self.config.batch_size
+        for start in range(0, len(order), size):
+            index = order[start:start + size]
+            yield self.inputs[index], self.targets[index]
+
+    def train_epoch(self, rng: np.random.Generator) -> tuple[float, float]:
+        """One pass over the data; returns (mean loss, last grad norm)."""
+        self.model.train()
+        epoch_loss, batches, grad_norm = 0.0, 0, 0.0
+        for batch_inputs, batch_targets in self._batches(rng):
+            self.optimizer.zero_grad()
+            prediction = self.model(Tensor(batch_inputs))
+            loss = self.loss_fn(prediction, Tensor(batch_targets))
+            loss.backward()
+            grad_norm = nn.clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+            self.optimizer.step()
+            epoch_loss += float(loss.data)
+            batches += 1
+        return epoch_loss / max(batches, 1), grad_norm
+
+    def validation_loss(self) -> float:
+        """Combined objective on the validation set (no gradients)."""
+        if self.val_inputs is None:
+            raise ValueError("no validation data")
+        self.model.eval()
+        with no_grad():
+            prediction = self.model(Tensor(self.val_inputs))
+            loss = self.loss_fn(prediction, Tensor(self.val_targets))
+        return float(loss.data)
+
+    def fit(self, verbose: bool = False) -> TrainHistory:
+        """Run the full schedule; returns the training history.
+
+        With validation data, the validation loss is tracked per epoch;
+        with ``early_stop_patience`` set, training stops after that many
+        epochs without improvement, and (if ``restore_best``) the best
+        parameters are restored at the end.
+        """
+        rng = np.random.default_rng(self.config.shuffle_seed)
+        start = time.perf_counter()
+        every = self.config.log_every or 1
+        best_val, best_state, best_epoch, stale = np.inf, None, 0, 0
+        for epoch in range(1, self.config.epochs + 1):
+            mean_loss, grad_norm = self.train_epoch(rng)
+            self.scheduler.step()
+            val_loss = self.validation_loss() if self.val_inputs is not None else None
+            if val_loss is not None and val_loss < best_val:
+                best_val, best_epoch, stale = val_loss, epoch, 0
+                if self.config.restore_best:
+                    best_state = self.model.state_dict()
+            elif val_loss is not None:
+                stale += 1
+            if epoch % every == 0 or epoch == self.config.epochs:
+                self.history.epochs.append(epoch)
+                self.history.losses.append(mean_loss)
+                self.history.learning_rates.append(self.optimizer.lr)
+                self.history.grad_norms.append(grad_norm)
+                if val_loss is not None:
+                    self.history.val_losses.append(val_loss)
+                if verbose:
+                    val_text = f"  val {val_loss:.5f}" if val_loss is not None else ""
+                    print(f"epoch {epoch:4d}  loss {mean_loss:.5f}  "
+                          f"lr {self.optimizer.lr:.2e}  |g| {grad_norm:.3f}{val_text}")
+            if (self.config.early_stop_patience
+                    and stale >= self.config.early_stop_patience):
+                self.history.stopped_early = True
+                break
+        if best_state is not None and self.config.restore_best:
+            self.model.load_state_dict(best_state)
+        self.history.best_epoch = best_epoch
+        self.history.wall_time_s = time.perf_counter() - start
+        return self.history
+
+    def predict(self, inputs: np.ndarray, batch_size: int | None = None) -> np.ndarray:
+        """Batched inference in label space, gradients disabled."""
+        self.model.eval()
+        size = batch_size if batch_size is not None else self.config.batch_size
+        outputs = []
+        with no_grad():
+            for start in range(0, len(inputs), size):
+                chunk = np.asarray(inputs[start:start + size], dtype=np.float64)
+                outputs.append(self.model(Tensor(chunk)).numpy())
+        return np.concatenate(outputs, axis=0)

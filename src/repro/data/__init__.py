@@ -1,0 +1,13 @@
+"""Dataset generation and caching for PEB surrogate training."""
+
+from .dataset import PEBSample, PEBDataset, simulate_clip, generate_dataset
+from .augment import (
+    DIHEDRAL_OPS, transform_volume, transform_contact, augment_sample,
+    augment_dataset,
+)
+
+__all__ = [
+    "PEBSample", "PEBDataset", "simulate_clip", "generate_dataset",
+    "DIHEDRAL_OPS", "transform_volume", "transform_contact", "augment_sample",
+    "augment_dataset",
+]

@@ -1,0 +1,140 @@
+"""Dataset generation: the (photoacid → inhibitor) pairs that train and
+evaluate every surrogate.
+
+Mirrors Section IV of the paper: N seeded mask clips run through the
+full rigorous flow (optics → Dill exposure → reaction-diffusion PEB).
+Each sample records the inputs, targets, label transform, contact
+geometry (for CD evaluation) and the rigorous solver's wall time (for
+the runtime comparison).  Samples are cached on disk as ``.npz`` keyed
+by a hash of the full configuration, so repeated experiment runs are
+cheap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field, asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import LithoConfig
+from repro.core.label import inhibitor_to_label
+from repro.litho import (
+    MaskClip, Contact, generate_clip, aerial_image_stack, initial_photoacid,
+    RigorousPEBSolver,
+)
+
+
+@dataclass
+class PEBSample:
+    """One clip's worth of simulation data."""
+
+    seed: int
+    acid: np.ndarray          # initial photoacid (nz, ny, nx)
+    inhibitor: np.ndarray     # rigorous final inhibitor (nz, ny, nx)
+    label: np.ndarray         # Y = -ln(-ln(I)/k_c)
+    contacts: tuple[Contact, ...]
+    rigorous_seconds: float
+
+
+@dataclass
+class PEBDataset:
+    """A list of samples plus the configuration that produced them."""
+
+    config: LithoConfig
+    samples: list[PEBSample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def inputs(self) -> np.ndarray:
+        """(N, nz, ny, nx) stacked photoacid volumes."""
+        return np.stack([s.acid for s in self.samples])
+
+    def labels(self) -> np.ndarray:
+        """(N, nz, ny, nx) stacked label volumes."""
+        return np.stack([s.label for s in self.samples])
+
+    def inhibitors(self) -> np.ndarray:
+        """(N, nz, ny, nx) stacked ground-truth inhibitor volumes."""
+        return np.stack([s.inhibitor for s in self.samples])
+
+    def split(self, train_fraction: float = 0.8) -> tuple["PEBDataset", "PEBDataset"]:
+        """Deterministic leading/trailing split (same split for all methods,
+        mirroring the paper's fixed train-test split)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        cut = max(1, min(len(self.samples) - 1, int(round(len(self.samples) * train_fraction))))
+        return (PEBDataset(self.config, self.samples[:cut]),
+                PEBDataset(self.config, self.samples[cut:]))
+
+
+def _config_key(config: LithoConfig, time_step_s: float, splitting: str) -> str:
+    payload = json.dumps({"config": asdict(config), "dt": time_step_s, "split": splitting},
+                         sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _contacts_to_array(contacts) -> np.ndarray:
+    return np.array([[c.center_x_nm, c.center_y_nm, c.width_nm, c.height_nm]
+                     for c in contacts])
+
+
+def _contacts_from_array(values: np.ndarray) -> tuple[Contact, ...]:
+    return tuple(Contact(*row) for row in values)
+
+
+def simulate_clip(seed: int, config: LithoConfig, time_step_s: float = 0.25,
+                  splitting: str = "strang") -> PEBSample:
+    """Run the full rigorous flow for one seeded clip."""
+    clip: MaskClip = generate_clip(seed, grid=config.grid)
+    aerial = aerial_image_stack(clip.pattern, config.grid, config.optics)
+    acid = initial_photoacid(aerial, config.exposure)
+    solver = RigorousPEBSolver(config.grid, config.peb, splitting=splitting,
+                               time_step_s=time_step_s)
+    start = time.perf_counter()
+    result = solver.solve(acid)
+    elapsed = time.perf_counter() - start
+    label = inhibitor_to_label(result.inhibitor, config.peb.catalysis_rate)
+    return PEBSample(seed=seed, acid=acid, inhibitor=result.inhibitor, label=label,
+                     contacts=clip.contacts, rigorous_seconds=elapsed)
+
+
+def generate_dataset(num_clips: int, config: LithoConfig | None = None,
+                     base_seed: int = 0, time_step_s: float = 0.25,
+                     splitting: str = "strang", cache_dir: str | Path | None = None,
+                     verbose: bool = False) -> PEBDataset:
+    """Generate (or load from cache) a dataset of ``num_clips`` samples."""
+    config = config if config is not None else LithoConfig()
+    dataset = PEBDataset(config)
+    key = _config_key(config, time_step_s, splitting)
+    cache = Path(cache_dir) if cache_dir is not None else None
+    if cache is not None:
+        cache.mkdir(parents=True, exist_ok=True)
+    for i in range(num_clips):
+        seed = base_seed + i
+        path = cache / f"clip_{key}_{seed}.npz" if cache is not None else None
+        if path is not None and path.exists():
+            with np.load(path) as archive:
+                sample = PEBSample(
+                    seed=seed, acid=archive["acid"], inhibitor=archive["inhibitor"],
+                    label=archive["label"],
+                    contacts=_contacts_from_array(archive["contacts"]),
+                    rigorous_seconds=float(archive["rigorous_seconds"]),
+                )
+        else:
+            sample = simulate_clip(seed, config, time_step_s, splitting)
+            if path is not None:
+                np.savez_compressed(
+                    path, acid=sample.acid, inhibitor=sample.inhibitor,
+                    label=sample.label, contacts=_contacts_to_array(sample.contacts),
+                    rigorous_seconds=sample.rigorous_seconds)
+        dataset.samples.append(sample)
+        if verbose:
+            print(f"clip {i + 1}/{num_clips} (seed {seed}): "
+                  f"{len(sample.contacts)} contacts, "
+                  f"rigorous {sample.rigorous_seconds:.2f}s")
+    return dataset

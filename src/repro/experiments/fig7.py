@@ -1,0 +1,70 @@
+"""Fig. 7: distribution of per-contact CD errors per method.
+
+Bins |CD error| into the paper's 0-1 / 1-2 / 2-3 / 3-4 / >4 nm buckets
+for each Table II method (x and y directions).  Reuses the Table II run
+so models are trained once.
+
+Run:  python -m repro.experiments.fig7 [--quick]
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .harness import ExperimentSettings, MethodResult
+from . import table2
+
+EDGES = np.array([0.0, 1.0, 2.0, 3.0, 4.0, np.inf])
+BUCKET_LABELS = ("0~1", "1~2", "2~3", "3~4", ">4")
+
+
+def bucket_percentages(abs_errors: np.ndarray) -> np.ndarray:
+    """Percentage of contacts falling in each |CD error| bucket."""
+    if abs_errors.size == 0:
+        return np.full(len(BUCKET_LABELS), np.nan)
+    counts, _ = np.histogram(abs_errors, bins=EDGES)
+    return 100.0 * counts / abs_errors.size
+
+
+def run(settings: ExperimentSettings | None = None,
+        results: list[MethodResult] | None = None) -> dict[str, dict[str, np.ndarray]]:
+    """CD-error bucket percentages per method, for x and y directions."""
+    if results is None:
+        results = table2.run(settings)
+    return {
+        result.name: {
+            "x": bucket_percentages(result.cd_abs_errors_x),
+            "y": bucket_percentages(result.cd_abs_errors_y),
+        }
+        for result in results
+    }
+
+
+def format_figure(buckets: dict[str, dict[str, np.ndarray]]) -> str:
+    lines = []
+    for axis in ("x", "y"):
+        lines.append(f"\n(Fig. 7{'a' if axis == 'x' else 'b'}) CD error in "
+                     f"{axis} direction, % of contacts per bucket (nm):")
+        header = f"{'method':<16}" + "".join(f"{label:>8}" for label in BUCKET_LABELS)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name, axes in buckets.items():
+            row = f"{name:<16}" + "".join(f"{v:>8.1f}" for v in axes[axis])
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args(argv)
+    settings = ExperimentSettings.quick() if args.quick else ExperimentSettings.full()
+    buckets = run(settings)
+    print(format_figure(buckets))
+    return buckets
+
+
+if __name__ == "__main__":
+    main()

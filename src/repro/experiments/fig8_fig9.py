@@ -1,0 +1,142 @@
+"""Figs. 8 & 9: qualitative prediction visualizations.
+
+Fig. 8 compares ground-truth vs predicted inhibitor at the top and
+bottom resist surfaces (plus the difference map); Fig. 9 compares
+vertical (x-z) cuts through a center contact and a corner contact.
+This experiment trains an SDM-PEB model, produces the corresponding 2D
+arrays, reports the error statistics the paper highlights (|diff|
+mostly within 0.1), and renders coarse ASCII heat maps.
+
+Run:  python -m repro.experiments.fig8_fig9 [--quick] [--save PATH.npz]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import nn
+from repro.core import label_to_inhibitor
+from .harness import ExperimentSettings, build_method, prepare_data, train_method
+
+
+@dataclass
+class VisualizationResult:
+    """Arrays backing Figs. 8 and 9 for one test clip."""
+
+    truth: np.ndarray           # (nz, ny, nx) rigorous inhibitor
+    prediction: np.ndarray      # (nz, ny, nx) SDM-PEB inhibitor
+    center_row: int             # y index of the Fig. 9 center cut
+    corner_row: int             # y index of the Fig. 9 corner cut
+
+    @property
+    def difference(self) -> np.ndarray:
+        return self.prediction - self.truth
+
+    def panel(self, which: str) -> dict[str, np.ndarray]:
+        """Fig. 8 panels: 'top' or 'bottom' surface maps."""
+        index = 0 if which == "top" else -1
+        return {"truth": self.truth[index], "prediction": self.prediction[index],
+                "difference": self.difference[index]}
+
+    def vertical_cut(self, which: str) -> dict[str, np.ndarray]:
+        """Fig. 9 panels: (nz, nx) x-z slices at center/corner contact rows."""
+        row = self.center_row if which == "center" else self.corner_row
+        return {"truth": self.truth[:, row], "prediction": self.prediction[:, row],
+                "difference": self.difference[:, row]}
+
+
+def _contact_rows(sample, grid) -> tuple[int, int]:
+    """y indices of the most central and most cornerward contacts."""
+    extent = grid.size_um * 1000.0
+    centers = np.array([[c.center_x_nm, c.center_y_nm] for c in sample.contacts])
+    distance = np.linalg.norm(centers - extent / 2.0, axis=1)
+    center_contact = sample.contacts[int(np.argmin(distance))]
+    corner_contact = sample.contacts[int(np.argmax(distance))]
+    to_row = lambda c: int(np.clip(c.center_y_nm / grid.dy_nm - 0.5, 0, grid.ny - 1))
+    return to_row(center_contact), to_row(corner_contact)
+
+
+def from_trainer(trainer, test_set, settings: ExperimentSettings,
+                 clip_index: int = 0) -> VisualizationResult:
+    """Extract the Fig. 8/9 arrays from an already-fitted surrogate."""
+    sample = test_set.samples[clip_index]
+    label = trainer.predict(sample.acid[None], batch_size=1)[0]
+    prediction = label_to_inhibitor(label, settings.config.peb.catalysis_rate)
+    center_row, corner_row = _contact_rows(sample, settings.config.grid)
+    return VisualizationResult(truth=sample.inhibitor, prediction=prediction,
+                               center_row=center_row, corner_row=corner_row)
+
+
+def run(settings: ExperimentSettings | None = None, clip_index: int = 0,
+        verbose: bool = False) -> VisualizationResult:
+    """Train SDM-PEB and extract the Fig. 8/9 arrays for one test clip."""
+    settings = settings if settings is not None else ExperimentSettings()
+    train_set, test_set = prepare_data(settings, verbose=verbose)
+    nn.init.seed(settings.init_seed)
+    model, loss_config = build_method("SDM-PEB", settings.config.grid)
+    trainer = train_method(model, loss_config, train_set, settings, verbose=verbose)
+    sample = test_set.samples[clip_index]
+    label = trainer.predict(sample.acid[None], batch_size=1)[0]
+    prediction = label_to_inhibitor(label, settings.config.peb.catalysis_rate)
+    center_row, corner_row = _contact_rows(sample, settings.config.grid)
+    return VisualizationResult(truth=sample.inhibitor, prediction=prediction,
+                               center_row=center_row, corner_row=corner_row)
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(values: np.ndarray, width: int = 48, lo: float = 0.0,
+                  hi: float = 1.0) -> str:
+    """Coarse character rendering of a 2D array."""
+    rows, cols = values.shape
+    step = max(1, cols // width)
+    scaled = values[::max(1, rows // 24), ::step]
+    normalized = np.clip((scaled - lo) / (hi - lo + 1e-12), 0.0, 1.0)
+    indices = np.minimum((normalized * len(_SHADES)).astype(int), len(_SHADES) - 1)
+    return "\n".join("".join(_SHADES[i] for i in row) for row in indices)
+
+
+def format_figures(result: VisualizationResult) -> str:
+    lines = []
+    diff = np.abs(result.difference)
+    lines.append(f"(Fig. 8) |prediction - truth|: mean {diff.mean():.4f}, "
+                 f"p99 {np.percentile(diff, 99):.4f}, max {diff.max():.4f}")
+    lines.append(f"fraction of voxels within 0.1: {(diff <= 0.1).mean() * 100:.2f}%")
+    for which in ("top", "bottom"):
+        panel = result.panel(which)
+        lines.append(f"\n-- Fig. 8 {which} surface: truth | prediction --")
+        truth_map = ascii_heatmap(panel["truth"]).split("\n")
+        pred_map = ascii_heatmap(panel["prediction"]).split("\n")
+        lines.extend(f"{t}   {p}" for t, p in zip(truth_map, pred_map))
+    for which in ("center", "corner"):
+        cut = result.vertical_cut(which)
+        lines.append(f"\n-- Fig. 9 {which} contact x-z cut: truth | prediction --")
+        truth_map = ascii_heatmap(cut["truth"]).split("\n")
+        pred_map = ascii_heatmap(cut["prediction"]).split("\n")
+        lines.extend(f"{t}   {p}" for t, p in zip(truth_map, pred_map))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> VisualizationResult:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--save", default=None, help="save arrays to this .npz path")
+    args = parser.parse_args(argv)
+    settings = ExperimentSettings.quick() if args.quick else ExperimentSettings.full()
+    result = run(settings)
+    print(format_figures(result))
+    if args.save:
+        np.savez_compressed(args.save, truth=result.truth, prediction=result.prediction,
+                            difference=result.difference,
+                            center_row=result.center_row, corner_row=result.corner_row)
+        print(f"\narrays saved to {args.save}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

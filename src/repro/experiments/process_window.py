@@ -1,0 +1,121 @@
+"""Process-window study (extension): CD through dose and focus.
+
+A classic lithography characterization the rigorous substrate makes
+possible: sweep exposure dose and focus offset, run the full
+mask→optics→PEB→develop chain at each condition, and report mean
+printed CD — Bossung-style curves — plus the dose latitude and depth
+of focus at a ±10% CD specification.  Not a table in the paper, but
+the kind of downstream study the SDM-PEB surrogate is meant to
+accelerate (DESIGN.md lists it as an extension bench).
+
+Run:  python -m repro.experiments.process_window [--quick]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.config import GridConfig, LithoConfig
+from repro.litho import (
+    aerial_image_stack, contact_cds, development_arrival, generate_clip,
+    initial_photoacid, RigorousPEBSolver,
+)
+
+
+@dataclass
+class ProcessWindowResult:
+    """Mean printed CD (nm) over a dose x focus grid."""
+
+    doses_mj: np.ndarray
+    focus_offsets_nm: np.ndarray
+    mean_cd_nm: np.ndarray        # (num_doses, num_foci); NaN = nothing printed
+    target_cd_nm: float
+
+    def dose_latitude(self, tolerance: float = 0.1) -> float:
+        """Fractional dose range keeping CD within ±tolerance at best focus."""
+        best_focus = int(np.nanargmin(
+            np.nanmean(np.abs(self.mean_cd_nm - self.target_cd_nm), axis=0)))
+        column = self.mean_cd_nm[:, best_focus]
+        in_spec = np.abs(column - self.target_cd_nm) <= tolerance * self.target_cd_nm
+        if not in_spec.any():
+            return 0.0
+        doses = self.doses_mj[in_spec]
+        return float((doses.max() - doses.min()) / self.target_dose)
+
+    @property
+    def target_dose(self) -> float:
+        return float(np.median(self.doses_mj))
+
+    def depth_of_focus(self, tolerance: float = 0.1) -> float:
+        """Focus range (nm) keeping CD within ±tolerance at centre dose."""
+        dose_index = len(self.doses_mj) // 2
+        row = self.mean_cd_nm[dose_index]
+        in_spec = np.abs(row - self.target_cd_nm) <= tolerance * self.target_cd_nm
+        if not in_spec.any():
+            return 0.0
+        foci = self.focus_offsets_nm[in_spec]
+        return float(foci.max() - foci.min())
+
+
+def run(config: LithoConfig | None = None, seed: int = 0,
+        dose_span: float = 0.3, num_doses: int = 5,
+        focus_span_nm: float = 120.0, num_foci: int = 5,
+        time_step_s: float = 0.5) -> ProcessWindowResult:
+    """Sweep dose and focus for one clip; returns the CD matrix."""
+    config = config if config is not None else LithoConfig(
+        grid=GridConfig(size_um=1.0, nx=32, ny=32, nz=4))
+    clip = generate_clip(seed, grid=config.grid)
+    nominal_dose = config.exposure.dose_mj_cm2
+    nominal_focus = config.optics.focus_offset_nm
+    doses = nominal_dose * np.linspace(1.0 - dose_span, 1.0 + dose_span, num_doses)
+    foci = nominal_focus + np.linspace(-focus_span_nm / 2.0, focus_span_nm / 2.0, num_foci)
+    target = float(np.mean([c.width_nm for c in clip.contacts]))
+    cd_matrix = np.full((num_doses, num_foci), np.nan)
+    for j, focus in enumerate(foci):
+        optics = replace(config.optics, focus_offset_nm=float(focus))
+        aerial = aerial_image_stack(clip.pattern, config.grid, optics)
+        for i, dose in enumerate(doses):
+            exposure = replace(config.exposure, dose_mj_cm2=float(dose))
+            acid = initial_photoacid(aerial, exposure)
+            solver = RigorousPEBSolver(config.grid, config.peb,
+                                       splitting="strang", time_step_s=time_step_s)
+            inhibitor = solver.solve(acid).inhibitor
+            arrival = development_arrival(inhibitor, config.grid, config.develop)
+            cds = contact_cds(arrival, clip.contacts, config.grid, config.develop)
+            opened = cds["x"] > 0
+            if opened.any():
+                cd_matrix[i, j] = float(np.mean(
+                    np.concatenate([cds["x"][opened], cds["y"][opened]])))
+    return ProcessWindowResult(doses_mj=doses, focus_offsets_nm=foci,
+                               mean_cd_nm=cd_matrix, target_cd_nm=target)
+
+
+def format_result(result: ProcessWindowResult) -> str:
+    corner = "dose / focus"
+    lines = [f"mean printed CD (nm); design mean {result.target_cd_nm:.1f} nm",
+             f"{corner:>14}" + "".join(
+                 f"{f:>9.0f}" for f in result.focus_offsets_nm)]
+    for dose, row in zip(result.doses_mj, result.mean_cd_nm):
+        cells = "".join(f"{cd:>9.1f}" if np.isfinite(cd) else f"{'--':>9}" for cd in row)
+        lines.append(f"{dose:>12.1f}  {cells}")
+    lines.append(f"dose latitude (±10% CD): {result.dose_latitude() * 100:.0f}%")
+    lines.append(f"depth of focus (±10% CD): {result.depth_of_focus():.0f} nm")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> ProcessWindowResult:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args(argv)
+    kwargs = dict(num_doses=3, num_foci=3) if args.quick else {}
+    result = run(**kwargs)
+    print(format_result(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

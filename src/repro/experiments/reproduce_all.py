@@ -1,0 +1,92 @@
+"""One-shot driver regenerating every table and figure of the paper.
+
+Runs, in order: Fig. 6 (data imbalance), Table II + Fig. 7 (solver
+comparison and CD-error distribution, trained once), Table III
+(ablations), Figs. 8/9 (visualizations, reusing the Table II SDM-PEB
+would require retraining — a fresh short run is used), and the runtime
+comparison.  Text outputs and raw arrays are written to ``--out``.
+
+Run:  python -m repro.experiments.reproduce_all [--quick] [--out results]
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from .harness import ExperimentSettings
+from . import fig6, fig7, fig8_fig9, runtime, table2, table3
+
+
+def run_all(settings: ExperimentSettings, out_dir: Path, verbose: bool = True) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    report: list[str] = []
+
+    def section(title: str, body: str) -> None:
+        block = f"\n{'=' * 70}\n{title}\n{'=' * 70}\n{body}\n"
+        report.append(block)
+        if verbose:
+            print(block, flush=True)
+
+    started = time.time()
+
+    frequencies = fig6.run(settings)
+    section("Fig. 6 — value-distribution imbalance", fig6.format_figure(frequencies))
+    np.savez(out_dir / "fig6.npz", **frequencies)
+
+    results, trainers, test_set = table2.run(settings, verbose=verbose,
+                                             return_trainers=True)
+    section("Table II — comparison with learning-based PEB solvers",
+            table2.format_table(results))
+    buckets = fig7.run(settings, results=results)
+    section("Fig. 7 — CD error distribution", fig7.format_figure(buckets))
+    rows = [asdict_clean(r) for r in results]
+    (out_dir / "table2.json").write_text(json.dumps(rows, indent=2))
+    np.savez(out_dir / "fig7.npz",
+             **{f"{name}_{axis}": values
+                for name, axes in buckets.items() for axis, values in axes.items()})
+
+    ablation_results = table3.run(settings, verbose=verbose)
+    section("Table III — ablation study", table3.format_table(ablation_results))
+    (out_dir / "table3.json").write_text(
+        json.dumps([asdict_clean(r) for r in ablation_results], indent=2))
+
+    visual = fig8_fig9.from_trainer(trainers["SDM-PEB"], test_set, settings)
+    section("Figs. 8 & 9 — prediction visualizations", fig8_fig9.format_figures(visual))
+    np.savez_compressed(out_dir / "fig8_fig9.npz", truth=visual.truth,
+                        prediction=visual.prediction, difference=visual.difference,
+                        center_row=visual.center_row, corner_row=visual.corner_row)
+
+    rigorous, runtime_rows = runtime.run(settings)
+    section("Runtime — surrogates vs rigorous solver",
+            runtime.format_table(rigorous, runtime_rows))
+
+    section("Total", f"wall time {time.time() - started:.0f}s")
+    (out_dir / "report.txt").write_text("".join(report))
+
+
+def asdict_clean(result) -> dict:
+    """MethodResult -> JSON-serializable dict (arrays to lists)."""
+    from dataclasses import asdict
+
+    raw = asdict(result)
+    return {k: (v.tolist() if isinstance(v, np.ndarray) else v) for k, v in raw.items()}
+
+
+def main(argv=None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--out", default="results")
+    args = parser.parse_args(argv)
+    settings = ExperimentSettings.quick() if args.quick else ExperimentSettings.full()
+    run_all(settings, Path(args.out))
+
+
+if __name__ == "__main__":
+    main()

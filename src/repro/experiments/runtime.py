@@ -1,0 +1,84 @@
+"""Runtime comparison: learned surrogates vs the rigorous solver.
+
+The paper reports SDM-PEB at 1.06 s vs S-Litho's 147 s (138×), with the
+method-vs-method ordering DeepCNN < SDM-PEB < FNO < DeePEB «
+TEMPO-resist.  This experiment times the rigorous solver and every
+untrained surrogate's forward pass on one clip and reports the speedup
+factors (absolute numbers differ on the numpy substrate; the ordering
+and the orders-of-magnitude gap are the reproduced shape).
+
+Run:  python -m repro.experiments.runtime [--quick]
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import nn
+from repro.data import simulate_clip
+from repro.tensor import Tensor, no_grad
+from .harness import ExperimentSettings, TABLE2_METHODS, build_method
+
+
+@dataclass
+class RuntimeRow:
+    name: str
+    seconds: float
+    speedup_vs_rigorous: float
+
+
+def time_forward(model, acid: np.ndarray, repeats: int = 3) -> float:
+    """Best-of-N forward wall time on one clip."""
+    x = Tensor(acid[None])
+    with no_grad():
+        model(x)  # warm-up
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            model(x)
+            times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def run(settings: ExperimentSettings | None = None) -> tuple[float, list[RuntimeRow]]:
+    """Returns (rigorous seconds, per-method runtime rows)."""
+    settings = settings if settings is not None else ExperimentSettings()
+    sample = simulate_clip(settings.base_seed, settings.config,
+                           time_step_s=settings.time_step_s)
+    rigorous = sample.rigorous_seconds
+    rows = []
+    for name in TABLE2_METHODS:
+        nn.init.seed(settings.init_seed)
+        model, _ = build_method(name, settings.config.grid)
+        seconds = time_forward(model, sample.acid)
+        rows.append(RuntimeRow(name, seconds, rigorous / seconds))
+    return rigorous, rows
+
+
+def format_table(rigorous: float, rows: list[RuntimeRow]) -> str:
+    header = f"{'Solver':<16} {'RT (s)':>10} {'speedup':>9}"
+    lines = [header, "-" * len(header),
+             f"{'Rigorous (ours)':<16} {rigorous:>10.3f} {'1x':>9}"]
+    for row in rows:
+        lines.append(f"{row.name:<16} {row.seconds:>10.3f} "
+                     f"{row.speedup_vs_rigorous:>8.0f}x")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args(argv)
+    settings = ExperimentSettings.quick() if args.quick else ExperimentSettings.full()
+    rigorous, rows = run(settings)
+    print(format_table(rigorous, rows))
+    return rigorous, rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Table II: comparison of learned PEB solvers.
+
+Regenerates the paper's headline table — inhibitor RMSE/NRMSE,
+development-rate RMSE/NRMSE, CD error in x/y and runtime for DeepCNN,
+TEMPO-resist, FNO, DeePEB and SDM-PEB on a shared dataset and split.
+
+Run:  python -m repro.experiments.table2 [--quick] [--verbose]
+"""
+
+from __future__ import annotations
+
+from .harness import (
+    ExperimentSettings, MethodResult, TABLE2_METHODS, build_method, run_methods,
+)
+
+HEADER = (f"{'Methodologies':<16} {'RMSE(e-3)':>10} {'NRMSE(%)':>9} "
+          f"{'R-RMSE':>8} {'R-NRMSE(%)':>10} {'CDx(nm)':>8} {'CDy(nm)':>8} {'RT(s)':>7}")
+
+
+def format_row(result: MethodResult) -> str:
+    """One paper-style table row."""
+    return (f"{result.name:<16} {result.inhibitor_rmse * 1e3:>10.2f} "
+            f"{result.inhibitor_nrmse * 100:>9.2f} {result.rate_rmse:>8.3f} "
+            f"{result.rate_nrmse * 100:>10.2f} {result.cd_error_x:>8.2f} "
+            f"{result.cd_error_y:>8.2f} {result.runtime_s:>7.3f}")
+
+
+def format_table(results: list[MethodResult]) -> str:
+    """The full table as text."""
+    lines = [HEADER, "-" * len(HEADER)]
+    lines.extend(format_row(r) for r in results)
+    return "\n".join(lines)
+
+
+def run(settings: ExperimentSettings | None = None, verbose: bool = False,
+        return_trainers: bool = False):
+    """Train and evaluate all five Table II methods."""
+    settings = settings if settings is not None else ExperimentSettings()
+    return run_methods(TABLE2_METHODS, build_method, settings, verbose=verbose,
+                       return_trainers=return_trainers)
+
+
+def main(argv=None) -> list[MethodResult]:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="tiny smoke-scale run")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    settings = ExperimentSettings.quick() if args.quick else ExperimentSettings.full()
+    results = run(settings, verbose=args.verbose)
+    print(format_table(results))
+    return results
+
+
+if __name__ == "__main__":
+    main()

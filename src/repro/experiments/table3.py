@@ -1,0 +1,55 @@
+"""Table III: ablation study on SDM-PEB's components.
+
+Variants: Single Layer Encoder, 2-D Scan, w/o. Focal Loss,
+w/o. Regularization, and the full SDM-PEB.  An extra
+"Non-overlapped Merging" row covers the Fig. 3 design choice.
+
+Run:  python -m repro.experiments.table3 [--quick] [--verbose]
+"""
+
+from __future__ import annotations
+
+from .harness import ExperimentSettings, MethodResult, build_ablation, run_methods
+
+#: paper rows plus two extension rows (Fig. 3 merging; LTI-vs-selective SSM)
+ABLATIONS = ("Single Layer Encoder", "2-D Scan", "w/o. Focal Loss",
+             "w/o. Regularization", "Non-overlapped Merging", "LTI SSM",
+             "SDM-PEB")
+
+HEADER = (f"{'Methodologies':<24} {'NRMSE-I(%)':>10} {'NRMSE-R(%)':>10} "
+          f"{'CDx(nm)':>8} {'CDy(nm)':>8}")
+
+
+def format_row(result: MethodResult) -> str:
+    return (f"{result.name:<24} {result.inhibitor_nrmse * 100:>10.2f} "
+            f"{result.rate_nrmse * 100:>10.2f} {result.cd_error_x:>8.2f} "
+            f"{result.cd_error_y:>8.2f}")
+
+
+def format_table(results: list[MethodResult]) -> str:
+    lines = [HEADER, "-" * len(HEADER)]
+    lines.extend(format_row(r) for r in results)
+    return "\n".join(lines)
+
+
+def run(settings: ExperimentSettings | None = None, verbose: bool = False,
+        ablations=ABLATIONS) -> list[MethodResult]:
+    settings = settings if settings is not None else ExperimentSettings()
+    return run_methods(ablations, build_ablation, settings, verbose=verbose)
+
+
+def main(argv=None) -> list[MethodResult]:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    settings = ExperimentSettings.quick() if args.quick else ExperimentSettings.full()
+    results = run(settings, verbose=args.verbose)
+    print(format_table(results))
+    return results
+
+
+if __name__ == "__main__":
+    main()

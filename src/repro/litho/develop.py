@@ -1,0 +1,33 @@
+"""Mack development-rate model (Eq. 5 of the paper).
+
+Converts the post-bake inhibitor distribution into a local development
+rate R(x, y, z):
+
+    R = R_max * (a + 1)(1 - [I])^n / (a + (1 - [I])^n) + R_min,
+    a = (1 - M_th)^n * (n + 1) / (n - 1).
+
+(Note: the paper's Eq. 5 prints the denominator as ``a + (1-[n])^n``;
+that is a typesetting slip for ``(1-[I])^n`` — the standard Mack form.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DevelopConfig
+
+
+def mack_a(develop: DevelopConfig) -> float:
+    """The Mack `a` constant derived from threshold and reaction order."""
+    n = develop.reaction_order
+    return (1.0 - develop.threshold) ** n * (n + 1.0) / (n - 1.0)
+
+
+def development_rate(inhibitor: np.ndarray, develop: DevelopConfig) -> np.ndarray:
+    """Local development rate in nm/s from normalized inhibitor in [0, 1]."""
+    m = np.clip(inhibitor, 0.0, 1.0)
+    n = develop.reaction_order
+    a = mack_a(develop)
+    deprotected = (1.0 - m) ** n
+    rate = develop.r_max_nm_s * (a + 1.0) * deprotected / (a + deprotected) + develop.r_min_nm_s
+    return rate

@@ -1,0 +1,21 @@
+"""Dill exposure model: aerial image → initial photoacid distribution.
+
+In positive-tone CAR, exposure decomposes the photoacid generator; the
+Dill model gives the local PAG conversion as
+``[A]_0 = 1 - exp(-C * dose * I)``, with ``I`` the local aerial-image
+intensity.  The result is the normalized initial acid latent image that
+the PEB solver (and the learned surrogates) take as input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ExposureConfig
+
+
+def initial_photoacid(aerial_image: np.ndarray, exposure: ExposureConfig) -> np.ndarray:
+    """Normalized initial photoacid concentration in [0, 1)."""
+    if np.any(aerial_image < 0):
+        raise ValueError("aerial image intensity must be non-negative")
+    return 1.0 - np.exp(-exposure.dill_c * exposure.dose_mj_cm2 * aerial_image)

@@ -1,0 +1,39 @@
+"""Evaluation metrics (Section II-C of the paper).
+
+RMSE (Eq. 12), NRMSE (Eq. 13) over inhibitor and development-rate
+volumes, and the CD-error RMS (Eq. 14) which lives with the profile
+code in :mod:`repro.litho.profile`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rmse(predicted: np.ndarray, reference: np.ndarray) -> float:
+    """Root mean squared error over all voxels (Eq. 12)."""
+    predicted, reference = np.asarray(predicted), np.asarray(reference)
+    if predicted.shape != reference.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {reference.shape}")
+    return float(np.sqrt(np.mean((predicted - reference) ** 2)))
+
+
+def nrmse(predicted: np.ndarray, reference: np.ndarray) -> float:
+    """Frobenius-normalized RMSE (Eq. 13), as a fraction (not %)."""
+    predicted, reference = np.asarray(predicted), np.asarray(reference)
+    if predicted.shape != reference.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {reference.shape}")
+    denominator = float(np.linalg.norm(reference.reshape(-1)))
+    if denominator == 0.0:
+        raise ValueError("reference volume has zero norm")
+    return float(np.linalg.norm((predicted - reference).reshape(-1)) / denominator)
+
+
+def batch_mean(metric, predicted_batch, reference_batch) -> float:
+    """Average a per-volume metric over a batch of volumes."""
+    if len(predicted_batch) != len(reference_batch):
+        raise ValueError("batch lengths differ")
+    if len(predicted_batch) == 0:
+        raise ValueError("empty batch")
+    values = [metric(p, r) for p, r in zip(predicted_batch, reference_batch)]
+    return float(np.mean(values))

@@ -1,0 +1,21 @@
+"""Neural-network library built on :mod:`repro.tensor`."""
+
+from .module import Module, Parameter, Sequential, ModuleList, Identity
+from .linear import Linear, MLP
+from .conv import Conv1d, Conv3d, ConvTranspose3d, DepthwiseConv3d
+from .norm import LayerNorm, ChannelLayerNorm
+from .attention import EfficientSpatialSelfAttention
+from .optim import Optimizer, SGD, Adam, clip_grad_norm
+from .scheduler import StepDecay, CosineDecay
+from . import init
+
+__all__ = [
+    "Module", "Parameter", "Sequential", "ModuleList", "Identity",
+    "Linear", "MLP",
+    "Conv1d", "Conv3d", "ConvTranspose3d", "DepthwiseConv3d",
+    "LayerNorm", "ChannelLayerNorm",
+    "EfficientSpatialSelfAttention",
+    "Optimizer", "SGD", "Adam", "clip_grad_norm",
+    "StepDecay", "CosineDecay",
+    "init",
+]

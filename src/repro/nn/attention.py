@@ -1,0 +1,71 @@
+"""Efficient spatial self-attention (Eq. 15 of the paper).
+
+The photoacid volumes are too large for O(L^2) attention, so keys and
+values are sequence-reduced by a ratio ``r`` before attending, following
+SegFormer/PVT: the key sequence of length ``L`` with ``C`` channels is
+reshaped to ``L/r`` tokens of ``C*r`` features and projected back to
+``C``, giving O(L^2 / r) attention cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import tensor as T
+from repro.tensor import functional as F
+from .linear import Linear
+from .module import Module
+
+
+class EfficientSpatialSelfAttention(Module):
+    """Multi-head self-attention over (B, N, C) with K/V sequence reduction.
+
+    Parameters
+    ----------
+    dim:
+        Token feature dimension ``C``.
+    num_heads:
+        Number of attention heads; must divide ``dim``.
+    reduction_ratio:
+        ``r`` in Eq. 15 — the K/V sequence is shortened by this factor.
+        The token count ``N`` must be divisible by ``r``.
+    """
+
+    def __init__(self, dim: int, num_heads: int = 1, reduction_ratio: int = 1):
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.reduction_ratio = reduction_ratio
+        self.q_proj = Linear(dim, dim)
+        self.kv_proj = Linear(dim, 2 * dim)
+        self.out_proj = Linear(dim, dim)
+        if reduction_ratio > 1:
+            self.sr_proj = Linear(dim * reduction_ratio, dim)
+        else:
+            self.sr_proj = None
+
+    def _reduce(self, x):
+        """Apply the Eq. 15 sequence reduction to (B, N, C)."""
+        if self.reduction_ratio == 1:
+            return x
+        b, n, c = x.shape
+        if n % self.reduction_ratio:
+            raise ValueError(f"sequence length {n} not divisible by reduction ratio {self.reduction_ratio}")
+        folded = T.reshape(x, (b, n // self.reduction_ratio, c * self.reduction_ratio))
+        return self.sr_proj(folded)
+
+    def forward(self, x):
+        b, n, c = x.shape
+        q = T.reshape(self.q_proj(x), (b, n, self.num_heads, self.head_dim))
+        reduced = self._reduce(x)
+        m = reduced.shape[1]
+        kv = T.reshape(self.kv_proj(reduced), (b, m, 2, self.num_heads, self.head_dim))
+        k = T.reshape(kv[:, :, 0], (b, m, self.num_heads, self.head_dim))
+        v = T.reshape(kv[:, :, 1], (b, m, self.num_heads, self.head_dim))
+        scores = T.einsum("bnhd,bmhd->bhnm", q, k) * (1.0 / np.sqrt(self.head_dim))
+        weights = F.softmax(scores, axis=-1)
+        attended = T.einsum("bhnm,bmhd->bnhd", weights, v)
+        return self.out_proj(T.reshape(attended, (b, n, c)))

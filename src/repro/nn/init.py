@@ -1,0 +1,51 @@
+"""Weight initialization schemes.
+
+A module-level seeded generator keeps model construction reproducible;
+call :func:`seed` before building a model to get deterministic weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_rng = np.random.default_rng(0)
+
+
+def seed(value: int) -> None:
+    """Reset the global initialization RNG (deterministic model builds)."""
+    global _rng
+    _rng = np.random.default_rng(value)
+
+
+def get_rng() -> np.random.Generator:
+    """The generator used for all weight initialization."""
+    return _rng
+
+
+def kaiming_uniform(shape, fan_in: int, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He/Kaiming uniform initialization."""
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return _rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return _rng.uniform(-bound, bound, size=shape)
+
+
+def normal(shape, std: float = 0.02) -> np.ndarray:
+    """Truncation-free normal initialization (transformer embeddings)."""
+    return _rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape)
+
+
+def uniform(shape, low: float, high: float) -> np.ndarray:
+    return _rng.uniform(low, high, size=shape)

@@ -1,0 +1,39 @@
+"""Dense layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import tensor as T
+from repro.tensor import functional as F
+from . import init
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W^T + b`` applied to the last dimension."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), fan_in=in_features, gain=1.0))
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, x):
+        out = T.matmul(x, T.transpose(self.weight))
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class MLP(Module):
+    """Two-layer feed-forward block with GELU, used as the encoder FFN."""
+
+    def __init__(self, dim: int, hidden_dim: int, out_dim: int | None = None):
+        super().__init__()
+        self.fc1 = Linear(dim, hidden_dim)
+        self.fc2 = Linear(hidden_dim, out_dim if out_dim is not None else dim)
+
+    def forward(self, x):
+        return self.fc2(F.gelu(self.fc1(x)))

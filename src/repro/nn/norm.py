@@ -1,0 +1,41 @@
+"""Normalization modules."""
+
+from __future__ import annotations
+
+from repro.tensor import functional as F
+from . import init
+from .module import Module, Parameter
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension with affine parameters."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(init.ones(dim))
+        self.bias = Parameter(init.zeros(dim))
+
+    def forward(self, x):
+        return F.layer_norm(x, self.weight, self.bias, axis=-1, eps=self.eps)
+
+
+class ChannelLayerNorm(Module):
+    """LayerNorm over the channel axis of a channel-first tensor.
+
+    Accepts (B, C, ...) layouts; normalizes over C per position.  Used
+    where the SDM-PEB block diagram places a LayerNorm on feature maps.
+    """
+
+    def __init__(self, channels: int, eps: float = 1e-5):
+        super().__init__()
+        self.channels = channels
+        self.eps = eps
+        self.weight = Parameter(init.ones(channels))
+        self.bias = Parameter(init.zeros(channels))
+
+    def forward(self, x):
+        moved = x.moveaxis(1, -1)
+        normed = F.layer_norm(moved, self.weight, self.bias, axis=-1, eps=self.eps)
+        return normed.moveaxis(-1, 1)

@@ -1,0 +1,90 @@
+"""Optimizers operating on :class:`~repro.nn.module.Parameter` lists."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Optimizer:
+    """Base optimizer: holds parameters and a mutable learning rate."""
+
+    def __init__(self, parameters, lr: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters, lr: float, momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                grad = v
+            p.data = p.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with decoupled epsilon and optional weight decay (AdamW style)."""
+
+    def __init__(self, parameters, lr: float = 1e-3, betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * p.data
+            p.data = p.data - self.lr * update
+
+
+def clip_grad_norm(parameters, max_norm: float) -> float:
+    """Scale gradients in-place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm, useful for logging training health.
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in parameters)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for p in parameters:
+            p.grad = p.grad * scale
+    return total

@@ -1,0 +1,60 @@
+"""Learning-rate schedulers.
+
+The paper trains with "a step decay scheduler, beginning at a learning
+rate of 0.03 with a step size of 100 and a decay factor of 0.7";
+:class:`StepDecay` implements exactly that schedule.
+"""
+
+from __future__ import annotations
+
+from .optim import Optimizer
+
+
+class StepDecay:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch and update the optimizer's learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.lr_at(self.epoch)
+
+    def lr_at(self, epoch: int) -> float:
+        """Learning rate the schedule assigns to ``epoch``."""
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineDecay:
+    """Cosine annealing from the base LR to ``min_lr`` over ``total_epochs``.
+
+    Not used by the headline experiments but handy for ablations.
+    """
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0):
+        import math
+
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        self._math = math
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.lr_at(self.epoch)
+
+    def lr_at(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        cos = 0.5 * (1.0 + self._math.cos(self._math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cos

@@ -1,0 +1,16 @@
+"""State-space model components: HiPPO init, selective scan, Mamba SSM."""
+
+from .hippo import hippo_legs_matrix, s4d_real_init, dt_init
+from .scan import (
+    diagonal_scan, run_scan, scan_sequential, scan_chunked, SCAN_MODES, DEFAULT_CHUNK,
+)
+from .mamba import SelectiveSSM
+from .s4d import LTISSM, lti_kernel, causal_conv_fft
+
+__all__ = [
+    "hippo_legs_matrix", "s4d_real_init", "dt_init",
+    "diagonal_scan", "run_scan", "scan_sequential", "scan_chunked",
+    "SCAN_MODES", "DEFAULT_CHUNK",
+    "SelectiveSSM",
+    "LTISSM", "lti_kernel", "causal_conv_fft",
+]

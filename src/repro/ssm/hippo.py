@@ -1,0 +1,49 @@
+"""HiPPO-based initialization for state-space models.
+
+The paper initializes the SSM evolution matrix A "using HiPPO matrix"
+(Section II-B).  Mamba and S4D use the diagonal real part of the
+HiPPO-LegS spectrum, ``A_n = -(n+1)`` — provided here as
+:func:`s4d_real_init` — while the full LegS matrix is kept for reference
+and for validating the diagonal approximation in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hippo_legs_matrix(state_dim: int) -> np.ndarray:
+    """The full HiPPO-LegS matrix (Gu et al., 2020).
+
+    ``A[n, k] = -sqrt((2n+1)(2k+1))`` for ``n > k``, ``-(n+1)`` on the
+    diagonal, and ``0`` above it.
+    """
+    n = np.arange(state_dim)
+    rows, cols = np.meshgrid(n, n, indexing="ij")
+    lower = -np.sqrt((2 * rows + 1) * (2 * cols + 1))
+    matrix = np.where(rows > cols, lower, 0.0)
+    np.fill_diagonal(matrix, -(n + 1.0))
+    return matrix
+
+
+def s4d_real_init(channels: int, state_dim: int) -> np.ndarray:
+    """Diagonal real HiPPO init: ``A[c, n] = -(n+1)`` for every channel.
+
+    Returned as the raw negative matrix; modules typically store
+    ``log(-A)`` so positivity of the decay is preserved under training.
+    """
+    diag = -(np.arange(state_dim, dtype=np.float64) + 1.0)
+    return np.tile(diag, (channels, 1))
+
+
+def dt_init(channels: int, dt_min: float = 1e-3, dt_max: float = 1e-1,
+            rng: np.random.Generator | None = None) -> np.ndarray:
+    """Log-uniform timestep-bias initialization (S4/Mamba convention).
+
+    Returns the *pre-softplus* bias such that
+    ``softplus(bias) ~ LogUniform(dt_min, dt_max)``.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    dt = np.exp(rng.uniform(np.log(dt_min), np.log(dt_max), size=channels))
+    # inverse of softplus
+    return dt + np.log(-np.expm1(-dt))

@@ -1,0 +1,50 @@
+"""Finite-difference gradient checking for the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numeric_gradient(fn, inputs: list[np.ndarray], index: int, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of scalar ``fn`` w.r.t. input ``index``.
+
+    ``fn`` maps a list of Tensors to a scalar Tensor.
+    """
+    base = [np.array(x, dtype=np.float64) for x in inputs]
+    grad = np.zeros_like(base[index])
+    flat = base[index].reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn([Tensor(b) for b in base]).data)
+        flat[i] = original - eps
+        minus = float(fn([Tensor(b) for b in base]).data)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(fn, inputs: list[np.ndarray], eps: float = 1e-6, atol: float = 1e-5, rtol: float = 1e-4) -> bool:
+    """Compare autograd gradients against finite differences.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch; a
+    True return means every input gradient matched.
+    """
+    tensors = [Tensor(np.array(x, dtype=np.float64), requires_grad=True) for x in inputs]
+    out = fn(tensors)
+    if out.size != 1:
+        raise ValueError("gradcheck requires a scalar-valued function")
+    out.backward()
+    for i, t in enumerate(tensors):
+        expected = numeric_gradient(fn, inputs, i, eps=eps)
+        actual = t.grad if t.grad is not None else np.zeros_like(expected)
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(actual - expected))
+            raise AssertionError(
+                f"gradcheck failed for input {i}: max abs err {worst:.3e}\n"
+                f"autograd:\n{actual}\nnumeric:\n{expected}"
+            )
+    return True

@@ -1,0 +1,253 @@
+"""Convolution primitives (1D/3D, grouped, transposed) with backward rules.
+
+All convolutions are implemented with a loop over kernel offsets: for a
+``kd x kh x kw`` kernel the forward pass is ``kd*kh*kw`` strided einsums,
+which is both memory-friendly (no im2col blowup) and fast for the small
+kernels used in this project.  The same offset loop, run in scatter mode,
+yields the input gradient and the transposed convolution.
+
+Shape conventions follow torch:
+
+* ``conv3d``:            x ``(B, Cin, D, H, W)``, w ``(Cout, Cin/G, kd, kh, kw)``
+* ``conv_transpose3d``:  x ``(B, Cin, D, H, W)``, w ``(Cin, Cout/G, kd, kh, kw)``
+* ``conv1d``:            x ``(B, Cin, L)``,       w ``(Cout, Cin/G, k)``
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from .tensor import Tensor, ensure_tensor
+
+
+def _triple(value) -> tuple[int, int, int]:
+    if isinstance(value, (tuple, list)):
+        if len(value) != 3:
+            raise ValueError(f"expected 3 values, got {value!r}")
+        return tuple(int(v) for v in value)
+    return (int(value),) * 3
+
+
+def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def _grouped(x: np.ndarray, groups: int) -> np.ndarray:
+    """View (B, C, *spatial) as (B, G, C/G, *spatial)."""
+    b, c = x.shape[:2]
+    return x.reshape(b, groups, c // groups, *x.shape[2:])
+
+
+def _pad_spatial(x: np.ndarray, padding) -> np.ndarray:
+    pd, ph, pw = padding
+    if pd == ph == pw == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (pd, pd), (ph, ph), (pw, pw)))
+
+
+def _offset_slices(offset, stride, out_sizes):
+    """Slices selecting the input positions hit by a kernel offset."""
+    return tuple(
+        slice(o, o + s * n, s) for o, s, n in zip(offset, stride, out_sizes)
+    )
+
+
+def conv3d_forward(x: np.ndarray, w: np.ndarray, stride, padding, groups: int) -> np.ndarray:
+    """Raw-numpy grouped 3D cross-correlation."""
+    stride, padding = _triple(stride), _triple(padding)
+    xp = _pad_spatial(x, padding)
+    cout, cg, kd, kh, kw = w.shape
+    out_sizes = tuple(
+        _out_size(x.shape[2 + i], (kd, kh, kw)[i], stride[i], padding[i]) for i in range(3)
+    )
+    xg = _grouped(xp, groups)
+    wg = w.reshape(groups, cout // groups, cg, kd, kh, kw)
+    out = np.zeros((x.shape[0], groups, cout // groups) + out_sizes, dtype=x.dtype)
+    for offset in itertools.product(range(kd), range(kh), range(kw)):
+        sl = _offset_slices(offset, stride, out_sizes)
+        patch = xg[(slice(None), slice(None), slice(None)) + sl]
+        out += np.einsum("bgcdhw,goc->bgodhw", patch, wg[:, :, :, offset[0], offset[1], offset[2]])
+    return out.reshape(x.shape[0], cout, *out_sizes)
+
+
+def conv3d_grad_input(gout: np.ndarray, w: np.ndarray, x_shape, stride, padding, groups: int) -> np.ndarray:
+    """Gradient of :func:`conv3d_forward` w.r.t. its input."""
+    stride, padding = _triple(stride), _triple(padding)
+    cout, cg, kd, kh, kw = w.shape
+    b = x_shape[0]
+    padded_shape = tuple(x_shape[2 + i] + 2 * padding[i] for i in range(3))
+    out_sizes = gout.shape[2:]
+    gg = _grouped(gout, groups)
+    wg = w.reshape(groups, cout // groups, cg, kd, kh, kw)
+    gxp = np.zeros((b, groups, cg) + padded_shape, dtype=gout.dtype)
+    for offset in itertools.product(range(kd), range(kh), range(kw)):
+        sl = _offset_slices(offset, stride, out_sizes)
+        gxp[(slice(None), slice(None), slice(None)) + sl] += np.einsum(
+            "bgodhw,goc->bgcdhw", gg, wg[:, :, :, offset[0], offset[1], offset[2]]
+        )
+    pd, ph, pw = padding
+    crop = (
+        slice(pd, gxp.shape[3] - pd),
+        slice(ph, gxp.shape[4] - ph),
+        slice(pw, gxp.shape[5] - pw),
+    )
+    return gxp[(slice(None), slice(None), slice(None)) + crop].reshape(x_shape)
+
+
+def conv3d_grad_weight(gout: np.ndarray, x: np.ndarray, w_shape, stride, padding, groups: int) -> np.ndarray:
+    """Gradient of :func:`conv3d_forward` w.r.t. the weight."""
+    stride, padding = _triple(stride), _triple(padding)
+    cout, cg, kd, kh, kw = w_shape
+    xp = _pad_spatial(x, padding)
+    xg = _grouped(xp, groups)
+    gg = _grouped(gout, groups)
+    out_sizes = gout.shape[2:]
+    gw = np.zeros((groups, cout // groups, cg, kd, kh, kw), dtype=x.dtype)
+    for offset in itertools.product(range(kd), range(kh), range(kw)):
+        sl = _offset_slices(offset, stride, out_sizes)
+        patch = xg[(slice(None), slice(None), slice(None)) + sl]
+        gw[:, :, :, offset[0], offset[1], offset[2]] = np.einsum("bgodhw,bgcdhw->goc", gg, patch)
+    return gw.reshape(w_shape)
+
+
+def conv_transpose3d_forward(x: np.ndarray, w: np.ndarray, stride, padding, output_padding, groups: int) -> np.ndarray:
+    """Raw-numpy grouped transposed 3D convolution (scatter form)."""
+    stride, padding, output_padding = _triple(stride), _triple(padding), _triple(output_padding)
+    cin, og, kd, kh, kw = w.shape
+    in_sizes = x.shape[2:]
+    full_sizes = tuple(
+        (in_sizes[i] - 1) * stride[i] + (kd, kh, kw)[i] + output_padding[i] for i in range(3)
+    )
+    xg = _grouped(x, groups)
+    wg = w.reshape(groups, cin // groups, og, kd, kh, kw)
+    full = np.zeros((x.shape[0], groups, og) + full_sizes, dtype=x.dtype)
+    for offset in itertools.product(range(kd), range(kh), range(kw)):
+        sl = _offset_slices(offset, stride, in_sizes)
+        full[(slice(None), slice(None), slice(None)) + sl] += np.einsum(
+            "bgcdhw,gco->bgodhw", xg, wg[:, :, :, offset[0], offset[1], offset[2]]
+        )
+    pd, ph, pw = padding
+    crop = (
+        slice(pd, full_sizes[0] - pd),
+        slice(ph, full_sizes[1] - ph),
+        slice(pw, full_sizes[2] - pw),
+    )
+    out = full[(slice(None), slice(None), slice(None)) + crop]
+    return out.reshape(x.shape[0], groups * og, *out.shape[3:])
+
+
+def conv_transpose3d_grad_input(gout: np.ndarray, w: np.ndarray, x_shape, stride, padding, output_padding, groups: int) -> np.ndarray:
+    """Gradient of :func:`conv_transpose3d_forward` w.r.t. its input."""
+    stride, padding, output_padding = _triple(stride), _triple(padding), _triple(output_padding)
+    cin, og, kd, kh, kw = w.shape
+    in_sizes = x_shape[2:]
+    full_sizes = tuple(
+        (in_sizes[i] - 1) * stride[i] + (kd, kh, kw)[i] + output_padding[i] for i in range(3)
+    )
+    pd, ph, pw = padding
+    gfull = np.zeros((x_shape[0], groups * og) + full_sizes, dtype=gout.dtype)
+    gfull[:, :, pd:full_sizes[0] - pd, ph:full_sizes[1] - ph, pw:full_sizes[2] - pw] = gout
+    gg = _grouped(gfull, groups)
+    wg = w.reshape(groups, cin // groups, og, kd, kh, kw)
+    gx = np.zeros((x_shape[0], groups, cin // groups) + tuple(in_sizes), dtype=gout.dtype)
+    for offset in itertools.product(range(kd), range(kh), range(kw)):
+        sl = _offset_slices(offset, stride, in_sizes)
+        gx += np.einsum(
+            "bgodhw,gco->bgcdhw",
+            gg[(slice(None), slice(None), slice(None)) + sl],
+            wg[:, :, :, offset[0], offset[1], offset[2]],
+        )
+    return gx.reshape(x_shape)
+
+
+def conv_transpose3d_grad_weight(gout: np.ndarray, x: np.ndarray, w_shape, stride, padding, output_padding, groups: int) -> np.ndarray:
+    """Gradient of :func:`conv_transpose3d_forward` w.r.t. the weight."""
+    stride, padding, output_padding = _triple(stride), _triple(padding), _triple(output_padding)
+    cin, og, kd, kh, kw = w_shape
+    in_sizes = x.shape[2:]
+    full_sizes = tuple(
+        (in_sizes[i] - 1) * stride[i] + (kd, kh, kw)[i] + output_padding[i] for i in range(3)
+    )
+    pd, ph, pw = padding
+    gfull = np.zeros((x.shape[0], gout.shape[1]) + full_sizes, dtype=gout.dtype)
+    gfull[:, :, pd:full_sizes[0] - pd, ph:full_sizes[1] - ph, pw:full_sizes[2] - pw] = gout
+    gg = _grouped(gfull, groups)
+    xg = _grouped(x, groups)
+    gw = np.zeros((groups, cin // groups, og, kd, kh, kw), dtype=x.dtype)
+    for offset in itertools.product(range(kd), range(kh), range(kw)):
+        sl = _offset_slices(offset, stride, in_sizes)
+        gw[:, :, :, offset[0], offset[1], offset[2]] = np.einsum(
+            "bgodhw,bgcdhw->gco",
+            gg[(slice(None), slice(None), slice(None)) + sl],
+            xg,
+        )
+    return gw.reshape(w_shape)
+
+
+# ----------------------------------------------------------------------
+# Tensor-level differentiable ops
+# ----------------------------------------------------------------------
+def conv3d(x, w, bias=None, stride=1, padding=0, groups: int = 1) -> Tensor:
+    """Differentiable grouped 3D convolution (cross-correlation)."""
+    x, w = ensure_tensor(x), ensure_tensor(w)
+    out_data = conv3d_forward(x.data, w.data, stride, padding, groups)
+    parents = [
+        (x, lambda g: conv3d_grad_input(g, w.data, x.shape, stride, padding, groups)),
+        (w, lambda g: conv3d_grad_weight(g, x.data, w.shape, stride, padding, groups)),
+    ]
+    out = Tensor.from_op(out_data, parents)
+    if bias is not None:
+        bias = ensure_tensor(bias)
+        from .ops_basic import add
+        from .ops_shape import reshape
+
+        out = add(out, reshape(bias, (1, -1, 1, 1, 1)))
+    return out
+
+
+def conv_transpose3d(x, w, bias=None, stride=1, padding=0, output_padding=0, groups: int = 1) -> Tensor:
+    """Differentiable grouped transposed 3D convolution."""
+    x, w = ensure_tensor(x), ensure_tensor(w)
+    out_data = conv_transpose3d_forward(x.data, w.data, stride, padding, output_padding, groups)
+    parents = [
+        (x, lambda g: conv_transpose3d_grad_input(g, w.data, x.shape, stride, padding, output_padding, groups)),
+        (w, lambda g: conv_transpose3d_grad_weight(g, x.data, w.shape, stride, padding, output_padding, groups)),
+    ]
+    out = Tensor.from_op(out_data, parents)
+    if bias is not None:
+        bias = ensure_tensor(bias)
+        from .ops_basic import add
+        from .ops_shape import reshape
+
+        out = add(out, reshape(bias, (1, -1, 1, 1, 1)))
+    return out
+
+
+def conv1d(x, w, bias=None, stride: int = 1, padding: int = 0, groups: int = 1) -> Tensor:
+    """Differentiable grouped 1D convolution, routed through conv3d."""
+    from .ops_shape import reshape
+
+    x, w = ensure_tensor(x), ensure_tensor(w)
+    b, c, length = x.shape
+    cout, cg, k = w.shape
+    x3 = reshape(x, (b, c, 1, 1, length))
+    w3 = reshape(w, (cout, cg, 1, 1, k))
+    out = conv3d(x3, w3, bias=bias, stride=(1, 1, stride), padding=(0, 0, padding), groups=groups)
+    return reshape(out, (b, cout, out.shape[-1]))
+
+
+def upsample_nearest3d(x, scale) -> Tensor:
+    """Nearest-neighbour upsampling of a (B, C, D, H, W) tensor."""
+    from .ops_shape import repeat_interleave
+
+    sd, sh, sw = _triple(scale)
+    out = x
+    if sd > 1:
+        out = repeat_interleave(out, sd, axis=2)
+    if sh > 1:
+        out = repeat_interleave(out, sh, axis=3)
+    if sw > 1:
+        out = repeat_interleave(out, sw, axis=4)
+    return out

@@ -1,0 +1,237 @@
+"""Core reverse-mode autograd tensor.
+
+This module provides the :class:`Tensor` class — an ndarray wrapper that
+records the operations applied to it so gradients can be computed with
+:meth:`Tensor.backward`.  The design mirrors the classic define-by-run
+tape: every differentiable operation creates a new tensor whose
+``_parents`` list holds ``(parent_tensor, vjp)`` pairs, where ``vjp`` maps
+the output gradient to the contribution to that parent's gradient.
+
+The engine is deliberately small and explicit: the full operator set
+lives in the sibling ``ops_*`` modules which attach methods onto
+:class:`Tensor` when :mod:`repro.tensor` is imported.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+import numpy as np
+
+DEFAULT_DTYPE = np.float64
+
+_state = threading.local()
+
+
+def _grad_enabled() -> bool:
+    return getattr(_state, "grad_enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient recording.
+
+    Operations executed inside the block create constant tensors with no
+    tape, which is both faster and lighter on memory.  Used by
+    evaluation loops and optimizer update steps.
+    """
+    previous = _grad_enabled()
+    _state.grad_enabled = False
+    try:
+        yield
+    finally:
+        _state.grad_enabled = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations are currently being recorded."""
+    return _grad_enabled()
+
+
+def as_array(value, dtype=DEFAULT_DTYPE) -> np.ndarray:
+    """Coerce ``value`` (scalar, sequence, ndarray or Tensor) to ndarray."""
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A multidimensional array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a numpy array.
+    requires_grad:
+        If True, gradients will be accumulated into ``self.grad`` when
+        :meth:`backward` is called on a downstream scalar.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "name")
+
+    # Let Tensor win against ndarray in mixed binary ops.
+    __array_priority__ = 200
+
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
+        self.data = as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._parents: list[tuple[Tensor, object]] = []
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_op(data: np.ndarray, parents) -> "Tensor":
+        """Create the result tensor of an operation.
+
+        ``parents`` is an iterable of ``(tensor, vjp)`` pairs; pairs whose
+        tensor does not require grad are dropped.  When grad recording is
+        globally disabled, or no parent requires grad, the result is a
+        plain constant tensor.
+        """
+        out = Tensor(data)
+        if _grad_enabled():
+            kept = [(p, fn) for p, fn in parents if p.requires_grad]
+            if kept:
+                out.requires_grad = True
+                out._parents = kept
+        return out
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data)
+
+    def copy(self) -> "Tensor":
+        """Return a constant deep copy of this tensor's data."""
+        return Tensor(self.data.copy())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{flag}{label})"
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad=None) -> None:
+        """Backpropagate from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor.  Defaults
+            to ones, which is the conventional seed for scalar losses.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without an explicit gradient requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        else:
+            grad = as_array(grad)
+            if grad.shape != self.data.shape:
+                raise ValueError(f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}")
+
+        order = self._topological_order()
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if not node._parents:
+                # Leaf: accumulate into .grad
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            for parent, vjp in node._parents:
+                contribution = vjp(node_grad)
+                if contribution is None:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + contribution
+                else:
+                    grads[key] = contribution
+
+    def _topological_order(self) -> list["Tensor"]:
+        """Nodes reachable from self, ordered output-to-input."""
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent, _ in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        order.reverse()
+        return order
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+
+def ensure_tensor(value) -> Tensor:
+    """Return ``value`` as a Tensor (constants wrap without grad)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, inverting numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)

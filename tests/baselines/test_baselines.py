@@ -1,0 +1,156 @@
+"""Baseline surrogates: spectral conv correctness and model behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import (
+    DeepCNN, DeepCNNConfig, TempoResist, TempoResistConfig, FNO3d, FNOConfig,
+    DeePEB, DeePEBConfig, SpectralConv3d, spectral_conv3d, coordinate_channels,
+)
+from repro.tensor import Tensor
+from repro.tensor.gradcheck import gradcheck
+
+RNG = np.random.default_rng(23)
+
+
+def rand(*shape):
+    return RNG.standard_normal(shape)
+
+
+class TestSpectralConv:
+    MODES = (1, 2, 2)
+
+    def test_output_real_and_shaped(self):
+        layer = SpectralConv3d(2, 3, self.MODES)
+        out = layer(Tensor(rand(1, 2, 4, 8, 8)))
+        assert out.shape == (1, 3, 4, 8, 8)
+        assert out.dtype == np.float64
+
+    def test_low_pass_behaviour(self):
+        """With identity-like weights the layer passes a DC field through
+        the retained modes only."""
+        layer = SpectralConv3d(1, 1, self.MODES)
+        layer.weight_real.data[:] = 0.0
+        layer.weight_imag.data[:] = 0.0
+        # unit weight on every retained mode: acts like a spectral mask
+        layer.weight_real.data[0, 0] = 1.0
+        constant = Tensor(np.full((1, 1, 4, 8, 8), 2.5))
+        out = layer(constant)
+        assert np.allclose(out.data, 2.5, atol=1e-9)  # DC is retained
+
+    def test_truncation_removes_high_frequency(self):
+        layer = SpectralConv3d(1, 1, self.MODES)
+        layer.weight_real.data[:] = 0.0
+        layer.weight_imag.data[:] = 0.0
+        layer.weight_real.data[0, 0] = 1.0
+        x = np.zeros((1, 1, 4, 8, 8))
+        x[0, 0] += np.cos(np.pi * np.arange(8))[None, None, :]  # Nyquist in x
+        out = layer(Tensor(x))
+        assert np.abs(out.data).max() < 1e-9
+
+    def test_gradcheck(self):
+        w = rand(1, 2, 2, 4, 4)
+        gradcheck(
+            lambda ts: (spectral_conv3d(ts[0], ts[1], ts[2], (1, 1, 1)) * w).sum(),
+            [rand(1, 1, 2, 4, 4), rand(2, 1, 8, 1, 1, 1), rand(2, 1, 8, 1, 1, 1)],
+            atol=1e-4,
+        )
+
+    def test_modes_too_large_raises(self):
+        layer = SpectralConv3d(1, 1, (4, 2, 2))
+        with pytest.raises(ValueError):
+            layer(Tensor(rand(1, 1, 4, 8, 8)))
+
+    def test_coordinate_channels(self):
+        coords = coordinate_channels((2, 3, 4))
+        assert coords.shape == (3, 2, 3, 4)
+        assert coords.min() == 0.0 and coords.max() == 1.0
+        assert np.all(np.diff(coords[2], axis=2) > 0)
+
+
+def tiny_models():
+    nn.init.seed(31)
+    return [
+        ("DeepCNN", DeepCNN(DeepCNNConfig(width=6, num_blocks=1))),
+        ("TEMPO-resist", TempoResist(TempoResistConfig(width=4, depth_levels=4))),
+        ("FNO", FNO3d(FNOConfig(width=6, num_layers=1, modes=(1, 2, 2)))),
+        ("DeePEB", DeePEB(DeePEBConfig(width=6, num_fourier_layers=1,
+                                       num_cnn_blocks=1, modes=(1, 2, 2)))),
+    ]
+
+
+class TestBaselineModels:
+    @pytest.mark.parametrize("name,model", tiny_models())
+    def test_forward_shape(self, name, model):
+        out = model(Tensor(rand(1, 4, 8, 8)))
+        assert out.shape == (1, 4, 8, 8), name
+
+    @pytest.mark.parametrize("name,model", tiny_models())
+    def test_gradients_flow(self, name, model):
+        model(Tensor(rand(1, 4, 8, 8))).sum().backward()
+        missing = [p_name for p_name, p in model.named_parameters() if p.grad is None]
+        assert not missing, f"{name}: {missing}"
+
+    @pytest.mark.parametrize("name,model", tiny_models())
+    def test_output_stats_affine(self, name, model):
+        x = Tensor(rand(1, 4, 8, 8))
+        base = model(x).data
+        model.set_output_stats(3.0, 2.0)
+        assert np.allclose(model(x).data, base * 2.0 + 3.0), name
+
+    def test_invalid_stats_raise(self):
+        model = DeepCNN(DeepCNNConfig(width=4, num_blocks=1))
+        with pytest.raises(ValueError):
+            model.set_output_stats(0.0, -1.0)
+
+    def test_bad_input_rank_raises(self):
+        model = DeepCNN(DeepCNNConfig(width=4, num_blocks=1))
+        with pytest.raises(ValueError):
+            model(Tensor(rand(4, 8, 8)))
+
+
+class TestTempoDepthIndependence:
+    def test_no_cross_depth_flow(self):
+        """TEMPO-resist is per-slice 2D: perturbing one depth level must
+        leave every other level's output unchanged."""
+        nn.init.seed(33)
+        model = TempoResist(TempoResistConfig(width=4, depth_levels=4))
+        x = rand(1, 4, 8, 8)
+        base = model(Tensor(x)).data
+        perturbed = x.copy()
+        perturbed[0, 1] += 1.0
+        out = model(Tensor(perturbed)).data
+        assert np.allclose(out[0, [0, 2, 3]], base[0, [0, 2, 3]])
+        assert not np.allclose(out[0, 1], base[0, 1])
+
+    def test_depth_overflow_raises(self):
+        model = TempoResist(TempoResistConfig(width=4, depth_levels=2))
+        with pytest.raises(ValueError):
+            model(Tensor(rand(1, 4, 8, 8)))
+
+
+class TestDeepCNNLocality:
+    def test_receptive_field_is_local(self):
+        """A far-away perturbation cannot reach a DeepCNN output voxel."""
+        nn.init.seed(34)
+        model = DeepCNN(DeepCNNConfig(width=4, num_blocks=1))  # RF radius 4
+        x = rand(1, 4, 16, 16)
+        base = model(Tensor(x)).data
+        perturbed = x.copy()
+        perturbed[0, :, 0, 0] += 10.0
+        out = model(Tensor(perturbed)).data
+        assert np.allclose(out[0, :, 15, 15], base[0, :, 15, 15])
+
+
+class TestFNOGlobality:
+    def test_global_receptive_field(self):
+        """A single-voxel perturbation reaches every FNO output voxel."""
+        nn.init.seed(35)
+        model = FNO3d(FNOConfig(width=4, num_layers=1, modes=(1, 2, 2)))
+        x = rand(1, 4, 8, 8)
+        base = model(Tensor(x)).data
+        perturbed = x.copy()
+        perturbed[0, 0, 0, 0] += 10.0
+        out = model(Tensor(perturbed)).data
+        assert np.abs(out - base)[0, -1, -1, -1] > 1e-8

@@ -1,0 +1,21 @@
+"""Shared pytest configuration for the unit-test suite."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# CPU-bound numerical tests easily trip hypothesis' default deadline on
+# loaded machines; disable it suite-wide and keep example counts local.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(autouse=True)
+def _fail_on_numpy_warnings_in_core():
+    """Keep accidental NaN/overflow regressions visible in test output."""
+    with np.errstate(invalid="warn", over="warn"):
+        yield

@@ -1,0 +1,161 @@
+"""Label transform and the three loss terms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import label, losses
+from repro.tensor import Tensor
+
+K_C = 0.9
+RNG = np.random.default_rng(17)
+
+
+def rand(*shape):
+    return RNG.standard_normal(shape)
+
+
+class TestLabelTransform:
+    def test_roundtrip(self):
+        inhibitor = RNG.uniform(0.01, 0.99, size=(4, 8, 8))
+        assert label.roundtrip_error(inhibitor, K_C) < 1e-10
+
+    def test_monotone(self):
+        inhibitor = np.linspace(0.01, 0.99, 50)
+        y = label.inhibitor_to_label(inhibitor, K_C)
+        assert np.all(np.diff(y) > 0.0)
+
+    def test_known_value(self):
+        # [I] = exp(-k_c) gives -ln(I) = k_c, so Y = -ln(1) = 0.
+        inhibitor = np.array([np.exp(-K_C)])
+        assert np.isclose(label.inhibitor_to_label(inhibitor, K_C)[0], 0.0)
+
+    def test_extremes_finite(self):
+        y = label.inhibitor_to_label(np.array([0.0, 1.0]), K_C)
+        assert np.all(np.isfinite(y))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(1e-6, 1.0 - 1e-6))
+    def test_property_inverse(self, value):
+        y = label.inhibitor_to_label(np.array([value]), K_C)
+        back = label.label_to_inhibitor(y, K_C)
+        assert np.isclose(back[0], value, rtol=1e-9)
+
+
+class TestMaxSE:
+    def test_value(self):
+        pred = Tensor(np.array([[1.0, 5.0], [2.0, 2.0]]))
+        target = Tensor(np.array([[1.0, 2.0], [2.0, 2.0]]))
+        assert np.isclose(losses.max_squared_error(pred, target).data, 9.0)
+
+    def test_zero_at_match(self):
+        x = Tensor(rand(3, 3))
+        assert np.isclose(losses.max_squared_error(x, x.copy()).data, 0.0)
+
+    def test_grad_reaches_worst_voxel_only(self):
+        pred = Tensor(np.array([0.0, 3.0, 1.0]), requires_grad=True)
+        target = Tensor(np.zeros(3))
+        losses.max_squared_error(pred, target).backward()
+        assert pred.grad[0] == 0.0 and pred.grad[2] == 0.0 and pred.grad[1] != 0.0
+
+
+class TestFocalLoss:
+    def test_gamma_zero_is_squared_error(self):
+        pred, target = Tensor(rand(2, 3)), Tensor(rand(2, 3))
+        focal = losses.PEBFocalLoss(gamma=0.0, reduction="mean")(pred, target)
+        mse = ((pred.data - target.data) ** 2).mean()
+        assert np.isclose(float(focal.data), mse)
+
+    def test_gamma_one_weights_by_abs_error(self):
+        pred, target = Tensor(np.array([2.0, 0.1])), Tensor(np.zeros(2))
+        out = losses.PEBFocalLoss(gamma=1.0, reduction="sum")(pred, target)
+        assert np.isclose(float(out.data), 2.0 ** 3 + 0.1 ** 3)
+
+    def test_focuses_on_hard_examples(self):
+        """Relative gradient on a large error grows with gamma."""
+        def grad_ratio(gamma):
+            pred = Tensor(np.array([1.0, 0.1]), requires_grad=True)
+            losses.PEBFocalLoss(gamma=gamma, reduction="sum")(pred, Tensor(np.zeros(2))).backward()
+            return pred.grad[0] / pred.grad[1]
+
+        assert grad_ratio(2.0) > grad_ratio(0.0)
+
+    def test_sum_vs_mean(self):
+        pred, target = Tensor(rand(2, 5)), Tensor(rand(2, 5))
+        total = losses.PEBFocalLoss(reduction="sum")(pred, target)
+        mean = losses.PEBFocalLoss(reduction="mean")(pred, target)
+        assert np.isclose(float(total.data), float(mean.data) * 10)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            losses.PEBFocalLoss(reduction="median")
+        with pytest.raises(ValueError):
+            losses.PEBFocalLoss(gamma=-1.0)
+
+
+class TestDepthDivergence:
+    def test_zero_for_identical(self):
+        vol = Tensor(rand(2, 4, 5, 5))
+        out = losses.DepthDivergenceRegularization()(vol, vol.copy())
+        assert np.isclose(float(out.data), 0.0, atol=1e-12)
+
+    def test_positive_for_different(self):
+        a, b = Tensor(rand(1, 4, 5, 5)), Tensor(rand(1, 4, 5, 5))
+        out = losses.DepthDivergenceRegularization()(a, b)
+        assert float(out.data) > 0.0
+
+    def test_single_layer_returns_zero(self):
+        a, b = Tensor(rand(1, 1, 4, 4)), Tensor(rand(1, 1, 4, 4))
+        assert float(losses.DepthDivergenceRegularization()(a, b).data) == 0.0
+
+    def test_insensitive_to_constant_offset(self):
+        """Adding a constant per layer pair leaves differences' softmax intact
+        only if the offset is uniform over (H, W) and equal across layers."""
+        a = Tensor(rand(1, 3, 4, 4))
+        shifted = Tensor(a.data + 5.0)
+        out = losses.DepthDivergenceRegularization()(a, shifted)
+        assert np.isclose(float(out.data), 0.0, atol=1e-10)
+
+    def test_gradient_flows(self):
+        a = Tensor(rand(1, 3, 4, 4), requires_grad=True)
+        losses.DepthDivergenceRegularization()(a, Tensor(rand(1, 3, 4, 4))).backward()
+        assert a.grad is not None and np.any(a.grad != 0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            losses.DepthDivergenceRegularization()(Tensor(rand(1, 3, 4, 4)), Tensor(rand(1, 3, 4, 5)))
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            losses.DepthDivergenceRegularization(temperature=0.0)
+
+
+class TestCombinedLoss:
+    def test_components_present(self):
+        loss = losses.SDMPEBLoss()
+        terms = loss.components(Tensor(rand(1, 3, 4, 4)), Tensor(rand(1, 3, 4, 4)))
+        assert set(terms) == {"maxse", "focal", "divergence", "total"}
+
+    def test_total_is_weighted_sum(self):
+        cfg = losses.LossConfig(alpha=2.0, beta=0.5)
+        loss = losses.SDMPEBLoss(cfg)
+        pred, target = Tensor(rand(1, 3, 4, 4)), Tensor(rand(1, 3, 4, 4))
+        terms = loss.components(pred, target)
+        expected = (float(terms["maxse"].data) + 2.0 * float(terms["focal"].data)
+                    + 0.5 * float(terms["divergence"].data))
+        assert np.isclose(float(terms["total"].data), expected)
+
+    def test_ablation_without_focal(self):
+        cfg = losses.LossConfig(use_focal=False)
+        terms = losses.SDMPEBLoss(cfg).components(Tensor(rand(1, 3, 4, 4)), Tensor(rand(1, 3, 4, 4)))
+        assert "focal" not in terms
+
+    def test_ablation_without_divergence(self):
+        cfg = losses.LossConfig(use_divergence=False)
+        terms = losses.SDMPEBLoss(cfg).components(Tensor(rand(1, 3, 4, 4)), Tensor(rand(1, 3, 4, 4)))
+        assert "divergence" not in terms
+
+    def test_all_disabled_raises(self):
+        cfg = losses.LossConfig(use_maxse=False, use_focal=False, use_divergence=False)
+        with pytest.raises(ValueError):
+            losses.SDMPEBLoss(cfg)(Tensor(rand(1, 2, 2, 2)), Tensor(rand(1, 2, 2, 2)))

@@ -1,0 +1,254 @@
+"""SDM-PEB architecture components and end-to-end model behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    SDMPEB, SDMPEBConfig, SDMUnit, EncoderLayer, Decoder, FeatureFusion,
+    OverlappedPatchEmbedding, NonOverlappedPatchMerging, make_merging,
+    TWO_DIRECTIONS,
+)
+from repro.core.sdm_unit import _to_direction, _from_direction
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(19)
+
+
+def rand(*shape):
+    return RNG.standard_normal(shape)
+
+
+def small_config(**overrides):
+    base = dict(stage_dims=(8, 12, 16, 16), patch_sizes=(5, 3, 3, 3),
+                strides=(2, 2, 2, 2), num_heads=(1, 2, 2, 2),
+                reduction_ratios=(4, 2, 1, 1), fusion_dim=16, ssm_state_dim=4,
+                decoder_dims=(8, 4))
+    base.update(overrides)
+    return SDMPEBConfig(**base)
+
+
+class TestPatchLayers:
+    def test_overlapped_halves_plane_keeps_depth(self):
+        layer = OverlappedPatchEmbedding(1, 4, patch_size=3, stride=2)
+        out = layer(Tensor(rand(1, 1, 4, 16, 16)))
+        assert out.shape == (1, 4, 4, 8, 8)
+
+    def test_overlapped_stride4(self):
+        layer = OverlappedPatchEmbedding(1, 4, patch_size=7, stride=4)
+        out = layer(Tensor(rand(1, 1, 4, 32, 32)))
+        assert out.shape == (1, 4, 4, 8, 8)
+
+    def test_non_overlapped(self):
+        layer = NonOverlappedPatchMerging(2, 4, stride=2)
+        out = layer(Tensor(rand(1, 2, 4, 8, 8)))
+        assert out.shape == (1, 4, 4, 4, 4)
+
+    def test_even_patch_rejected(self):
+        with pytest.raises(ValueError):
+            OverlappedPatchEmbedding(1, 4, patch_size=4, stride=2)
+
+    def test_patch_smaller_than_stride_rejected(self):
+        with pytest.raises(ValueError):
+            OverlappedPatchEmbedding(1, 4, patch_size=3, stride=4)
+
+    def test_factory(self):
+        assert isinstance(make_merging("overlapped", 1, 2, 3, 2), OverlappedPatchEmbedding)
+        assert isinstance(make_merging("non_overlapped", 1, 2, 3, 2), NonOverlappedPatchMerging)
+        with pytest.raises(ValueError):
+            make_merging("hexagonal", 1, 2, 3, 2)
+
+
+class TestScanOrdering:
+    DIMS = (3, 2, 2)
+
+    def canonical(self):
+        batch, (d, h, w), c = 2, self.DIMS, 4
+        return Tensor(rand(batch, d * h * w, c))
+
+    @pytest.mark.parametrize("direction", ["spatial", "depth_forward", "depth_backward"])
+    def test_roundtrip(self, direction):
+        seq = self.canonical()
+        out = _from_direction(_to_direction(seq, direction, self.DIMS), direction, self.DIMS, 2)
+        assert np.allclose(out.data, seq.data)
+
+    def test_depth_backward_reverses(self):
+        seq = self.canonical()
+        ordered = _to_direction(seq, "depth_backward", self.DIMS)
+        assert np.allclose(ordered.data, seq.data[:, ::-1])
+
+    def test_spatial_groups_depth_sequences(self):
+        """The spatial scan's sequences run along depth at fixed (h, w)."""
+        batch, (d, h, w), c = 1, self.DIMS, 1
+        volume = np.arange(d * h * w, dtype=np.float64).reshape(1, d * h * w, 1)
+        ordered = _to_direction(Tensor(volume), "spatial", self.DIMS)
+        assert ordered.shape == (h * w, d, 1)
+        # first sequence = canonical indices 0, h*w, 2*h*w (position (0,0))
+        assert np.allclose(ordered.data[0, :, 0], [0.0, 4.0, 8.0])
+
+    def test_unknown_direction_raises(self):
+        with pytest.raises(ValueError):
+            _to_direction(self.canonical(), "diagonal", self.DIMS)
+
+
+class TestSDMUnit:
+    def test_shape_preserved(self):
+        unit = SDMUnit(channels=6, state_dim=2)
+        out = unit(Tensor(rand(1, 6, 3, 4, 4)))
+        assert out.shape == (1, 6, 3, 4, 4)
+
+    def test_two_direction_variant(self):
+        unit = SDMUnit(channels=4, state_dim=2, directions=TWO_DIRECTIONS)
+        assert len(unit.ssms) == 2
+        out = unit(Tensor(rand(1, 4, 2, 3, 3)))
+        assert out.shape == (1, 4, 2, 3, 3)
+
+    def test_empty_directions_raises(self):
+        with pytest.raises(ValueError):
+            SDMUnit(channels=4, directions=())
+
+    def test_bad_direction_raises(self):
+        with pytest.raises(ValueError):
+            SDMUnit(channels=4, directions=("sideways",))
+
+    def test_grad_flows_to_all_parameters(self):
+        unit = SDMUnit(channels=4, state_dim=2)
+        unit(Tensor(rand(1, 4, 2, 3, 3))).sum().backward()
+        for name, param in unit.named_parameters():
+            assert param.grad is not None, name
+
+    def test_depth_mixing(self):
+        """Changing one depth layer of the input changes other layers' output."""
+        nn.init.seed(11)
+        unit = SDMUnit(channels=3, state_dim=2)
+        x = rand(1, 3, 4, 3, 3)
+        base = unit(Tensor(x)).data
+        perturbed = x.copy()
+        # Single-channel perturbation (a uniform cross-channel shift would
+        # be removed by the unit's LayerNorm).
+        perturbed[:, 0, 2] += 1.0
+        out = unit(Tensor(perturbed)).data
+        assert np.abs(out[:, :, 0] - base[:, :, 0]).max() > 1e-6
+
+
+class TestEncoderLayer:
+    def test_shape(self):
+        layer = EncoderLayer(dim=8, num_heads=2, reduction_ratio=2, sdm_state_dim=2)
+        out = layer(Tensor(rand(1, 8, 3, 4, 4)))
+        assert out.shape == (1, 8, 3, 4, 4)
+
+    def test_without_sdm(self):
+        layer = EncoderLayer(dim=8, use_sdm=False)
+        assert layer.sdm is None
+        out = layer(Tensor(rand(1, 8, 2, 4, 4)))
+        assert out.shape == (1, 8, 2, 4, 4)
+
+
+class TestFusionDecoder:
+    def test_fusion_combines_scales(self):
+        fusion = FeatureFusion((4, 6), fusion_dim=8)
+        features = [Tensor(rand(1, 4, 2, 8, 8)), Tensor(rand(1, 6, 2, 4, 4))]
+        out = fusion(features)
+        assert out.shape == (1, 8, 2, 8, 8)
+
+    def test_fusion_wrong_count_raises(self):
+        fusion = FeatureFusion((4, 6), fusion_dim=8)
+        with pytest.raises(ValueError):
+            fusion([Tensor(rand(1, 4, 2, 8, 8))])
+
+    def test_decoder_upsamples(self):
+        decoder = Decoder(8, total_upsample=4, hidden_channels=(6, 4))
+        out = decoder(Tensor(rand(1, 8, 2, 4, 4)))
+        assert out.shape == (1, 1, 2, 16, 16)
+
+    def test_decoder_identity_scale(self):
+        decoder = Decoder(8, total_upsample=1, hidden_channels=(6, 4))
+        out = decoder(Tensor(rand(1, 8, 2, 4, 4)))
+        assert out.shape == (1, 1, 2, 4, 4)
+
+    def test_decoder_bad_upsample_raises(self):
+        with pytest.raises(ValueError):
+            Decoder(8, total_upsample=3)
+        with pytest.raises(ValueError):
+            Decoder(8, total_upsample=16)
+
+
+class TestSDMPEBModel:
+    def test_forward_shape(self):
+        model = SDMPEB(small_config())
+        out = model(Tensor(rand(1, 4, 32, 32)))
+        assert out.shape == (1, 4, 32, 32)
+
+    def test_accepts_5d_input(self):
+        model = SDMPEB(small_config())
+        out = model(Tensor(rand(1, 1, 4, 32, 32)))
+        assert out.shape == (1, 4, 32, 32)
+
+    def test_rejects_3d_input(self):
+        model = SDMPEB(small_config())
+        with pytest.raises(ValueError):
+            model(Tensor(rand(4, 32, 32)))
+
+    def test_single_stage_ablation(self):
+        model = SDMPEB(small_config(single_stage=True))
+        assert len(model.encoders) == 1
+        out = model(Tensor(rand(1, 4, 32, 32)))
+        assert out.shape == (1, 4, 32, 32)
+
+    def test_two_direction_ablation(self):
+        model = SDMPEB(small_config(scan_directions=TWO_DIRECTIONS))
+        assert len(model.encoders[0].sdm.ssms) == 2
+
+    def test_non_overlapped_ablation(self):
+        model = SDMPEB(small_config(patch_merging="non_overlapped"))
+        out = model(Tensor(rand(1, 4, 32, 32)))
+        assert out.shape == (1, 4, 32, 32)
+
+    def test_output_stats_affine(self):
+        nn.init.seed(2)
+        model = SDMPEB(small_config())
+        x = Tensor(rand(1, 4, 32, 32))
+        base = model(x).data
+        model.set_output_stats(5.0, 2.0)
+        scaled = model(x).data
+        assert np.allclose(scaled, base * 2.0 + 5.0)
+
+    def test_invalid_output_stats(self):
+        model = SDMPEB(small_config())
+        with pytest.raises(ValueError):
+            model.set_output_stats(0.0, 0.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SDMPEBConfig(stage_dims=(8, 8), patch_sizes=(3,), strides=(2, 2),
+                         num_heads=(1, 1), reduction_ratios=(1, 1)).validate()
+        with pytest.raises(ValueError):
+            SDMPEBConfig(stage_dims=(7,), patch_sizes=(3,), strides=(2,),
+                         num_heads=(2,), reduction_ratios=(1,)).validate()
+
+    def test_predict_inhibitor_range(self):
+        model = SDMPEB(small_config())
+        inhibitor = model.predict_inhibitor(RNG.random((4, 32, 32)))
+        assert inhibitor.shape == (4, 32, 32)
+        assert np.all((inhibitor >= 0.0) & (inhibitor <= 1.0))
+
+    def test_training_reduces_loss(self):
+        """A few Adam steps on one sample must reduce the objective."""
+        from repro.core import SDMPEBLoss
+
+        nn.init.seed(7)
+        model = SDMPEB(small_config())
+        x = Tensor(RNG.random((1, 4, 32, 32)))
+        target = Tensor(RNG.random((1, 4, 32, 32)))
+        loss_fn = SDMPEBLoss()
+        optimizer = nn.Adam(model.parameters(), lr=3e-3)
+        first = None
+        for _ in range(5):
+            optimizer.zero_grad()
+            loss = loss_fn(model(x), target)
+            if first is None:
+                first = float(loss.data)
+            loss.backward()
+            optimizer.step()
+        final = float(loss_fn(model(x), target).data)
+        assert final < first

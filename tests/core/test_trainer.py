@@ -1,0 +1,111 @@
+"""Trainer: scheduling, batching, standardization, learning progress."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import LossConfig, Trainer, TrainConfig
+from repro.tensor import Tensor
+from repro.baselines import DeepCNN, DeepCNNConfig
+
+RNG = np.random.default_rng(29)
+
+
+def tiny_model():
+    nn.init.seed(0)
+    return DeepCNN(DeepCNNConfig(width=4, num_blocks=1))
+
+
+def tiny_data(n=4, shape=(2, 8, 8)):
+    inputs = RNG.random((n,) + shape)
+    # target: a smooth deterministic function of the input
+    targets = 2.0 * inputs + 1.0
+    return inputs, targets
+
+
+class TestConstruction:
+    def test_sets_output_stats_from_targets(self):
+        inputs, targets = tiny_data()
+        model = tiny_model()
+        Trainer(model, inputs, targets, TrainConfig(epochs=1))
+        assert np.isclose(model.output_mean, targets.mean())
+        assert np.isclose(model.output_std, targets.std())
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(ValueError):
+            Trainer(tiny_model(), np.zeros((0, 2, 8, 8)), np.zeros((0, 2, 8, 8)))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Trainer(tiny_model(), np.zeros((2, 2, 8, 8)), np.zeros((3, 2, 8, 8)))
+
+
+class TestFit:
+    def test_loss_decreases(self):
+        inputs, targets = tiny_data()
+        trainer = Trainer(tiny_model(), inputs, targets,
+                          TrainConfig(epochs=15, learning_rate=3e-3, batch_size=2))
+        history = trainer.fit()
+        assert history.losses[-1] < history.losses[0]
+
+    def test_history_fields(self):
+        inputs, targets = tiny_data()
+        trainer = Trainer(tiny_model(), inputs, targets, TrainConfig(epochs=3))
+        history = trainer.fit()
+        assert history.epochs == [1, 2, 3]
+        assert len(history.losses) == 3
+        assert len(history.learning_rates) == 3
+        assert history.wall_time_s > 0.0
+
+    def test_lr_schedule_applied(self):
+        inputs, targets = tiny_data()
+        trainer = Trainer(tiny_model(), inputs, targets,
+                          TrainConfig(epochs=4, learning_rate=1.0, lr_step_size=2,
+                                      lr_gamma=0.5))
+        history = trainer.fit()
+        assert np.isclose(history.learning_rates[-1], 0.25)
+
+    def test_log_every(self):
+        inputs, targets = tiny_data()
+        trainer = Trainer(tiny_model(), inputs, targets,
+                          TrainConfig(epochs=5, log_every=2))
+        history = trainer.fit()
+        assert history.epochs == [2, 4, 5]
+
+    def test_shuffle_seed_reproducible(self):
+        inputs, targets = tiny_data()
+
+        def run():
+            trainer = Trainer(tiny_model(), inputs, targets,
+                              TrainConfig(epochs=3, shuffle_seed=7))
+            return trainer.fit().losses
+
+        assert run() == run()
+
+    def test_loss_ablation_config_respected(self):
+        inputs, targets = tiny_data()
+        config = TrainConfig(epochs=1, loss=LossConfig(use_maxse=False))
+        trainer = Trainer(tiny_model(), inputs, targets, config)
+        terms = trainer.loss_fn.components(Tensor(inputs), Tensor(targets))
+        assert "maxse" not in terms
+
+
+class TestPredict:
+    def test_shape_and_batching(self):
+        inputs, targets = tiny_data(n=5)
+        trainer = Trainer(tiny_model(), inputs, targets, TrainConfig(epochs=1))
+        trainer.fit()
+        out = trainer.predict(inputs, batch_size=2)
+        assert out.shape == inputs.shape
+
+    def test_predict_untrained_returns_near_mean(self):
+        inputs, targets = tiny_data()
+        trainer = Trainer(tiny_model(), inputs, targets, TrainConfig(epochs=1))
+        out = trainer.predict(inputs)
+        assert abs(out.mean() - targets.mean()) < 3.0 * targets.std()
+
+    def test_predict_has_no_graph(self):
+        inputs, targets = tiny_data()
+        trainer = Trainer(tiny_model(), inputs, targets, TrainConfig(epochs=1))
+        trainer.predict(inputs)
+        assert all(p.grad is None for p in trainer.model.parameters())

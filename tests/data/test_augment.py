@@ -1,0 +1,104 @@
+"""Dihedral augmentation: exact equivariance of volumes and contacts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GridConfig, LithoConfig
+from repro.data import (
+    DIHEDRAL_OPS, PEBDataset, PEBSample, augment_dataset, augment_sample,
+    transform_contact, transform_volume,
+)
+from repro.litho.mask import Contact, rasterize
+
+GRID = GridConfig(size_um=0.64, nx=32, ny=32, nz=2)
+
+
+def make_sample(seed=0):
+    rng = np.random.default_rng(seed)
+    volume = rng.random(GRID.shape)
+    return PEBSample(seed=seed, acid=volume, inhibitor=volume.copy(),
+                     label=volume.copy(),
+                     contacts=(Contact(200.0, 400.0, 60.0, 90.0),),
+                     rigorous_seconds=1.0)
+
+
+class TestTransformVolume:
+    def test_identity(self):
+        volume = make_sample().acid
+        assert np.array_equal(transform_volume(volume, 0, False), volume)
+
+    def test_four_rotations_identity(self):
+        volume = make_sample().acid
+        out = volume
+        for _ in range(4):
+            out = transform_volume(out, 1, False)
+        assert np.array_equal(out, volume)
+
+    def test_double_flip_identity(self):
+        volume = make_sample().acid
+        assert np.array_equal(
+            transform_volume(transform_volume(volume, 0, True), 0, True), volume)
+
+    def test_depth_untouched(self):
+        volume = make_sample().acid
+        out = transform_volume(volume, 1, True)
+        assert np.allclose(out.sum(axis=(1, 2)), volume.sum(axis=(1, 2)))
+
+
+class TestTransformContact:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 3), st.booleans(),
+           st.floats(100.0, 540.0), st.floats(100.0, 540.0),
+           st.floats(20.0, 80.0), st.floats(20.0, 80.0))
+    def test_property_rasterization_commutes(self, rotations, flip, cx, cy, w, h):
+        """Rasterize-then-transform == transform-then-rasterize."""
+        contact = Contact(cx, cy, w, h)
+        pattern = rasterize([contact], GRID)
+        volume = np.broadcast_to(pattern, GRID.shape).copy()
+        transformed_volume = transform_volume(volume, rotations, flip)
+        transformed_contact = transform_contact(contact, rotations, flip, GRID)
+        expected = rasterize([transformed_contact], GRID)
+        assert np.allclose(transformed_volume[0], expected, atol=1e-9)
+
+    def test_rotation_swaps_width_height(self):
+        contact = Contact(200.0, 300.0, 60.0, 90.0)
+        rotated = transform_contact(contact, 1, False, GRID)
+        assert rotated.width_nm == 90.0 and rotated.height_nm == 60.0
+
+
+class TestAugmentDataset:
+    def test_eightfold_expansion(self):
+        dataset = PEBDataset(LithoConfig(grid=GRID), [make_sample(0), make_sample(1)])
+        augmented = augment_dataset(dataset)
+        assert len(augmented) == 16
+
+    def test_all_variants_distinct(self):
+        dataset = PEBDataset(LithoConfig(grid=GRID), [make_sample(0)])
+        augmented = augment_dataset(dataset)
+        flattened = {augmented.samples[i].acid.tobytes() for i in range(8)}
+        assert len(flattened) == 8
+
+    def test_identity_sample_preserved(self):
+        sample = make_sample()
+        dataset = PEBDataset(LithoConfig(grid=GRID), [sample])
+        augmented = augment_dataset(dataset)
+        assert any(np.array_equal(s.acid, sample.acid) for s in augmented.samples)
+
+    def test_non_square_grid_rejected(self):
+        grid = GridConfig(size_um=0.64, nx=32, ny=16, nz=2)
+        dataset = PEBDataset(LithoConfig(grid=grid), [])
+        with pytest.raises(ValueError):
+            augment_dataset(dataset)
+
+    def test_custom_ops_subset(self):
+        dataset = PEBDataset(LithoConfig(grid=GRID), [make_sample()])
+        augmented = augment_dataset(dataset, ops=((0, False), (2, False)))
+        assert len(augmented) == 2
+
+    def test_augmented_sample_roundtrip_metadata(self):
+        sample = make_sample()
+        out = augment_sample(sample, 1, True, GRID)
+        assert out.seed == sample.seed
+        assert out.rigorous_seconds == sample.rigorous_seconds
+        assert len(out.contacts) == len(sample.contacts)

@@ -1,0 +1,96 @@
+"""Fig. 8/9 visualization plumbing (synthetic, no training)."""
+
+import numpy as np
+
+from repro.config import GridConfig, LithoConfig
+from repro.data import PEBSample
+from repro.experiments.fig8_fig9 import (
+    VisualizationResult, _contact_rows, ascii_heatmap, format_figures,
+    from_trainer,
+)
+from repro.litho.mask import Contact
+
+GRID = GridConfig(size_um=0.64, nx=16, ny=16, nz=4)
+
+
+def make_result():
+    rng = np.random.default_rng(0)
+    truth = rng.random(GRID.shape)
+    return VisualizationResult(truth=truth, prediction=truth + 0.05,
+                               center_row=8, corner_row=2)
+
+
+class TestVisualizationResult:
+    def test_difference(self):
+        result = make_result()
+        assert np.allclose(result.difference, 0.05)
+
+    def test_panels(self):
+        result = make_result()
+        top = result.panel("top")
+        bottom = result.panel("bottom")
+        assert np.array_equal(top["truth"], result.truth[0])
+        assert np.array_equal(bottom["truth"], result.truth[-1])
+        assert set(top) == {"truth", "prediction", "difference"}
+
+    def test_vertical_cuts(self):
+        result = make_result()
+        center = result.vertical_cut("center")
+        corner = result.vertical_cut("corner")
+        assert center["truth"].shape == (GRID.nz, GRID.nx)
+        assert np.array_equal(center["truth"], result.truth[:, 8])
+        assert np.array_equal(corner["truth"], result.truth[:, 2])
+
+
+class TestContactRows:
+    def test_picks_center_and_corner(self):
+        contacts = (Contact(320.0, 320.0, 60.0, 60.0),   # dead centre (640 nm clip)
+                    Contact(100.0, 100.0, 60.0, 60.0))   # corner
+        sample = PEBSample(seed=0, acid=np.zeros(GRID.shape),
+                           inhibitor=np.zeros(GRID.shape),
+                           label=np.zeros(GRID.shape), contacts=contacts,
+                           rigorous_seconds=0.0)
+        center_row, corner_row = _contact_rows(sample, GRID)
+        assert center_row == int(320.0 / GRID.dy_nm - 0.5)
+        assert corner_row == int(100.0 / GRID.dy_nm - 0.5)
+
+
+class TestFromTrainer:
+    class StubTrainer:
+        def predict(self, inputs, batch_size=1):
+            return np.zeros_like(inputs)  # label 0 -> inhibitor exp(-k_c)
+
+        @property
+        def model(self):
+            return None
+
+    def test_builds_result(self):
+        from repro.data import PEBDataset
+        from repro.experiments import ExperimentSettings
+
+        config = LithoConfig(grid=GRID)
+        sample = PEBSample(seed=0, acid=np.zeros(GRID.shape),
+                           inhibitor=np.full(GRID.shape, 0.5),
+                           label=np.zeros(GRID.shape),
+                           contacts=(Contact(320.0, 320.0, 60.0, 60.0),),
+                           rigorous_seconds=0.0)
+        test_set = PEBDataset(config, [sample])
+        settings = ExperimentSettings(config=config)
+        result = from_trainer(self.StubTrainer(), test_set, settings)
+        k_c = config.peb.catalysis_rate
+        assert np.allclose(result.prediction, np.exp(-k_c))
+        assert np.allclose(result.truth, 0.5)
+
+
+class TestRendering:
+    def test_heatmap_shades_scale(self):
+        values = np.zeros((4, 8))
+        values[:, -1] = 1.0
+        art = ascii_heatmap(values)
+        rows = art.split("\n")
+        assert rows[0][0] == " " and rows[0][-1] == "@"
+
+    def test_format_figures_has_sections(self):
+        text = format_figures(make_result())
+        assert "Fig. 8" in text and "Fig. 9" in text
+        assert "within 0.1" in text

@@ -1,0 +1,39 @@
+"""Process-window experiment (dose/focus sweep)."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridConfig, LithoConfig
+from repro.experiments import process_window
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = LithoConfig(grid=GridConfig(size_um=0.8, nx=16, ny=16, nz=2))
+    return process_window.run(config=config, num_doses=3, num_foci=3,
+                              dose_span=0.4, time_step_s=1.0)
+
+
+class TestProcessWindow:
+    def test_matrix_shape(self, result):
+        assert result.mean_cd_nm.shape == (3, 3)
+        assert len(result.doses_mj) == 3 and len(result.focus_offsets_nm) == 3
+
+    def test_cd_increases_with_dose(self, result):
+        """Bossung shape: more dose prints larger openings (where printed)."""
+        column = result.mean_cd_nm[:, 1]
+        finite = np.isfinite(column)
+        if finite.sum() >= 2:
+            values = column[finite]
+            assert values[-1] >= values[0] - 1e-9
+
+    def test_latitude_and_dof_non_negative(self, result):
+        assert result.dose_latitude() >= 0.0
+        assert result.depth_of_focus() >= 0.0
+
+    def test_format(self, result):
+        text = process_window.format_result(result)
+        assert "dose latitude" in text and "depth of focus" in text
+
+    def test_target_dose_is_median(self, result):
+        assert result.target_dose == np.median(result.doses_mj)

@@ -1,0 +1,62 @@
+"""Line/space pattern family."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridConfig
+from repro.litho import generate_line_space_clip
+
+GRID = GridConfig(size_um=1.0, nx=32, ny=32, nz=4)
+
+
+class TestLineSpaceClip:
+    def test_kind_tag(self):
+        clip = generate_line_space_clip(0, grid=GRID)
+        assert clip.kind == "lines"
+
+    def test_deterministic(self):
+        a = generate_line_space_clip(5, grid=GRID)
+        b = generate_line_space_clip(5, grid=GRID)
+        assert np.array_equal(a.pattern, b.pattern)
+
+    def test_horizontal_lines_span_x(self):
+        clip = generate_line_space_clip(1, grid=GRID, orientation="horizontal")
+        for line in clip.contacts:
+            assert line.width_nm > line.height_nm
+            assert line.width_nm > 500.0
+
+    def test_vertical_lines_span_y(self):
+        clip = generate_line_space_clip(1, grid=GRID, orientation="vertical")
+        for line in clip.contacts:
+            assert line.height_nm > line.width_nm
+
+    def test_invalid_orientation_raises(self):
+        with pytest.raises(ValueError):
+            generate_line_space_clip(0, grid=GRID, orientation="diagonal")
+
+    def test_line_cd_in_range(self):
+        clip = generate_line_space_clip(2, grid=GRID, orientation="horizontal",
+                                        cd_range_nm=(50.0, 70.0))
+        for line in clip.contacts:
+            assert 50.0 <= line.height_nm <= 70.0
+
+    def test_pattern_has_line_structure(self):
+        """Row sums of a horizontal-line clip are strongly bimodal."""
+        clip = generate_line_space_clip(3, grid=GRID, orientation="horizontal")
+        row_fill = clip.pattern.mean(axis=1)
+        assert row_fill.max() > 0.5
+        assert row_fill.min() == 0.0
+
+    def test_cd_measurement_across_line(self):
+        """The contact CD chain measures the line width on the narrow axis."""
+        from repro.config import DevelopConfig
+        from repro.litho import development_arrival, measure_cd
+
+        develop = DevelopConfig()
+        clip = generate_line_space_clip(4, grid=GRID, orientation="horizontal")
+        inhibitor = np.ones(GRID.shape)
+        inhibitor[:, clip.pattern > 0.5] = 0.02  # idealized deprotection
+        arrival = development_arrival(inhibitor, GRID, develop)
+        line = clip.contacts[0]
+        cd = measure_cd(arrival, line, GRID, develop, "y")
+        assert abs(cd - line.height_nm) < 2.0 * GRID.dy_nm

@@ -1,0 +1,76 @@
+"""Mask clip generation and rasterization."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GridConfig
+from repro.litho import mask
+
+
+class TestRasterize:
+    def test_pixel_aligned_rectangle_exact(self):
+        grid = GridConfig(nx=8, ny=8, nz=1, size_um=0.008)  # 1 nm pixels
+        contact = mask.Contact(4.0, 4.0, 2.0, 2.0)
+        pattern = mask.rasterize([contact], grid)
+        assert pattern.sum() == 4.0
+        assert pattern.max() == 1.0
+
+    def test_half_pixel_coverage(self):
+        grid = GridConfig(nx=4, ny=4, nz=1, size_um=0.004)
+        contact = mask.Contact(2.0, 2.0, 1.0, 1.0)  # straddles 4 pixels equally
+        pattern = mask.rasterize([contact], grid)
+        assert np.allclose(pattern[1:3, 1:3], 0.25)
+
+    def test_total_area_preserved(self):
+        grid = GridConfig(nx=32, ny=32, nz=1, size_um=0.064)
+        contact = mask.Contact(31.7, 29.3, 7.3, 5.1)
+        pattern = mask.rasterize([contact], grid)
+        pixel_area = grid.dx_nm * grid.dy_nm
+        assert np.isclose(pattern.sum() * pixel_area, 7.3 * 5.1)
+
+    def test_overlapping_contacts_clip_to_one(self):
+        grid = GridConfig(nx=8, ny=8, nz=1, size_um=0.008)
+        contact = mask.Contact(4.0, 4.0, 2.0, 2.0)
+        pattern = mask.rasterize([contact, contact], grid)
+        assert pattern.max() == 1.0
+
+
+class TestGenerateClip:
+    def test_deterministic_given_seed(self):
+        a = mask.generate_clip(42)
+        b = mask.generate_clip(42)
+        assert np.array_equal(a.pattern, b.pattern)
+        assert a.contacts == b.contacts
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(mask.generate_clip(1).pattern, mask.generate_clip(2).pattern)
+
+    def test_contacts_respect_margin(self):
+        clip = mask.generate_clip(7, edge_margin_nm=150.0)
+        extent = clip.grid.size_um * 1000.0
+        for contact in clip.contacts:
+            x0, x1 = contact.x_range
+            y0, y1 = contact.y_range
+            assert x0 > 0 and y0 > 0 and x1 < extent and y1 < extent
+
+    def test_cd_range_respected(self):
+        clip = mask.generate_clip(3, cd_range_nm=(50.0, 80.0))
+        for contact in clip.contacts:
+            assert 50.0 <= contact.width_nm <= 80.0
+            assert 50.0 <= contact.height_nm <= 80.0
+
+    def test_at_least_one_contact(self):
+        clip = mask.generate_clip(0, density_range=(0.0, 0.0))
+        assert len(clip.contacts) == 1
+
+    def test_library_seeds_sequential(self):
+        library = mask.generate_library(3, base_seed=10)
+        assert [clip.seed for clip in library] == [10, 11, 12]
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_property_pattern_in_unit_range(self, seed):
+        grid = GridConfig(nx=32, ny=32, nz=2)
+        clip = mask.generate_clip(seed, grid=grid)
+        assert clip.pattern.min() >= 0.0 and clip.pattern.max() <= 1.0
+        assert clip.pattern.shape == (32, 32)

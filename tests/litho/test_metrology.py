@@ -1,0 +1,156 @@
+"""Extended metrology: EPE, CDU, sidewall angle, resist loss."""
+
+import numpy as np
+import pytest
+
+from repro.config import DevelopConfig, GridConfig
+from repro.litho import (
+    development_arrival, measure_edges, edge_placement_error, cd_uniformity,
+    sidewall_angle, resist_loss, developed_fraction_by_depth, profile_report,
+    EdgePlacement,
+)
+from repro.litho.mask import Contact
+
+DEV = DevelopConfig()
+GRID = GridConfig(nx=40, ny=40, nz=4, size_um=0.8)  # 20 nm pixels
+
+
+def synthetic_arrival(contact: Contact, grid: GridConfig = GRID,
+                      taper_nm_per_layer: float = 0.0, offset_nm: float = 0.0):
+    """Arrival field developed inside a (possibly tapered) contact box."""
+    arrival = np.full(grid.shape, 10.0 * DEV.duration_s)
+    x = (np.arange(grid.nx) + 0.5) * grid.dx_nm
+    y = (np.arange(grid.ny) + 0.5) * grid.dy_nm
+    for k in range(grid.nz):
+        half_w = contact.width_nm / 2.0 - taper_nm_per_layer * k
+        half_h = contact.height_nm / 2.0 - taper_nm_per_layer * k
+        inside_x = np.abs(x - contact.center_x_nm - offset_nm) <= half_w
+        inside_y = np.abs(y - contact.center_y_nm) <= half_h
+        arrival[k][np.outer(inside_y, inside_x)] = 0.5 * DEV.duration_s
+    return arrival
+
+
+CONTACT = Contact(400.0, 400.0, 120.0, 120.0)
+
+
+class TestMeasureEdges:
+    def test_edges_bracket_center(self):
+        arrival = synthetic_arrival(CONTACT)
+        edges = measure_edges(arrival, CONTACT, GRID, DEV, "x")
+        assert edges is not None
+        assert edges[0] < CONTACT.center_x_nm < edges[1]
+
+    def test_closed_contact_returns_none(self):
+        arrival = np.full(GRID.shape, 10.0 * DEV.duration_s)
+        assert measure_edges(arrival, CONTACT, GRID, DEV, "x") is None
+
+    def test_invalid_axis_raises(self):
+        arrival = synthetic_arrival(CONTACT)
+        with pytest.raises(ValueError):
+            measure_edges(arrival, CONTACT, GRID, DEV, "z")
+
+
+class TestEPE:
+    def test_centered_contact_small_epe(self):
+        arrival = synthetic_arrival(CONTACT)
+        epe = edge_placement_error(arrival, CONTACT, GRID, DEV)
+        assert epe is not None
+        assert epe.worst_abs_nm <= 1.5 * GRID.dx_nm
+
+    def test_offset_opening_asymmetric_epe(self):
+        arrival = synthetic_arrival(CONTACT, offset_nm=40.0)
+        epe = edge_placement_error(arrival, CONTACT, GRID, DEV)
+        assert epe is not None
+        # opening shifted +x: right edge prints outside, left inside
+        assert epe.right_nm > 20.0
+        assert epe.left_nm < -20.0
+
+    def test_closed_contact_returns_none(self):
+        arrival = np.full(GRID.shape, 10.0 * DEV.duration_s)
+        assert edge_placement_error(arrival, CONTACT, GRID, DEV) is None
+
+    def test_worst_abs(self):
+        epe = EdgePlacement(left_nm=1.0, right_nm=-4.0, bottom_nm=2.0, top_nm=0.5)
+        assert epe.worst_abs_nm == 4.0
+
+
+class TestCDU:
+    def test_uniform_cds_zero(self):
+        assert cd_uniformity(np.array([80.0, 80.0, 80.0])) == 0.0
+
+    def test_three_sigma(self):
+        cds = np.array([70.0, 90.0])
+        assert np.isclose(cd_uniformity(cds), 3.0 * np.std(cds))
+
+    def test_ignores_closed_contacts(self):
+        assert cd_uniformity(np.array([80.0, 0.0, 80.0])) == 0.0
+
+    def test_all_closed_raises(self):
+        with pytest.raises(ValueError):
+            cd_uniformity(np.zeros(3))
+
+
+class TestSidewall:
+    def test_vertical_profile_is_90(self):
+        arrival = synthetic_arrival(CONTACT, taper_nm_per_layer=0.0)
+        assert sidewall_angle(arrival, CONTACT, GRID, DEV) == 90.0
+
+    def test_tapered_profile_below_90(self):
+        arrival = synthetic_arrival(CONTACT, taper_nm_per_layer=10.0)
+        angle = sidewall_angle(arrival, CONTACT, GRID, DEV)
+        assert angle < 90.0
+        # bottom is narrower by ~3 layers * 10 nm on each edge
+        expected = np.degrees(np.arctan2(GRID.thickness_nm - GRID.dz_nm, 30.0))
+        assert abs(angle - expected) < 20.0
+
+    def test_blocked_contact_raises(self):
+        arrival = synthetic_arrival(CONTACT)
+        arrival[-1] = 10.0 * DEV.duration_s  # bottom never opens
+        with pytest.raises(ValueError):
+            sidewall_angle(arrival, CONTACT, GRID, DEV)
+
+
+class TestResistLossAndDepth:
+    def test_no_loss_when_protected(self):
+        arrival = synthetic_arrival(CONTACT)
+        assert resist_loss(arrival, DEV, GRID) == 0.0
+
+    def test_full_loss_when_everything_develops(self):
+        arrival = np.zeros(GRID.shape)
+        assert np.isclose(resist_loss(arrival, DEV, GRID), GRID.thickness_nm)
+
+    def test_developed_fraction_shape_and_range(self):
+        arrival = synthetic_arrival(CONTACT)
+        fractions = developed_fraction_by_depth(arrival, DEV)
+        assert fractions.shape == (GRID.nz,)
+        assert np.all((fractions >= 0.0) & (fractions <= 1.0))
+
+    def test_tapered_contact_develops_less_at_depth(self):
+        arrival = synthetic_arrival(CONTACT, taper_nm_per_layer=20.0)
+        fractions = developed_fraction_by_depth(arrival, DEV)
+        assert fractions[0] > fractions[-1]
+
+
+class TestProfileReport:
+    def test_report_on_real_flow(self):
+        """End-to-end: rigorous-ish inhibitor -> full metrology report."""
+        inhibitor = np.ones(GRID.shape)
+        x = (np.arange(GRID.nx) + 0.5) * GRID.dx_nm
+        y = (np.arange(GRID.ny) + 0.5) * GRID.dy_nm
+        inside_x = np.abs(x - CONTACT.center_x_nm) <= CONTACT.width_nm / 2
+        inside_y = np.abs(y - CONTACT.center_y_nm) <= CONTACT.height_nm / 2
+        inhibitor[:, np.outer(inside_y, inside_x)] = 0.02
+        arrival = development_arrival(inhibitor, GRID, DEV)
+        report = profile_report(arrival, [CONTACT], GRID, DEV)
+        assert report.open_fraction == 1.0
+        assert report.cds_x_nm[0] > 0.0
+        assert 0.0 <= report.resist_loss_nm < GRID.thickness_nm
+        assert 0.0 < report.mean_sidewall_deg <= 90.0
+        assert np.isfinite(report.worst_epe_nm)
+
+    def test_report_all_closed(self):
+        arrival = np.full(GRID.shape, 10.0 * DEV.duration_s)
+        report = profile_report(arrival, [CONTACT], GRID, DEV)
+        assert report.open_fraction == 0.0
+        assert np.isnan(report.cdu_x_nm)
+        assert np.isnan(report.worst_epe_nm)

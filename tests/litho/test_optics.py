@@ -1,0 +1,107 @@
+"""Optical (Abbe) aerial-image simulation."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridConfig, OpticsConfig
+from repro.litho import optics
+
+
+GRID = GridConfig(nx=64, ny=64, nz=4)
+
+
+class TestSourcePupil:
+    def test_cutoff_value(self):
+        cfg = OpticsConfig()
+        assert np.isclose(optics.pupil_cutoff(cfg), 1.35 / 193.0)
+
+    def test_source_points_on_annulus(self):
+        cfg = OpticsConfig(sigma_inner=0.5, sigma_outer=0.8, source_points=8)
+        sx, sy = optics.source_points(cfg)
+        radii = np.hypot(sx, sy) / optics.pupil_cutoff(cfg)
+        assert np.all((radii > 0.49) & (radii < 0.81))
+        assert len(sx) == 8
+
+
+class TestAerialImage:
+    def test_open_frame_is_uniform(self):
+        cfg = OpticsConfig(absorption_per_um=0.0, substrate_reflectivity=0.0)
+        image = optics.aerial_image_stack(np.ones((64, 64)), GRID, cfg)
+        assert np.allclose(image, 1.0, atol=1e-9)
+
+    def test_dark_frame_is_dark(self):
+        image = optics.aerial_image_stack(np.zeros((64, 64)), GRID, OpticsConfig())
+        assert np.allclose(image, 0.0, atol=1e-12)
+
+    def test_intensity_non_negative(self):
+        rng = np.random.default_rng(0)
+        image = optics.aerial_image_stack(rng.random((64, 64)), GRID, OpticsConfig())
+        assert np.all(image >= 0.0)
+
+    def test_absorption_attenuates_with_depth(self):
+        cfg = OpticsConfig(absorption_per_um=5.0, substrate_reflectivity=0.0)
+        image = optics.aerial_image_stack(np.ones((64, 64)), GRID, cfg)
+        layer_means = image.mean(axis=(1, 2))
+        assert np.all(np.diff(layer_means) < 0.0)
+
+    def test_standing_wave_period(self):
+        """Standing waves oscillate with period λ/(2n) in depth."""
+        cfg = OpticsConfig(substrate_reflectivity=0.3)
+        depths = np.linspace(0.0, 200.0, 4001)
+        grid = GridConfig(nz=4, thickness_nm=200.0)
+        factor = optics.standing_wave_factor(depths, grid, cfg)
+        period = cfg.wavelength_nm / (2.0 * cfg.resist_index)
+        shift = int(round(period / (depths[1] - depths[0])))
+        assert np.allclose(factor[:-shift], factor[shift:], atol=1e-3)
+
+    def test_standing_wave_unit_mean(self):
+        cfg = OpticsConfig(substrate_reflectivity=0.25)
+        depths = np.linspace(0.0, 10 * cfg.wavelength_nm / (2 * cfg.resist_index), 10000,
+                             endpoint=False)
+        grid = GridConfig(nz=4, thickness_nm=float(depths[-1]))
+        factor = optics.standing_wave_factor(depths, grid, cfg)
+        assert abs(factor.mean() - 1.0) < 1e-2
+
+    def test_zero_reflectivity_is_identity(self):
+        cfg = OpticsConfig(substrate_reflectivity=0.0)
+        depths = np.linspace(0.0, 80.0, 9)
+        assert np.allclose(optics.standing_wave_factor(depths, GRID, cfg), 1.0)
+
+    def test_standing_waves_create_depth_structure(self):
+        pattern = np.zeros((64, 64))
+        pattern[28:36, 28:36] = 1.0
+        with_sw = optics.aerial_image_stack(pattern, GRID, OpticsConfig(substrate_reflectivity=0.4))
+        without = optics.aerial_image_stack(pattern, GRID, OpticsConfig(substrate_reflectivity=0.0))
+        variation_with = np.abs(np.diff(with_sw, axis=0)).mean()
+        variation_without = np.abs(np.diff(without, axis=0)).mean()
+        assert variation_with > 2.0 * variation_without
+
+    def test_small_contact_blurred_below_clear_field(self):
+        """A sub-resolution contact must image with intensity << 1."""
+        pattern = np.zeros((64, 64))
+        pattern[30:33, 30:33] = 1.0  # ~47 nm at 15.6 nm pixels
+        image = optics.aerial_image_stack(pattern, GRID, OpticsConfig())
+        assert 0.0 < image.max() < 0.7
+
+    def test_image_peak_near_contact_center(self):
+        pattern = np.zeros((64, 64))
+        pattern[30:34, 28:32] = 1.0
+        image = optics.aerial_image_stack(pattern, GRID, OpticsConfig())
+        peak = np.unravel_index(np.argmax(image[0]), image[0].shape)
+        assert abs(peak[0] - 31.5) <= 2 and abs(peak[1] - 29.5) <= 2
+
+    def test_defocus_changes_through_depth(self):
+        pattern = np.zeros((64, 64))
+        pattern[30:34, 30:34] = 1.0
+        cfg = OpticsConfig(absorption_per_um=0.0, focus_offset_nm=0.0)
+        deep_grid = GridConfig(nx=64, ny=64, nz=4, thickness_nm=400.0)
+        image = optics.aerial_image_stack(pattern, deep_grid, cfg)
+        assert not np.allclose(image[0], image[-1])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            optics.aerial_image_stack(np.ones((32, 32)), GRID, OpticsConfig())
+
+    def test_depth_positions(self):
+        grid = GridConfig(nz=4, thickness_nm=80.0)
+        assert np.allclose(optics.depth_positions(grid), [10.0, 30.0, 50.0, 70.0])

@@ -1,0 +1,66 @@
+"""Resist-surface height map and OBJ export."""
+
+import numpy as np
+
+from repro.config import DevelopConfig, GridConfig
+from repro.litho import surface
+
+DEV = DevelopConfig()
+GRID = GridConfig(size_um=0.08, nx=4, ny=4, nz=4)  # 20 nm pixels, 80 nm thick
+
+
+class TestHeightMap:
+    def test_untouched_resist_full_thickness(self):
+        arrival = np.full(GRID.shape, 10.0 * DEV.duration_s)
+        heights = surface.height_map(arrival, GRID, DEV)
+        assert np.allclose(heights, GRID.thickness_nm)
+
+    def test_fully_developed_zero(self):
+        arrival = np.zeros(GRID.shape)
+        heights = surface.height_map(arrival, GRID, DEV)
+        assert np.allclose(heights, 0.0)
+
+    def test_partial_development_interpolates(self):
+        """Front exactly at the boundary between layers 1 and 2."""
+        arrival = np.full(GRID.shape, 10.0 * DEV.duration_s)
+        arrival[0] = 0.3 * DEV.duration_s
+        arrival[1] = DEV.duration_s        # exactly at threshold -> removed
+        heights = surface.height_map(arrival, GRID, DEV)
+        # layers 0,1 removed (40 nm of 80), front within layer 2's band
+        assert np.all(heights < GRID.thickness_nm - 20.0)
+        assert np.all(heights > 0.0)
+
+    def test_column_independence(self):
+        arrival = np.full(GRID.shape, 10.0 * DEV.duration_s)
+        arrival[:, 0, 0] = 0.0   # one column fully developed
+        heights = surface.height_map(arrival, GRID, DEV)
+        assert heights[0, 0] == 0.0
+        assert np.allclose(heights[1:, 1:], GRID.thickness_nm)
+
+    def test_monotone_in_development_time(self):
+        rng = np.random.default_rng(0)
+        arrival = rng.uniform(0.0, 2.0 * DEV.duration_s, size=GRID.shape)
+        arrival.sort(axis=0)  # arrival increases with depth (causal)
+        fast = surface.height_map(arrival, GRID, DEV)
+        slower_dev = DevelopConfig(duration_s=DEV.duration_s / 2.0)
+        partial = surface.height_map(arrival, GRID, slower_dev)
+        assert np.all(partial >= fast - 1e-9)
+
+
+class TestObjExport:
+    def test_file_structure(self, tmp_path):
+        heights = np.full((4, 4), 40.0)
+        path = tmp_path / "surface.obj"
+        faces = surface.export_obj(heights, GRID, path)
+        text = path.read_text()
+        assert faces == 2 * 3 * 3
+        assert text.count("\nv ") + text.startswith("v ") == 16
+        assert text.count("\nf ") == faces
+
+    def test_vertex_coordinates(self, tmp_path):
+        heights = np.zeros((2, 2))
+        heights[0, 0] = 55.0
+        path = tmp_path / "s.obj"
+        surface.export_obj(heights, GridConfig(size_um=0.04, nx=2, ny=2, nz=1), path)
+        first_vertex = path.read_text().split("\n")[1]
+        assert first_vertex == "v 10.00 10.00 55.00"

@@ -1,0 +1,63 @@
+"""Attention layer vs a naive reference implementation."""
+
+import numpy as np
+from scipy import special
+
+from repro import nn
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(61)
+
+
+def naive_attention(layer: nn.EfficientSpatialSelfAttention, x: np.ndarray) -> np.ndarray:
+    """Plain-numpy multi-head attention with r = 1, for cross-checking."""
+    b, n, c = x.shape
+    heads, hd = layer.num_heads, layer.head_dim
+    q = x @ layer.q_proj.weight.data.T + layer.q_proj.bias.data
+    kv = x @ layer.kv_proj.weight.data.T + layer.kv_proj.bias.data
+    kv = kv.reshape(b, n, 2, heads, hd)
+    k, v = kv[:, :, 0], kv[:, :, 1]
+    q = q.reshape(b, n, heads, hd)
+    out = np.empty((b, n, heads, hd))
+    for bi in range(b):
+        for h in range(heads):
+            scores = q[bi, :, h] @ k[bi, :, h].T / np.sqrt(hd)
+            weights = special.softmax(scores, axis=-1)
+            out[bi, :, h] = weights @ v[bi, :, h]
+    flat = out.reshape(b, n, c)
+    return flat @ layer.out_proj.weight.data.T + layer.out_proj.bias.data
+
+
+class TestAgainstReference:
+    def test_single_head(self):
+        nn.init.seed(0)
+        layer = nn.EfficientSpatialSelfAttention(8, num_heads=1, reduction_ratio=1)
+        x = RNG.standard_normal((2, 6, 8))
+        assert np.allclose(layer(Tensor(x)).numpy(), naive_attention(layer, x), atol=1e-10)
+
+    def test_multi_head(self):
+        nn.init.seed(1)
+        layer = nn.EfficientSpatialSelfAttention(12, num_heads=3, reduction_ratio=1)
+        x = RNG.standard_normal((1, 10, 12))
+        assert np.allclose(layer(Tensor(x)).numpy(), naive_attention(layer, x), atol=1e-10)
+
+    def test_permutation_equivariance_r1(self):
+        """Full attention (r=1) is permutation-equivariant over tokens."""
+        nn.init.seed(2)
+        layer = nn.EfficientSpatialSelfAttention(8, num_heads=2, reduction_ratio=1)
+        x = RNG.standard_normal((1, 8, 8))
+        perm = RNG.permutation(8)
+        out = layer(Tensor(x)).numpy()
+        out_permuted = layer(Tensor(x[:, perm])).numpy()
+        assert np.allclose(out_permuted, out[:, perm], atol=1e-10)
+
+    def test_reduction_breaks_permutation_equivariance(self):
+        """The Eq. 15 K/V folding is position-dependent — a deliberate
+        trade of symmetry for O(L^2/r) cost."""
+        nn.init.seed(3)
+        layer = nn.EfficientSpatialSelfAttention(8, num_heads=2, reduction_ratio=4)
+        x = RNG.standard_normal((1, 8, 8))
+        perm = np.roll(np.arange(8), 1)
+        out = layer(Tensor(x)).numpy()
+        out_permuted = layer(Tensor(x[:, perm])).numpy()
+        assert not np.allclose(out_permuted, out[:, perm], atol=1e-6)

@@ -1,0 +1,69 @@
+"""Weight-initialization schemes."""
+
+import numpy as np
+
+from repro.nn import init
+
+
+class TestSeeding:
+    def test_seed_reproducible(self):
+        init.seed(7)
+        a = init.normal((4, 4))
+        init.seed(7)
+        b = init.normal((4, 4))
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        init.seed(1)
+        a = init.normal((4, 4))
+        init.seed(2)
+        b = init.normal((4, 4))
+        assert not np.array_equal(a, b)
+
+    def test_get_rng_is_current(self):
+        init.seed(3)
+        rng = init.get_rng()
+        assert rng is init.get_rng()
+
+
+class TestDistributions:
+    def test_kaiming_bound(self):
+        init.seed(0)
+        fan_in = 64
+        w = init.kaiming_uniform((1000,), fan_in=fan_in)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / fan_in)
+        assert np.all(np.abs(w) <= bound)
+        assert np.abs(w).max() > 0.8 * bound  # actually fills the range
+
+    def test_xavier_bound(self):
+        init.seed(0)
+        w = init.xavier_uniform((1000,), fan_in=32, fan_out=64)
+        bound = np.sqrt(6.0 / 96.0)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_normal_std(self):
+        init.seed(0)
+        w = init.normal((10000,), std=0.05)
+        assert abs(w.std() - 0.05) < 0.005
+
+    def test_zeros_ones(self):
+        assert np.all(init.zeros((3, 3)) == 0.0)
+        assert np.all(init.ones((3, 3)) == 1.0)
+
+    def test_uniform_range(self):
+        init.seed(0)
+        w = init.uniform((1000,), -2.0, 5.0)
+        assert w.min() >= -2.0 and w.max() <= 5.0
+
+
+class TestModelDeterminism:
+    def test_same_seed_same_model(self):
+        from repro import nn
+        from repro.tensor import Tensor
+
+        init.seed(11)
+        a = nn.Linear(8, 8)
+        init.seed(11)
+        b = nn.Linear(8, 8)
+        x = Tensor(np.ones((1, 8)))
+        assert np.array_equal(a(x).data, b(x).data)

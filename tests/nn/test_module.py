@@ -1,0 +1,107 @@
+"""Module tree mechanics: registration, traversal, serialization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class Toy(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 3)
+        self.fc2 = nn.Linear(3, 2)
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x))
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        model = Toy()
+        names = [n for n, _ in model.named_parameters()]
+        assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+    def test_num_parameters(self):
+        model = Toy()
+        assert model.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+
+    def test_nested_modules(self):
+        class Outer(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Toy()
+
+        names = [n for n, _ in Outer().named_parameters()]
+        assert names[0] == "inner.fc1.weight"
+
+    def test_module_list_registers(self):
+        lst = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(list(lst.named_parameters())) == 4
+        assert len(lst) == 2
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        model = Toy()
+        model.eval()
+        assert not model.training and not model.fc1.training
+        model.train()
+        assert model.training and model.fc2.training
+
+
+class TestGradFlow:
+    def test_backward_populates_grads(self):
+        model = Toy()
+        out = model(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_zero_grad(self):
+        model = Toy()
+        model(Tensor(np.ones((1, 4)))).sum().backward()
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Toy(), Toy()
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.ones((1, 4)))
+        assert np.allclose(a(x).data, b(x).data)
+
+    def test_missing_key_raises(self):
+        model = Toy()
+        state = model.state_dict()
+        del state["fc1.bias"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = Toy()
+        state = model.state_dict()
+        state["fc1.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_save_load_file(self, tmp_path):
+        a, b = Toy(), Toy()
+        path = str(tmp_path / "weights.npz")
+        a.save(path)
+        b.load(path)
+        x = Tensor(np.ones((1, 4)))
+        assert np.allclose(a(x).data, b(x).data)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        seq = nn.Sequential(nn.Linear(4, 3), nn.Linear(3, 2))
+        out = seq(Tensor(np.ones((1, 4))))
+        assert out.shape == (1, 2)
+        assert seq[0].out_features == 3
+
+    def test_identity(self):
+        x = Tensor(np.ones((2, 2)))
+        assert np.allclose(nn.Identity()(x).data, x.data)

@@ -1,0 +1,125 @@
+"""Optimizer and scheduler behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.tensor import Tensor
+
+
+def quadratic_param(start=5.0):
+    return Parameter(np.array([start]))
+
+
+def loss_of(p):
+    return ((p - 3.0) ** 2.0).sum()
+
+
+class TestSGD:
+    def test_single_step(self):
+        p = quadratic_param()
+        opt = nn.SGD([p], lr=0.1)
+        loss_of(p).backward()
+        opt.step()
+        # grad = 2*(5-3) = 4, p <- 5 - 0.4
+        assert np.allclose(p.data, [4.6])
+
+    def test_converges(self):
+        p = quadratic_param()
+        opt = nn.SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            loss_of(p).backward()
+            opt.step()
+        assert np.allclose(p.data, [3.0], atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        plain, momentum = quadratic_param(), quadratic_param()
+        opt_a = nn.SGD([plain], lr=0.01)
+        opt_b = nn.SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            for p, opt in [(plain, opt_a), (momentum, opt_b)]:
+                opt.zero_grad()
+                loss_of(p).backward()
+                opt.step()
+        assert abs(momentum.data[0] - 3.0) < abs(plain.data[0] - 3.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = nn.SGD([p], lr=0.1, weight_decay=0.5)
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_param()
+        nn.SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [5.0])
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges(self):
+        p = quadratic_param()
+        opt = nn.Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            loss_of(p).backward()
+            opt.step()
+        assert np.allclose(p.data, [3.0], atol=1e-3)
+
+    def test_first_step_magnitude_is_lr(self):
+        p = quadratic_param()
+        opt = nn.Adam([p], lr=0.1)
+        loss_of(p).backward()
+        opt.step()
+        # Adam's bias-corrected first step is ~lr in magnitude.
+        assert np.isclose(abs(p.data[0] - 5.0), 0.1, rtol=1e-4)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.5])
+        norm = nn.clip_grad_norm([p], 1.0)
+        assert np.isclose(norm, 0.5) and np.allclose(p.grad, [0.5])
+
+    def test_clips_above_threshold(self):
+        p = Parameter(np.array([1.0, 1.0]))
+        p.grad = np.array([3.0, 4.0])
+        norm = nn.clip_grad_norm([p], 1.0)
+        assert np.isclose(norm, 5.0)
+        assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+
+class TestSchedulers:
+    def test_step_decay_matches_paper_schedule(self):
+        p = quadratic_param()
+        opt = nn.SGD([p], lr=0.03)
+        sched = nn.StepDecay(opt, step_size=100, gamma=0.7)
+        for _ in range(250):
+            sched.step()
+        assert np.isclose(opt.lr, 0.03 * 0.7 ** 2)
+
+    def test_step_decay_lr_at(self):
+        p = quadratic_param()
+        sched = nn.StepDecay(nn.SGD([p], lr=1.0), step_size=10, gamma=0.5)
+        assert np.isclose(sched.lr_at(0), 1.0)
+        assert np.isclose(sched.lr_at(10), 0.5)
+        assert np.isclose(sched.lr_at(25), 0.25)
+
+    def test_step_decay_invalid_step_size(self):
+        p = quadratic_param()
+        with pytest.raises(ValueError):
+            nn.StepDecay(nn.SGD([p], lr=1.0), step_size=0, gamma=0.5)
+
+    def test_cosine_decay_endpoints(self):
+        p = quadratic_param()
+        sched = nn.CosineDecay(nn.SGD([p], lr=1.0), total_epochs=10, min_lr=0.1)
+        assert np.isclose(sched.lr_at(0), 1.0)
+        assert np.isclose(sched.lr_at(10), 0.1)
+        assert sched.lr_at(5) < 1.0

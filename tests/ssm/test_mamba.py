@@ -1,0 +1,99 @@
+"""SelectiveSSM behaviour and HiPPO initialization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.ssm import SelectiveSSM, hippo_legs_matrix, s4d_real_init, dt_init
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(13)
+
+
+def rand(*shape):
+    return RNG.standard_normal(shape)
+
+
+class TestHippo:
+    def test_legs_matrix_structure(self):
+        matrix = hippo_legs_matrix(4)
+        assert np.allclose(np.diag(matrix), [-1.0, -2.0, -3.0, -4.0])
+        assert np.allclose(np.triu(matrix, k=1), 0.0)
+        assert matrix[2, 0] == -np.sqrt(5.0 * 1.0)
+
+    def test_legs_matrix_is_stable(self):
+        eigenvalues = np.linalg.eigvals(hippo_legs_matrix(8))
+        assert np.all(eigenvalues.real < 0)
+
+    def test_s4d_real_matches_legs_diagonal(self):
+        assert np.allclose(s4d_real_init(3, 5)[0], np.diag(hippo_legs_matrix(5)))
+
+    def test_dt_init_in_range(self):
+        bias = dt_init(100, dt_min=1e-3, dt_max=1e-1)
+        dt = np.log1p(np.exp(bias))
+        assert np.all(dt >= 1e-3 * 0.99) and np.all(dt <= 1e-1 * 1.01)
+
+
+class TestSelectiveSSM:
+    def test_output_shape(self):
+        ssm = SelectiveSSM(channels=4, state_dim=3)
+        assert ssm(Tensor(rand(2, 10, 4))).shape == (2, 10, 4)
+
+    def test_wrong_channels_raises(self):
+        ssm = SelectiveSSM(channels=4)
+        with pytest.raises(ValueError):
+            ssm(Tensor(rand(1, 5, 3)))
+
+    def test_invalid_discretization_raises(self):
+        with pytest.raises(ValueError):
+            SelectiveSSM(channels=2, discretization="midpoint")
+
+    def test_causality(self):
+        """Output at time t must not depend on inputs at time > t."""
+        nn.init.seed(3)
+        ssm = SelectiveSSM(channels=3, state_dim=4)
+        x = rand(1, 8, 3)
+        base = ssm(Tensor(x)).data
+        perturbed = x.copy()
+        perturbed[0, 5:] += 10.0
+        out = ssm(Tensor(perturbed)).data
+        assert np.allclose(out[0, :5], base[0, :5])
+        assert not np.allclose(out[0, 5:], base[0, 5:])
+
+    def test_selectivity_input_dependence(self):
+        """Two different prefixes must propagate differently (selection)."""
+        nn.init.seed(4)
+        ssm = SelectiveSSM(channels=2, state_dim=2)
+        x1, x2 = rand(1, 6, 2), rand(1, 6, 2)
+        x2[0, 3:] = x1[0, 3:]
+        y1, y2 = ssm(Tensor(x1)).data, ssm(Tensor(x2)).data
+        assert not np.allclose(y1[0, 3:], y2[0, 3:])
+
+    def test_gradients_reach_all_parameters(self):
+        ssm = SelectiveSSM(channels=3, state_dim=2)
+        ssm(Tensor(rand(1, 7, 3))).sum().backward()
+        for name, param in ssm.named_parameters():
+            assert param.grad is not None, name
+
+    def test_zoh_and_euler_differ(self):
+        nn.init.seed(5)
+        zoh = SelectiveSSM(channels=2, state_dim=2, discretization="zoh")
+        nn.init.seed(5)
+        euler = SelectiveSSM(channels=2, state_dim=2, discretization="euler")
+        x = Tensor(rand(1, 5, 2))
+        assert not np.allclose(zoh(x).data, euler(x).data)
+
+    def test_scan_modes_equivalent(self):
+        nn.init.seed(6)
+        chunked = SelectiveSSM(channels=2, state_dim=2, scan_mode="chunked")
+        nn.init.seed(6)
+        sequential = SelectiveSSM(channels=2, state_dim=2, scan_mode="sequential")
+        x = Tensor(rand(1, 40, 2))
+        assert np.allclose(chunked(x).data, sequential(x).data)
+
+    def test_decay_keeps_activations_bounded(self):
+        ssm = SelectiveSSM(channels=2, state_dim=2)
+        x = Tensor(np.ones((1, 200, 2)))
+        out = ssm(x).data
+        assert np.all(np.isfinite(out))
+        assert np.abs(out).max() < 1e3

@@ -1,0 +1,164 @@
+"""LTI (S4D) state-space model: recurrence vs Eq. 9 convolution form."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.ssm import LTISSM, lti_kernel, causal_conv_fft
+from repro.ssm.s4d import LTISSM as _LTISSM
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(41)
+
+
+def rand(*shape):
+    return RNG.standard_normal(shape)
+
+
+class TestKernel:
+    def test_kernel_shape(self):
+        a_bar = np.full((3, 2), 0.9)
+        b_bar = np.ones((3, 2))
+        c = np.ones((3, 2))
+        kernel = lti_kernel(a_bar, b_bar, c, length=5)
+        assert kernel.shape == (3, 5)
+
+    def test_kernel_values_single_state(self):
+        """K̄[t] = c * a^t * b for N = 1 (geometric impulse response)."""
+        a_bar = np.array([[0.5]])
+        b_bar = np.array([[2.0]])
+        c = np.array([[3.0]])
+        kernel = lti_kernel(a_bar, b_bar, c, length=4)
+        assert np.allclose(kernel[0], [6.0, 3.0, 1.5, 0.75])
+
+    def test_causal_conv_matches_direct(self):
+        x = rand(1, 6, 1)
+        kernel = rand(1, 6)
+        out = causal_conv_fft(x, kernel)
+        direct = np.array([
+            sum(kernel[0, j] * x[0, t - j, 0] for j in range(t + 1))
+            for t in range(6)
+        ])
+        assert np.allclose(out[0, :, 0], direct)
+
+
+class TestLTISSM:
+    def test_output_shape(self):
+        nn.init.seed(0)
+        ssm = LTISSM(channels=3, state_dim=4)
+        assert ssm(Tensor(rand(2, 7, 3))).shape == (2, 7, 3)
+
+    def test_scan_and_conv_modes_agree(self):
+        nn.init.seed(1)
+        scan = LTISSM(channels=3, state_dim=4, mode="scan")
+        nn.init.seed(1)
+        conv = LTISSM(channels=3, state_dim=4, mode="conv")
+        x = Tensor(rand(1, 16, 3))
+        assert np.allclose(scan(x).numpy(), conv(x).numpy(), atol=1e-10)
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ValueError):
+            LTISSM(channels=2, mode="butterfly")
+
+    def test_wrong_channels_raises(self):
+        ssm = LTISSM(channels=3)
+        with pytest.raises(ValueError):
+            ssm(Tensor(rand(1, 4, 2)))
+
+    def test_time_invariance(self):
+        """Shifting the input shifts the output (no selection)."""
+        nn.init.seed(2)
+        ssm = LTISSM(channels=2, state_dim=3)
+        x = np.zeros((1, 12, 2))
+        x[0, 2] = 1.0
+        y = ssm(Tensor(x)).numpy()
+        shifted = np.zeros((1, 12, 2))
+        shifted[0, 5] = 1.0
+        y_shifted = ssm(Tensor(shifted)).numpy()
+        assert np.allclose(y[0, 2:9], y_shifted[0, 5:], atol=1e-10)
+
+    def test_lti_is_homogeneous(self):
+        """The LTI map is linear: y(2x) = 2 y(x)."""
+        nn.init.seed(3)
+        ssm = LTISSM(channels=2, state_dim=3)
+        x = rand(1, 10, 2)
+        y1 = ssm(Tensor(x)).numpy()
+        y2 = ssm(Tensor(2.0 * x)).numpy()
+        assert np.allclose(y2, 2.0 * y1, atol=1e-9)
+
+    def test_selective_ssm_is_not_homogeneous(self):
+        """Contrast: Mamba's input-dependent (B, C, Δ) breaks linearity —
+        that nonlinearity *is* the selection mechanism."""
+        from repro.ssm import SelectiveSSM
+
+        nn.init.seed(3)
+        ssm = SelectiveSSM(channels=2, state_dim=3)
+        x = rand(1, 10, 2)
+        y1 = ssm(Tensor(x)).numpy()
+        y2 = ssm(Tensor(2.0 * x)).numpy()
+        assert not np.allclose(y2, 2.0 * y1, atol=1e-6)
+
+    def test_gradients_flow_scan_mode(self):
+        nn.init.seed(4)
+        ssm = LTISSM(channels=2, state_dim=2, mode="scan")
+        x = Tensor(rand(1, 6, 2), requires_grad=True)
+        ssm(x).sum().backward()
+        assert x.grad is not None
+        for name, param in ssm.named_parameters():
+            assert param.grad is not None, name
+
+    def test_conv_mode_input_gradient(self):
+        nn.init.seed(5)
+        scan = LTISSM(channels=2, state_dim=2, mode="scan")
+        nn.init.seed(5)
+        conv = LTISSM(channels=2, state_dim=2, mode="conv")
+        data = rand(1, 8, 2)
+        x1 = Tensor(data.copy(), requires_grad=True)
+        scan(x1).sum().backward()
+        x2 = Tensor(data.copy(), requires_grad=True)
+        conv(x2).sum().backward()
+        assert np.allclose(x1.grad, x2.grad, atol=1e-9)
+
+
+class TestSDMUnitWithLTI:
+    def test_unit_builds_and_runs(self):
+        from repro.core import SDMUnit
+
+        nn.init.seed(6)
+        unit = SDMUnit(channels=4, state_dim=2, ssm_type="lti")
+        out = unit(Tensor(rand(1, 4, 2, 3, 3)))
+        assert out.shape == (1, 4, 2, 3, 3)
+
+    def test_invalid_ssm_type_raises(self):
+        from repro.core import SDMUnit
+
+        with pytest.raises(ValueError):
+            SDMUnit(channels=4, ssm_type="transformer")
+
+    def test_lti_and_selective_differ(self):
+        from repro.core import SDMUnit
+
+        nn.init.seed(7)
+        lti = SDMUnit(channels=4, state_dim=2, ssm_type="lti")
+        nn.init.seed(7)
+        selective = SDMUnit(channels=4, state_dim=2, ssm_type="selective")
+        x = Tensor(rand(1, 4, 2, 3, 3))
+        assert not np.allclose(lti(x).numpy(), selective(x).numpy())
+
+    def test_model_config_flag(self):
+        from repro.core import SDMPEB
+        from repro.experiments import sdmpeb_config_for
+        from repro.config import GridConfig
+
+        nn.init.seed(8)
+        grid = GridConfig(size_um=1.0, nx=32, ny=32, nz=4)
+        model = SDMPEB(sdmpeb_config_for(grid, ssm_type="lti"))
+        assert model.encoders[0].sdm.ssm_type == "lti"
+
+    def test_ablation_registry_entry(self):
+        from repro.experiments import build_ablation
+        from repro.config import GridConfig
+
+        nn.init.seed(9)
+        model, _ = build_ablation("LTI SSM", GridConfig(size_um=1.0, nx=32, ny=32, nz=4))
+        assert model.encoders[0].sdm.ssm_type == "lti"

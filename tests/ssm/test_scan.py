@@ -1,0 +1,111 @@
+"""Selective-scan kernels: equivalence, gradients, and edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ssm import scan
+from repro.tensor import Tensor
+from repro.tensor.gradcheck import gradcheck
+
+RNG = np.random.default_rng(11)
+
+
+def decay(*shape):
+    """Random decay factors in (0, 1], the domain produced by exp(ΔA)."""
+    return np.exp(-RNG.uniform(0.01, 3.0, size=shape))
+
+
+def drive(*shape):
+    return RNG.standard_normal(shape)
+
+
+class TestSequentialKernel:
+    def test_matches_direct_recurrence(self):
+        a, b = decay(1, 5, 2, 3), drive(1, 5, 2, 3)
+        h = scan.scan_sequential(a, b)
+        carry = np.zeros((1, 2, 3))
+        for t in range(5):
+            carry = a[:, t] * carry + b[:, t]
+            assert np.allclose(h[:, t], carry)
+
+    def test_identity_decay_is_cumsum(self):
+        b = drive(2, 6, 1, 1)
+        h = scan.scan_sequential(np.ones_like(b), b)
+        assert np.allclose(h, np.cumsum(b, axis=1))
+
+    def test_zero_decay_is_passthrough(self):
+        b = drive(1, 4, 2, 2)
+        h = scan.scan_sequential(np.zeros_like(b), b)
+        assert np.allclose(h, b)
+
+
+class TestChunkedKernel:
+    @pytest.mark.parametrize("length", [1, 3, 16, 17, 40, 128])
+    def test_matches_sequential(self, length):
+        a, b = decay(2, length, 3, 4), drive(2, length, 3, 4)
+        assert np.allclose(scan.scan_chunked(a, b), scan.scan_sequential(a, b))
+
+    @pytest.mark.parametrize("chunk", [1, 2, 7, 16, 64])
+    def test_chunk_size_invariant(self, chunk):
+        a, b = decay(1, 33, 2, 2), drive(1, 33, 2, 2)
+        assert np.allclose(scan.scan_chunked(a, b, chunk=chunk), scan.scan_sequential(a, b))
+
+    def test_strong_decay_stable(self):
+        """Very small decay factors must not overflow the cumprod trick."""
+        a = np.full((1, 64, 1, 1), 1e-12)
+        b = drive(1, 64, 1, 1)
+        h = scan.scan_chunked(a, b)
+        assert np.all(np.isfinite(h))
+        assert np.allclose(h, scan.scan_sequential(a, b))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        length=st.integers(1, 48),
+        channels=st.integers(1, 3),
+        states=st.integers(1, 4),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_kernels_agree(self, length, channels, states, seed):
+        rng = np.random.default_rng(seed)
+        a = np.exp(-rng.uniform(0.0, 5.0, size=(1, length, channels, states)))
+        b = rng.standard_normal((1, length, channels, states))
+        assert np.allclose(scan.scan_chunked(a, b), scan.scan_sequential(a, b), atol=1e-10)
+
+
+class TestRunScan:
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            scan.run_scan(decay(1, 2, 1, 1), drive(1, 2, 1, 1), mode="warp")
+
+
+class TestDiagonalScanGrad:
+    @pytest.mark.parametrize("mode", ["sequential", "chunked"])
+    def test_gradcheck(self, mode):
+        w = drive(1, 5, 2, 2)
+        gradcheck(
+            lambda ts: (scan.diagonal_scan(ts[0], ts[1], mode=mode) * w).sum(),
+            [decay(1, 5, 2, 2), drive(1, 5, 2, 2)],
+        )
+
+    def test_gradcheck_long_sequence(self):
+        w = drive(1, 35, 1, 2)
+        gradcheck(
+            lambda ts: (scan.diagonal_scan(ts[0], ts[1]) * w).sum(),
+            [decay(1, 35, 1, 2), drive(1, 35, 1, 2)],
+        )
+
+    def test_modes_give_same_gradients(self):
+        a_np, b_np = decay(1, 20, 2, 3), drive(1, 20, 2, 3)
+        grads = {}
+        for mode in ("sequential", "chunked"):
+            a = Tensor(a_np.copy(), requires_grad=True)
+            b = Tensor(b_np.copy(), requires_grad=True)
+            scan.diagonal_scan(a, b, mode=mode).sum().backward()
+            grads[mode] = (a.grad.copy(), b.grad.copy())
+        assert np.allclose(grads["sequential"][0], grads["chunked"][0])
+        assert np.allclose(grads["sequential"][1], grads["chunked"][1])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            scan.diagonal_scan(Tensor(decay(1, 3, 1, 1)), Tensor(drive(1, 4, 1, 1)))

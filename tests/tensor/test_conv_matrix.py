@@ -1,0 +1,89 @@
+"""Convolution parameter matrix: strides x paddings x groups gradchecks.
+
+The conv kernels back every model in the repo; this sweep pins their
+gradients across the parameter combinations the models actually use.
+"""
+
+import numpy as np
+import pytest
+
+from repro import tensor as T
+from repro.tensor import ops_nn
+from repro.tensor.gradcheck import gradcheck
+
+RNG = np.random.default_rng(67)
+
+
+def rand(*shape):
+    return RNG.standard_normal(shape)
+
+
+class TestConv3dParameterMatrix:
+    @pytest.mark.parametrize("stride,padding,groups,cin,cout", [
+        ((1, 1, 1), (1, 1, 1), 1, 2, 2),    # same-pad unit stride (ResidualBlock)
+        ((1, 2, 2), (1, 1, 1), 1, 2, 2),    # plane downsample (patch merging)
+        ((1, 4, 4), (0, 3, 3), 1, 1, 2),    # stage-1 embedding footprint
+        ((1, 1, 1), (1, 1, 1), 2, 2, 4),    # grouped
+        ((1, 1, 1), (1, 1, 1), 4, 4, 4),    # depthwise
+        ((2, 2, 2), (0, 0, 0), 1, 1, 1),    # valid strided
+    ])
+    def test_gradcheck(self, stride, padding, groups, cin, cout):
+        kernel = (3, 3, 3)
+        x = rand(1, cin, 5, 8, 8)
+        w = rand(cout, cin // groups, *kernel)
+        gradcheck(
+            lambda ts: T.conv3d(ts[0], ts[1], stride=stride, padding=padding,
+                                groups=groups).sum(),
+            [x, w],
+        )
+
+    def test_asymmetric_kernel(self):
+        """The (1, k, k) kernels TEMPO-resist uses for per-slice 2D convs."""
+        gradcheck(
+            lambda ts: T.conv3d(ts[0], ts[1], padding=(0, 1, 1)).sum(),
+            [rand(1, 2, 3, 5, 5), rand(2, 2, 1, 3, 3)],
+        )
+
+    def test_output_sizes_match_formula(self):
+        for size, k, s, p in [(8, 3, 1, 1), (8, 3, 2, 1), (9, 7, 4, 3), (16, 2, 2, 0)]:
+            x = rand(1, 1, 3, size, size)
+            w = rand(1, 1, 1, k, k)
+            out = ops_nn.conv3d_forward(x, w, (1, s, s), (0, p, p), 1)
+            expected = (size + 2 * p - k) // s + 1
+            assert out.shape[-1] == expected, (size, k, s, p)
+
+
+class TestConvTransposeParameterMatrix:
+    @pytest.mark.parametrize("stride,padding,output_padding", [
+        ((1, 2, 2), (1, 0, 0), (0, 0, 0)),   # decoder upsample layer
+        ((1, 1, 1), (1, 1, 1), (0, 0, 0)),   # decoder head layer
+        ((2, 2, 2), (0, 0, 0), (1, 1, 1)),   # odd-size recovery
+    ])
+    def test_gradcheck(self, stride, padding, output_padding):
+        x = rand(1, 2, 3, 4, 4)
+        w = rand(2, 2, 3, 2, 2) if stride != (1, 1, 1) else rand(2, 2, 3, 3, 3)
+        gradcheck(
+            lambda ts: T.conv_transpose3d(ts[0], ts[1], stride=stride,
+                                          padding=padding,
+                                          output_padding=output_padding).sum(),
+            [x, w],
+        )
+
+    def test_transpose_inverts_conv_shape(self):
+        """Decoder layers exactly invert the encoder's downsampling."""
+        for size in (8, 16, 32):
+            x = rand(1, 1, 2, size, size)
+            w_down = rand(1, 1, 3, 3, 3)
+            down = ops_nn.conv3d_forward(x, w_down, (1, 2, 2), (1, 1, 1), 1)
+            w_up = rand(1, 1, 3, 2, 2)
+            up = ops_nn.conv_transpose3d_forward(down, w_up, (1, 2, 2), (1, 0, 0), 0, 1)
+            assert up.shape == x.shape
+
+
+class TestConv1dStrides:
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (2, 1), (1, 2)])
+    def test_gradcheck(self, stride, padding):
+        gradcheck(
+            lambda ts: T.conv1d(ts[0], ts[1], stride=stride, padding=padding).sum(),
+            [rand(1, 2, 8), rand(2, 2, 3)],
+        )

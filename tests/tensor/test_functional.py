@@ -1,0 +1,117 @@
+"""Checks for composite functions (activations, normalization, softmax)."""
+
+import numpy as np
+from scipy import special
+
+from repro import tensor as T
+from repro.tensor import functional as F
+from repro.tensor.gradcheck import gradcheck
+
+RNG = np.random.default_rng(4)
+
+
+def rand(*shape):
+    return RNG.standard_normal(shape)
+
+
+class TestActivations:
+    def test_relu_values(self):
+        x = T.Tensor([-1.0, 0.0, 2.0])
+        assert np.allclose(F.relu(x).data, [0.0, 0.0, 2.0])
+
+    def test_relu_grad(self):
+        gradcheck(lambda ts: F.relu(ts[0]).sum(), [rand(4) + 0.1])
+
+    def test_leaky_relu_values(self):
+        x = T.Tensor([-2.0, 3.0])
+        assert np.allclose(F.leaky_relu(x, 0.1).data, [-0.2, 3.0])
+
+    def test_leaky_relu_grad(self):
+        gradcheck(lambda ts: F.leaky_relu(ts[0], 0.2).sum(), [rand(5) + 0.05])
+
+    def test_silu_matches_scipy(self):
+        x = rand(6)
+        assert np.allclose(F.silu(T.Tensor(x)).data, x * special.expit(x))
+
+    def test_silu_grad(self):
+        gradcheck(lambda ts: F.silu(ts[0]).sum(), [rand(5)])
+
+    def test_gelu_grad(self):
+        gradcheck(lambda ts: F.gelu(ts[0]).sum(), [rand(5)])
+
+    def test_softplus_matches_numpy(self):
+        x = rand(6) * 3
+        assert np.allclose(F.softplus(T.Tensor(x)).data, np.log1p(np.exp(x)))
+
+    def test_softplus_stable_at_large_inputs(self):
+        out = F.softplus(T.Tensor([1000.0, -1000.0]))
+        assert np.allclose(out.data, [1000.0, 0.0])
+
+    def test_softplus_grad(self):
+        gradcheck(lambda ts: F.softplus(ts[0]).sum(), [rand(5)])
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        out = F.softmax(T.Tensor(rand(3, 5)), axis=-1)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_matches_scipy(self):
+        x = rand(2, 4)
+        assert np.allclose(F.softmax(T.Tensor(x), axis=-1).data, special.softmax(x, axis=-1))
+
+    def test_stable_with_large_logits(self):
+        out = F.softmax(T.Tensor([1000.0, 1001.0]))
+        assert np.all(np.isfinite(out.data))
+
+    def test_grad(self):
+        w = rand(2, 3)
+        gradcheck(lambda ts: (F.softmax(ts[0], axis=-1) * w).sum(), [rand(2, 3)])
+
+    def test_log_softmax_matches(self):
+        x = rand(2, 4)
+        assert np.allclose(F.log_softmax(T.Tensor(x), axis=-1).data, special.log_softmax(x, axis=-1))
+
+
+class TestLayerNorm:
+    def test_normalizes(self):
+        out = F.layer_norm(T.Tensor(rand(4, 8)))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-10)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_affine_params_apply(self):
+        x = T.Tensor(rand(2, 4))
+        w, b = T.Tensor(2.0 * np.ones(4)), T.Tensor(np.ones(4))
+        out = F.layer_norm(x, w, b)
+        plain = F.layer_norm(x)
+        assert np.allclose(out.data, 2.0 * plain.data + 1.0)
+
+    def test_grad(self):
+        w = rand(2, 4)
+        gradcheck(
+            lambda ts: (F.layer_norm(ts[0], ts[1], ts[2]) * w).sum(),
+            [rand(2, 4), rand(4), rand(4)],
+            atol=1e-4,
+        )
+
+
+class TestMisc:
+    def test_mse_loss(self):
+        a, b = rand(3, 3), rand(3, 3)
+        assert np.isclose(F.mse_loss(T.Tensor(a), T.Tensor(b)).data, ((a - b) ** 2).mean())
+
+    def test_dropout_eval_identity(self):
+        x = T.Tensor(rand(4, 4))
+        assert np.allclose(F.dropout(x, 0.5, training=False).data, x.data)
+
+    def test_dropout_train_scales(self):
+        rng = np.random.default_rng(0)
+        x = T.Tensor(np.ones((1000,)))
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        kept = out.data[out.data > 0]
+        assert np.allclose(kept, 2.0)
+        assert 400 < kept.size < 600
+
+    def test_flatten_spatial(self):
+        x = T.Tensor(rand(2, 3, 4, 5, 6))
+        assert F.flatten_spatial(x).shape == (2, 3, 120)

@@ -1,0 +1,189 @@
+"""Gradient and value checks for elementwise / linear-algebra primitives."""
+
+import numpy as np
+import pytest
+
+from repro import tensor as T
+from repro.tensor.gradcheck import gradcheck
+
+RNG = np.random.default_rng(0)
+
+
+def rand(*shape):
+    return RNG.standard_normal(shape)
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        a, b = T.Tensor([1.0, 2.0]), T.Tensor([3.0, 4.0])
+        assert np.allclose((a + b).data, [4.0, 6.0])
+
+    def test_add_grad(self):
+        gradcheck(lambda ts: (ts[0] + ts[1]).sum(), [rand(3, 2), rand(3, 2)])
+
+    def test_add_broadcast_grad(self):
+        gradcheck(lambda ts: (ts[0] + ts[1]).sum(), [rand(3, 2), rand(2)])
+
+    def test_sub_grad(self):
+        gradcheck(lambda ts: (ts[0] - ts[1]).sum(), [rand(4), rand(4)])
+
+    def test_mul_grad(self):
+        gradcheck(lambda ts: (ts[0] * ts[1]).sum(), [rand(2, 3), rand(2, 3)])
+
+    def test_mul_broadcast_scalar_grad(self):
+        gradcheck(lambda ts: (ts[0] * ts[1]).sum(), [rand(2, 3), rand(1)])
+
+    def test_div_grad(self):
+        gradcheck(lambda ts: (ts[0] / ts[1]).sum(), [rand(3), rand(3) + 3.0])
+
+    def test_neg_grad(self):
+        gradcheck(lambda ts: (-ts[0]).sum(), [rand(3)])
+
+    def test_pow_grad(self):
+        gradcheck(lambda ts: (ts[0] ** 3.0).sum(), [rand(3)])
+
+    def test_pow_fractional_grad(self):
+        gradcheck(lambda ts: (ts[0] ** 0.5).sum(), [np.abs(rand(3)) + 1.0])
+
+    def test_radd_rsub_rmul(self):
+        a = T.Tensor([2.0])
+        assert np.allclose((1.0 + a).data, [3.0])
+        assert np.allclose((1.0 - a).data, [-1.0])
+        assert np.allclose((3.0 * a).data, [6.0])
+        assert np.allclose((6.0 / a).data, [3.0])
+
+
+class TestTranscendental:
+    def test_exp_grad(self):
+        gradcheck(lambda ts: ts[0].exp().sum(), [rand(4)])
+
+    def test_log_grad(self):
+        gradcheck(lambda ts: ts[0].log().sum(), [np.abs(rand(4)) + 0.5])
+
+    def test_sqrt_grad(self):
+        gradcheck(lambda ts: ts[0].sqrt().sum(), [np.abs(rand(4)) + 0.5])
+
+    def test_tanh_grad(self):
+        gradcheck(lambda ts: ts[0].tanh().sum(), [rand(4)])
+
+    def test_sigmoid_grad(self):
+        gradcheck(lambda ts: ts[0].sigmoid().sum(), [rand(4)])
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = T.Tensor([-800.0, 0.0, 800.0]).sigmoid()
+        assert np.all(np.isfinite(out.data))
+        assert np.allclose(out.data, [0.0, 0.5, 1.0])
+
+    def test_abs_grad(self):
+        gradcheck(lambda ts: ts[0].abs().sum(), [rand(4) + 2.0])
+
+
+class TestComparisonSelect:
+    def test_maximum_grad(self):
+        gradcheck(lambda ts: T.maximum(ts[0], ts[1]).sum(), [rand(5), rand(5)])
+
+    def test_minimum_grad(self):
+        gradcheck(lambda ts: T.minimum(ts[0], ts[1]).sum(), [rand(5), rand(5)])
+
+    def test_clip_values(self):
+        x = T.Tensor([-2.0, 0.5, 3.0])
+        assert np.allclose(x.clip(0.0, 1.0).data, [0.0, 0.5, 1.0])
+
+    def test_clip_grad_zero_outside(self):
+        x = T.Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        x.clip(0.0, 1.0).sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_where_grad(self):
+        cond = np.array([True, False, True])
+        gradcheck(lambda ts: T.where(cond, ts[0], ts[1]).sum(), [rand(3), rand(3)])
+
+
+class TestMatmul:
+    def test_2d_2d_value(self):
+        a, b = rand(3, 4), rand(4, 2)
+        assert np.allclose((T.Tensor(a) @ T.Tensor(b)).data, a @ b)
+
+    def test_2d_2d_grad(self):
+        gradcheck(lambda ts: (ts[0] @ ts[1]).sum(), [rand(3, 4), rand(4, 2)])
+
+    def test_batched_grad(self):
+        gradcheck(lambda ts: (ts[0] @ ts[1]).sum(), [rand(2, 3, 4), rand(2, 4, 2)])
+
+    def test_broadcast_batched_grad(self):
+        gradcheck(lambda ts: (ts[0] @ ts[1]).sum(), [rand(2, 3, 4), rand(4, 2)])
+
+    def test_matrix_vector_grad(self):
+        gradcheck(lambda ts: (ts[0] @ ts[1]).sum(), [rand(3, 4), rand(4)])
+
+    def test_vector_matrix_grad(self):
+        gradcheck(lambda ts: (ts[0] @ ts[1]).sum(), [rand(4), rand(4, 3)])
+
+
+class TestEinsum:
+    def test_matches_numpy(self):
+        a, b = rand(2, 3, 4), rand(3, 5)
+        out = T.einsum("bij,ik->bjk", T.Tensor(a), T.Tensor(b))
+        assert np.allclose(out.data, np.einsum("bij,ik->bjk", a, b))
+
+    def test_grad(self):
+        gradcheck(lambda ts: T.einsum("ij,jk->ik", ts[0], ts[1]).sum(), [rand(2, 3), rand(3, 2)])
+
+    def test_three_operand_grad(self):
+        gradcheck(
+            lambda ts: T.einsum("ij,jk,kl->il", ts[0], ts[1], ts[2]).sum(),
+            [rand(2, 3), rand(3, 2), rand(2, 2)],
+        )
+
+    def test_requires_explicit_output(self):
+        with pytest.raises(ValueError):
+            T.einsum("ij,jk", T.Tensor(rand(2, 3)), T.Tensor(rand(3, 2)))
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_over_multiple_uses(self):
+        x = T.Tensor([2.0], requires_grad=True)
+        y = x * x + x  # dy/dx = 2x + 1 = 5
+        y.sum().backward()
+        assert np.allclose(x.grad, [5.0])
+
+    def test_backward_twice_accumulates(self):
+        x = T.Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 2.0).sum().backward()
+        assert np.allclose(x.grad, [4.0])
+
+    def test_no_grad_blocks_tape(self):
+        x = T.Tensor([1.0], requires_grad=True)
+        with T.no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_detach(self):
+        x = T.Tensor([1.0], requires_grad=True)
+        y = (x * 2.0).detach() * 3.0
+        assert not y.requires_grad
+
+    def test_backward_on_non_scalar_raises(self):
+        x = T.Tensor(rand(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_with_seed_gradient(self):
+        x = T.Tensor([1.0, 2.0], requires_grad=True)
+        (x * 3.0).backward(np.array([1.0, 10.0]))
+        assert np.allclose(x.grad, [3.0, 30.0])
+
+    def test_deep_chain_does_not_recurse(self):
+        x = T.Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.sum().backward()
+        assert np.allclose(x.grad, [1.0])
+
+    def test_zero_grad(self):
+        x = T.Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None

@@ -1,0 +1,82 @@
+"""Gradient and value checks for reduction primitives."""
+
+import numpy as np
+
+from repro import tensor as T
+from repro.tensor.gradcheck import gradcheck
+
+RNG = np.random.default_rng(2)
+
+
+def rand(*shape):
+    return RNG.standard_normal(shape)
+
+
+class TestSumMean:
+    def test_sum_all_grad(self):
+        gradcheck(lambda ts: ts[0].sum(), [rand(2, 3)])
+
+    def test_sum_axis_grad(self):
+        w = rand(2)
+        gradcheck(lambda ts: (ts[0].sum(axis=1) * w).sum(), [rand(2, 3)])
+
+    def test_sum_axes_tuple_grad(self):
+        w = rand(3)
+        gradcheck(lambda ts: (ts[0].sum(axis=(0, 2)) * w).sum(), [rand(2, 3, 4)])
+
+    def test_sum_keepdims_grad(self):
+        w = rand(2, 1)
+        gradcheck(lambda ts: (ts[0].sum(axis=1, keepdims=True) * w).sum(), [rand(2, 3)])
+
+    def test_sum_negative_axis(self):
+        x = T.Tensor(rand(2, 3))
+        assert np.allclose(x.sum(axis=-1).data, x.data.sum(axis=-1))
+
+    def test_mean_all_grad(self):
+        gradcheck(lambda ts: ts[0].mean(), [rand(2, 3)])
+
+    def test_mean_axis_grad(self):
+        w = rand(3)
+        gradcheck(lambda ts: (ts[0].mean(axis=0) * w).sum(), [rand(2, 3)])
+
+    def test_mean_value(self):
+        x = rand(3, 4)
+        assert np.allclose(T.Tensor(x).mean(axis=1).data, x.mean(axis=1))
+
+
+class TestMaxMin:
+    def test_max_all_grad(self):
+        gradcheck(lambda ts: ts[0].max(), [rand(2, 3)])
+
+    def test_max_axis_grad(self):
+        w = rand(2)
+        gradcheck(lambda ts: (ts[0].max(axis=1) * w).sum(), [rand(2, 3)])
+
+    def test_max_value(self):
+        x = rand(4, 5)
+        assert np.allclose(T.Tensor(x).max(axis=0).data, x.max(axis=0))
+
+    def test_max_tie_splits_gradient(self):
+        x = T.Tensor([2.0, 2.0, 1.0], requires_grad=True)
+        x.max().backward()
+        assert np.allclose(x.grad, [0.5, 0.5, 0.0])
+
+    def test_min_grad(self):
+        gradcheck(lambda ts: ts[0].min(), [rand(2, 3)])
+
+    def test_min_value(self):
+        x = rand(4)
+        assert np.isclose(T.Tensor(x).min().data, x.min())
+
+
+class TestVar:
+    def test_var_value(self):
+        x = rand(3, 4)
+        assert np.allclose(T.Tensor(x).var(axis=1).data, x.var(axis=1))
+
+    def test_var_grad(self):
+        gradcheck(lambda ts: ts[0].var(), [rand(2, 3)])
+
+    def test_var_axis_grad(self):
+        w = rand(3)
+        gradcheck(lambda ts: (ts[0].var(axis=0) * w).sum(), [rand(4, 3)])

@@ -1,0 +1,121 @@
+"""Gradient and value checks for shape-manipulation primitives."""
+
+import numpy as np
+import pytest
+
+from repro import tensor as T
+from repro.tensor.gradcheck import gradcheck
+
+RNG = np.random.default_rng(1)
+
+
+def rand(*shape):
+    return RNG.standard_normal(shape)
+
+
+class TestReshapeTranspose:
+    def test_reshape_grad(self):
+        gradcheck(lambda ts: (ts[0].reshape(6) * np.arange(6.0)).sum(), [rand(2, 3)])
+
+    def test_reshape_tuple_arg(self):
+        x = T.Tensor(rand(2, 3))
+        assert x.reshape((3, 2)).shape == (3, 2)
+
+    def test_reshape_minus_one(self):
+        x = T.Tensor(rand(2, 3, 4))
+        assert x.reshape(2, -1).shape == (2, 12)
+
+    def test_transpose_default_grad(self):
+        w = rand(3, 2)
+        gradcheck(lambda ts: (ts[0].transpose() * w).sum(), [rand(2, 3)])
+
+    def test_transpose_axes_grad(self):
+        w = rand(4, 2, 3)
+        gradcheck(lambda ts: (ts[0].transpose((2, 0, 1)) * w).sum(), [rand(2, 3, 4)])
+
+    def test_swapaxes_grad(self):
+        w = rand(4, 3, 2)
+        gradcheck(lambda ts: (ts[0].swapaxes(0, 2) * w).sum(), [rand(2, 3, 4)])
+
+    def test_moveaxis_grad(self):
+        w = rand(3, 4, 2)
+        gradcheck(lambda ts: (ts[0].moveaxis(0, 2) * w).sum(), [rand(2, 3, 4)])
+
+    def test_T_property(self):
+        x = T.Tensor(rand(2, 3))
+        assert x.T.shape == (3, 2)
+
+
+class TestIndexing:
+    def test_slice_grad(self):
+        w = rand(2, 3)
+        gradcheck(lambda ts: (ts[0][1:3] * w).sum(), [rand(4, 3)])
+
+    def test_integer_index_grad(self):
+        w = rand(3)
+        gradcheck(lambda ts: (ts[0][1] * w).sum(), [rand(4, 3)])
+
+    def test_strided_slice_grad(self):
+        w = rand(2, 3)
+        gradcheck(lambda ts: (ts[0][::2] * w).sum(), [rand(4, 3)])
+
+    def test_overlapping_index_accumulates(self):
+        x = T.Tensor(rand(3), requires_grad=True)
+        (x[np.array([0, 0, 1])]).sum().backward()
+        assert np.allclose(x.grad, [2.0, 1.0, 0.0])
+
+
+class TestJoinSplit:
+    def test_concatenate_grad(self):
+        w = rand(2, 5)
+        gradcheck(
+            lambda ts: (T.concatenate([ts[0], ts[1]], axis=1) * w).sum(),
+            [rand(2, 3), rand(2, 2)],
+        )
+
+    def test_stack_grad(self):
+        w = rand(2, 3)
+        gradcheck(
+            lambda ts: (T.stack([ts[0], ts[1]], axis=0) * w).sum(),
+            [rand(3), rand(3)],
+        )
+
+    def test_split_roundtrip(self):
+        x = T.Tensor(rand(4, 6), requires_grad=True)
+        chunks = T.split(x, 3, axis=1)
+        assert all(c.shape == (4, 2) for c in chunks)
+        T.concatenate(chunks, axis=1).sum().backward()
+        assert np.allclose(x.grad, np.ones((4, 6)))
+
+    def test_split_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            T.split(T.Tensor(rand(4, 5)), 3, axis=1)
+
+
+class TestPadFlipBroadcast:
+    def test_pad_values(self):
+        x = T.Tensor([[1.0]])
+        out = T.pad(x, [(1, 1), (0, 2)])
+        assert out.shape == (3, 3)
+        assert out.data[1, 0] == 1.0
+
+    def test_pad_grad(self):
+        w = rand(5, 4)
+        gradcheck(lambda ts: (T.pad(ts[0], [(1, 2), (0, 1)]) * w).sum(), [rand(2, 3)])
+
+    def test_flip_grad(self):
+        w = rand(3, 2)
+        gradcheck(lambda ts: (ts[0].flip(0) * w).sum(), [rand(3, 2)])
+
+    def test_broadcast_to_grad(self):
+        w = rand(4, 3)
+        gradcheck(lambda ts: (T.broadcast_to(ts[0], (4, 3)) * w).sum(), [rand(3)])
+
+    def test_repeat_interleave_values(self):
+        x = T.Tensor([[1.0, 2.0]])
+        out = T.repeat_interleave(x, 2, axis=1)
+        assert np.allclose(out.data, [[1.0, 1.0, 2.0, 2.0]])
+
+    def test_repeat_interleave_grad(self):
+        w = rand(6, 2)
+        gradcheck(lambda ts: (T.repeat_interleave(ts[0], 3, axis=0) * w).sum(), [rand(2, 2)])

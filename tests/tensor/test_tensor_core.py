@@ -1,0 +1,125 @@
+"""Tensor class mechanics not covered by the op suites."""
+
+import numpy as np
+import pytest
+
+from repro import tensor as T
+from repro.tensor import Tensor, as_array, ensure_tensor
+from repro.tensor.tensor import unbroadcast
+
+
+class TestConstruction:
+    def test_from_scalar(self):
+        t = Tensor(3.0)
+        assert t.shape == () and t.item() == 3.0
+
+    def test_from_list(self):
+        t = Tensor([[1, 2], [3, 4]])
+        assert t.shape == (2, 2) and t.dtype == np.float64
+
+    def test_as_array_passthrough(self):
+        t = Tensor([1.0])
+        assert as_array(t) is t.data
+
+    def test_ensure_tensor_idempotent(self):
+        t = Tensor([1.0])
+        assert ensure_tensor(t) is t
+        assert isinstance(ensure_tensor(2.0), Tensor)
+
+    def test_name_in_repr(self):
+        t = Tensor([1.0], requires_grad=True, name="weights")
+        text = repr(t)
+        assert "weights" in text and "requires_grad=True" in text
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((3, 4)))
+        assert len(t) == 3 and t.size == 12 and t.ndim == 2
+
+
+class TestDetachCopy:
+    def test_detach_shares_data(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = t.detach()
+        assert d.data is t.data and not d.requires_grad
+
+    def test_copy_is_deep(self):
+        t = Tensor([1.0])
+        c = t.copy()
+        c.data[0] = 5.0
+        assert t.data[0] == 1.0
+
+
+class TestBackwardValidation:
+    def test_backward_on_constant_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_seed_gradient_shape_checked(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2.0).backward(np.zeros(3))
+
+    def test_intermediate_nodes_do_not_keep_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        middle = x * 2.0
+        (middle * 3.0).sum().backward()
+        assert middle.grad is None   # only leaves accumulate
+        assert np.allclose(x.grad, [6.0])
+
+    def test_diamond_graph_accumulates_once(self):
+        x = Tensor([2.0], requires_grad=True)
+        a = x * 3.0
+        b = x * 4.0
+        (a + b).sum().backward()
+        assert np.allclose(x.grad, [7.0])
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)) is g
+
+    def test_sums_leading_axes(self):
+        g = np.ones((4, 2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+        assert unbroadcast(g, (2, 3))[0, 0] == 4.0
+
+    def test_sums_singleton_axes(self):
+        g = np.ones((2, 3))
+        out = unbroadcast(g, (2, 1))
+        assert out.shape == (2, 1) and out[0, 0] == 3.0
+
+    def test_scalar_target(self):
+        g = np.ones((2, 2))
+        assert unbroadcast(g, ()).shape == ()
+
+
+class TestNoGradNesting:
+    def test_nested_restores(self):
+        assert T.is_grad_enabled()
+        with T.no_grad():
+            assert not T.is_grad_enabled()
+            with T.no_grad():
+                assert not T.is_grad_enabled()
+            assert not T.is_grad_enabled()
+        assert T.is_grad_enabled()
+
+    def test_exception_restores(self):
+        try:
+            with T.no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert T.is_grad_enabled()
+
+
+class TestMixedOperands:
+    def test_tensor_plus_ndarray(self):
+        out = Tensor([1.0, 2.0]) + np.array([3.0, 4.0])
+        assert isinstance(out, Tensor)
+        assert np.allclose(out.data, [4.0, 6.0])
+
+    def test_ndarray_times_tensor_stays_tensor(self):
+        out = np.array([2.0]) * Tensor([3.0])
+        assert isinstance(out, Tensor)
+        assert np.allclose(out.data, [6.0])

@@ -1,0 +1,117 @@
+"""Error-analysis tools: depth profiles, spectra, regions, coupling."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.analysis import (
+    error_by_depth, radial_error_spectrum, region_masks, error_by_region,
+    depth_coupling_score, RegionErrors,
+)
+from repro.config import GridConfig
+from repro.litho.mask import Contact
+
+RNG = np.random.default_rng(47)
+GRID = GridConfig(size_um=0.64, nx=32, ny=32, nz=4)
+
+
+class TestErrorByDepth:
+    def test_zero_for_identical(self):
+        x = RNG.random((4, 8, 8))
+        assert np.allclose(error_by_depth(x, x), 0.0)
+
+    def test_localizes_bad_layer(self):
+        truth = RNG.random((4, 8, 8))
+        predicted = truth.copy()
+        predicted[2] += 1.0
+        profile = error_by_depth(predicted, truth)
+        assert profile.shape == (4,)
+        assert profile[2] > 0.9
+        assert np.allclose(profile[[0, 1, 3]], 0.0)
+
+    def test_batched(self):
+        truth = RNG.random((3, 4, 8, 8))
+        assert error_by_depth(truth + 0.1, truth).shape == (4,)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            error_by_depth(np.zeros((2, 4, 4)), np.zeros((3, 4, 4)))
+
+
+class TestRadialSpectrum:
+    def test_smooth_error_is_low_frequency(self):
+        truth = np.zeros((2, 32, 32))
+        y, x = np.mgrid[0:32, 0:32]
+        smooth = np.sin(2 * np.pi * x / 32.0)[None]  # lowest non-DC mode
+        freqs, power = radial_error_spectrum(truth + smooth, truth)
+        assert power[0] + power[1] > 100.0 * power[-1]
+
+    def test_checkerboard_error_is_high_frequency(self):
+        truth = np.zeros((2, 32, 32))
+        y, x = np.mgrid[0:32, 0:32]
+        checker = ((x + y) % 2 == 0).astype(float)[None] - 0.5
+        freqs, power = radial_error_spectrum(truth + checker, truth)
+        assert np.argmax(power) > len(power) // 2
+
+    def test_frequency_axis(self):
+        freqs, power = radial_error_spectrum(np.zeros((1, 16, 16)), np.zeros((1, 16, 16)))
+        assert freqs[0] > 0.0 and freqs[-1] < np.sqrt(0.5)
+        assert len(freqs) == len(power) == 16
+
+
+class TestRegions:
+    CONTACT = Contact(320.0, 320.0, 100.0, 100.0)
+
+    def test_masks_partition_plane(self):
+        masks = region_masks([self.CONTACT], GRID)
+        total = (masks["interior"].astype(int) + masks["edge"].astype(int)
+                 + masks["background"].astype(int))
+        assert np.all(total == 1)
+
+    def test_interior_contains_center(self):
+        masks = region_masks([self.CONTACT], GRID)
+        assert masks["interior"][16, 16]
+
+    def test_error_attribution(self):
+        truth = np.zeros((4, 32, 32))
+        predicted = truth.copy()
+        masks = region_masks([self.CONTACT], GRID)
+        predicted[:, masks["edge"]] += 1.0
+        errors = error_by_region(predicted, truth, [self.CONTACT], GRID)
+        assert errors.edge > 0.9
+        assert errors.interior == 0.0 and errors.background == 0.0
+
+    def test_region_errors_dataclass(self):
+        errors = RegionErrors(interior=0.1, edge=0.2, background=0.05)
+        assert errors.edge > errors.interior > errors.background
+
+
+class TestDepthCoupling:
+    def test_tempo_scores_zero(self):
+        from repro.baselines import TempoResist, TempoResistConfig
+
+        nn.init.seed(0)
+        model = TempoResist(TempoResistConfig(width=4, depth_levels=4))
+        acid = RNG.random((4, 8, 8))
+        assert depth_coupling_score(model, acid) == 0.0
+
+    def test_cnn_scores_positive(self):
+        from repro.baselines import DeepCNN, DeepCNNConfig
+
+        nn.init.seed(1)
+        model = DeepCNN(DeepCNNConfig(width=4, num_blocks=1))
+        acid = RNG.random((4, 8, 8))
+        assert depth_coupling_score(model, acid) > 0.0
+
+    def test_sdmpeb_couples_more_than_tempo(self):
+        from repro.baselines import TempoResist, TempoResistConfig
+        from repro.core import SDMPEB
+        from repro.experiments import sdmpeb_config_for
+
+        grid = GridConfig(size_um=1.0, nx=32, ny=32, nz=4)
+        acid = RNG.random((4, 32, 32))
+        nn.init.seed(2)
+        tempo = TempoResist(TempoResistConfig(width=4, depth_levels=4))
+        nn.init.seed(2)
+        sdm = SDMPEB(sdmpeb_config_for(grid))
+        assert depth_coupling_score(sdm, acid) > depth_coupling_score(tempo, acid)

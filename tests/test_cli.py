@@ -1,0 +1,78 @@
+"""CLI: every subcommand exercised end-to-end at micro scale."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import cli
+
+
+def run_cli(args) -> int:
+    return cli.main(args)
+
+
+COMMON = ["--clips", "3", "--nx", "16", "--nz", "2", "--clip-um", "0.8"]
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    base = tmp_path_factory.mktemp("cli")
+    cache = str(base / "cache")
+    weights = str(base / "model.npz")
+    # simulate + train once for the whole module
+    assert run_cli(["simulate", *COMMON, "--cache", cache]) == 0
+    assert run_cli(["train", *COMMON, "--cache", cache, "--method", "DeepCNN",
+                    "--epochs", "2", "--weights", weights]) == 0
+    return base, cache, weights
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["train", "--method", "GPT-7"])
+
+    def test_defaults(self):
+        args = cli.build_parser().parse_args(["simulate"])
+        assert args.clips == 12 and args.nx == 32
+
+
+class TestSimulate:
+    def test_cache_populated(self, workspace):
+        _, cache, _ = workspace
+        assert len(list(Path(cache).glob("clip_*.npz"))) >= 3
+
+
+class TestTrain:
+    def test_weights_and_metadata_written(self, workspace):
+        base, _, weights = workspace
+        assert Path(weights).exists()
+        meta = json.loads(Path(weights).with_suffix(".json").read_text())
+        assert meta["method"] == "DeepCNN"
+        assert "output_mean" in meta and "output_std" in meta
+
+
+class TestPredict:
+    def test_prediction_file(self, workspace):
+        base, cache, weights = workspace
+        out = str(base / "prediction.npz")
+        code = run_cli(["predict", *COMMON, "--cache", cache,
+                        "--weights", weights, "--clip", "0", "--out", out])
+        assert code == 0
+        with np.load(out) as archive:
+            assert archive["inhibitor"].shape == (2, 16, 16)
+            assert np.all(np.isfinite(archive["inhibitor"]))
+
+
+class TestEvaluate:
+    def test_evaluation_runs(self, workspace, capsys):
+        base, cache, weights = workspace
+        code = run_cli(["evaluate", *COMMON, "--cache", cache, "--weights", weights])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "NRMSE(I)" in output and "CD error" in output

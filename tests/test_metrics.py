@@ -1,0 +1,57 @@
+"""Evaluation metrics (Eqs. 12-13)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import rmse, nrmse, batch_mean
+
+
+class TestRMSE:
+    def test_zero_for_identical(self):
+        x = np.random.default_rng(0).random((4, 4))
+        assert rmse(x, x) == 0.0
+
+    def test_known_value(self):
+        assert np.isclose(rmse(np.array([1.0, 3.0]), np.array([0.0, 0.0])),
+                          np.sqrt(5.0))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(2), np.zeros(3))
+
+
+class TestNRMSE:
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(1)
+        reference = rng.random((5, 5)) + 1.0
+        predicted = reference * 1.1
+        assert np.isclose(nrmse(10 * predicted, 10 * reference),
+                          nrmse(predicted, reference))
+
+    def test_known_value(self):
+        reference = np.array([3.0, 4.0])  # norm 5
+        predicted = np.array([3.0, 5.0])  # error norm 1
+        assert np.isclose(nrmse(predicted, reference), 0.2)
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ValueError):
+            nrmse(np.ones(3), np.zeros(3))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nrmse(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestBatchMean:
+    def test_averages(self):
+        preds = [np.array([1.0]), np.array([3.0])]
+        refs = [np.array([0.0]), np.array([0.0])]
+        assert np.isclose(batch_mean(rmse, preds, refs), 2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            batch_mean(rmse, [], [])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            batch_mean(rmse, [np.zeros(1)], [])

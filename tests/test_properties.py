@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) on cross-cutting invariants.
+
+These complement the per-module suites: each property here encodes a
+mathematical identity the system must satisfy for *all* inputs, not a
+hand-picked example — linearity of convolution, the scan semigroup law,
+conservation laws of the reaction steps, monotonicity of the Eikonal
+solution, and invariances of the normalization layers and metrics.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import tensor as T
+from repro.tensor import functional as F
+from repro.ssm import scan_sequential
+from repro.litho import eikonal, peb
+from repro.litho.mask import Contact, rasterize
+from repro.config import GridConfig
+from repro.metrics import nrmse
+
+
+def arrays(shape, lo=-3.0, hi=3.0):
+    return st.builds(
+        lambda seed: np.random.default_rng(seed).uniform(lo, hi, size=shape),
+        st.integers(0, 2 ** 31 - 1),
+    )
+
+
+class TestAutogradLinearity:
+    @settings(max_examples=20, deadline=None)
+    @given(arrays((1, 2, 3, 4, 4)), arrays((2, 2, 2, 2, 2)), st.floats(-2.0, 2.0))
+    def test_conv3d_linear_in_input(self, x, w, scale):
+        base = T.conv3d(T.Tensor(x), T.Tensor(w)).numpy()
+        scaled = T.conv3d(T.Tensor(scale * x), T.Tensor(w)).numpy()
+        assert np.allclose(scaled, scale * base, atol=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(arrays((1, 2, 3, 4, 4)), arrays((1, 2, 3, 4, 4)), arrays((2, 2, 2, 2, 2)))
+    def test_conv3d_additive(self, x1, x2, w):
+        w_t = T.Tensor(w)
+        joint = T.conv3d(T.Tensor(x1 + x2), w_t).numpy()
+        split = T.conv3d(T.Tensor(x1), w_t).numpy() + T.conv3d(T.Tensor(x2), w_t).numpy()
+        assert np.allclose(joint, split, atol=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(arrays((3, 4)))
+    def test_gradient_of_sum_is_ones(self, x):
+        t = T.Tensor(x, requires_grad=True)
+        t.sum().backward()
+        assert np.allclose(t.grad, 1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(arrays((2, 3, 4)))
+    def test_transpose_roundtrip(self, x):
+        t = T.Tensor(x)
+        assert np.allclose(t.transpose((2, 0, 1)).transpose((1, 2, 0)).numpy(), x)
+
+
+class TestFunctionalInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(arrays((4, 7)))
+    def test_softmax_simplex(self, x):
+        out = F.softmax(T.Tensor(x), axis=-1).numpy()
+        assert np.all(out >= 0.0)
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(arrays((4, 7)), st.floats(-5.0, 5.0))
+    def test_softmax_shift_invariant(self, x, shift):
+        a = F.softmax(T.Tensor(x), axis=-1).numpy()
+        b = F.softmax(T.Tensor(x + shift), axis=-1).numpy()
+        assert np.allclose(a, b, atol=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(arrays((3, 8)), st.floats(1.0, 10.0), st.floats(-5.0, 5.0))
+    def test_layer_norm_affine_input_invariant(self, x, scale, shift):
+        # exact only for eps = 0; the tolerance budgets the eps term
+        a = F.layer_norm(T.Tensor(x)).numpy()
+        b = F.layer_norm(T.Tensor(scale * x + shift)).numpy()
+        assert np.allclose(a, b, atol=1e-3)
+
+
+class TestScanAlgebra:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 20), st.integers(1, 18), st.integers(0, 2 ** 31 - 1))
+    def test_semigroup_split(self, length, split, seed):
+        """Scanning a sequence equals scanning its halves with carry."""
+        split = min(split, length - 1)
+        rng = np.random.default_rng(seed)
+        a = np.exp(-rng.uniform(0.0, 3.0, size=(1, length, 2, 2)))
+        b = rng.standard_normal((1, length, 2, 2))
+        full = scan_sequential(a, b)
+        head = scan_sequential(a[:, :split], b[:, :split])
+        carry = head[:, -1]
+        # fold carry into the first step of the tail
+        tail_b = b[:, split:].copy()
+        tail_b[:, 0] += a[:, split] * carry
+        tail = scan_sequential(a[:, split:], tail_b)
+        assert np.allclose(np.concatenate([head, tail], axis=1), full, atol=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 30), st.integers(0, 2 ** 31 - 1), st.floats(-2.0, 2.0))
+    def test_linear_in_drive(self, length, seed, scale):
+        rng = np.random.default_rng(seed)
+        a = np.exp(-rng.uniform(0.0, 3.0, size=(1, length, 1, 2)))
+        b = rng.standard_normal((1, length, 1, 2))
+        assert np.allclose(scan_sequential(a, scale * b), scale * scan_sequential(a, b))
+
+
+class TestReactionInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0), st.floats(0.01, 10.0))
+    def test_neutralization_conserves_difference(self, acid, base, dt):
+        new_acid, new_base = peb.neutralization_step(np.array([acid]), np.array([base]), 8.7, dt)
+        assert np.isclose(new_acid[0] - new_base[0], acid - base, atol=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0), st.floats(0.01, 10.0))
+    def test_neutralization_monotone_decreasing(self, acid, base, dt):
+        new_acid, new_base = peb.neutralization_step(np.array([acid]), np.array([base]), 8.7, dt)
+        assert new_acid[0] <= acid + 1e-12
+        assert new_base[0] <= base + 1e-12
+        assert new_acid[0] >= 0.0 and new_base[0] >= 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0), st.floats(0.01, 5.0))
+    def test_catalysis_bounded(self, inhibitor, acid, dt):
+        out = peb.catalysis_step(np.array([inhibitor]), np.array([acid]), 0.9, dt)
+        assert 0.0 <= out[0] <= inhibitor + 1e-12
+
+
+class TestEikonalMonotonicity:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_slower_medium_never_arrives_earlier(self, seed):
+        rng = np.random.default_rng(seed)
+        slowness = np.exp(rng.uniform(-1.0, 1.0, size=(3, 5, 5)))
+        faster = eikonal.fast_iterative(slowness, (1.0, 1.0, 1.0))
+        slower = eikonal.fast_iterative(slowness * 1.5, (1.0, 1.0, 1.0))
+        assert np.all(slower >= faster - 1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_arrival_at_least_straight_line(self, seed):
+        """Arrival can never beat the straight-down path through the
+        fastest medium."""
+        rng = np.random.default_rng(seed)
+        slowness = np.exp(rng.uniform(-1.0, 1.0, size=(4, 4, 4)))
+        times = eikonal.fast_iterative(slowness, (1.0, 1.0, 1.0))
+        lower_bound = slowness.min() * (np.arange(4) + 1)
+        assert np.all(times >= lower_bound[:, None, None] - 1e-9)
+
+
+class TestMaskRasterization:
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(100.0, 500.0), st.floats(100.0, 500.0),
+           st.floats(10.0, 150.0), st.floats(10.0, 150.0))
+    def test_area_preserved(self, cx, cy, w, h):
+        grid = GridConfig(size_um=0.64, nx=64, ny=64, nz=1)
+        pattern = rasterize([Contact(cx, cy, w, h)], grid)
+        pixel_area = grid.dx_nm * grid.dy_nm
+        assert np.isclose(pattern.sum() * pixel_area, w * h, rtol=1e-9)
+
+
+class TestMetricInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(arrays((4, 4), lo=0.5, hi=2.0), arrays((4, 4), lo=0.5, hi=2.0),
+           st.floats(0.1, 100.0))
+    def test_nrmse_scale_invariant(self, predicted, reference, scale):
+        assert np.isclose(nrmse(scale * predicted, scale * reference),
+                          nrmse(predicted, reference))
