@@ -21,7 +21,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import GridConfig
-from repro.litho.mask import Contact
 
 
 def error_by_depth(predicted: np.ndarray, truth: np.ndarray) -> np.ndarray:

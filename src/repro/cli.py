@@ -8,7 +8,14 @@ Subcommands mirror the stages a user actually runs:
 * ``predict``   — load weights and predict inhibitor volumes for clips;
 * ``evaluate``  — full Table II-style evaluation of saved weights;
 * ``reproduce`` — regenerate all tables/figures (wraps
-  :mod:`repro.experiments.reproduce_all`).
+  :mod:`repro.experiments.reproduce_all`);
+* ``lint``      — repo-specific static analysis and the full-op
+  gradcheck sweep (wraps :mod:`repro.lint`).
+
+Every simulation/training subcommand accepts ``--sanitize``, which runs
+the whole command under the autograd tape sanitizer: each op's forward
+output and each backward vjp result is checked for NaN/Inf and
+shape/dtype mismatch, raising with the offending op's name.
 
 Usage:  python -m repro.cli <subcommand> [options]
 """
@@ -23,7 +30,6 @@ import numpy as np
 
 from repro import nn
 from repro.config import GridConfig, LithoConfig
-from repro.core import label_to_inhibitor
 from repro.data import generate_dataset
 from repro.experiments import (
     ExperimentSettings, TABLE2_METHODS, build_method, evaluate_method,
@@ -46,6 +52,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--nz", type=int, default=4, help="depth grid points")
     parser.add_argument("--clip-um", type=float, default=1.0, help="clip size in um")
     parser.add_argument("--cache", default=".repro_cache", help="dataset cache dir")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run under the autograd tape sanitizer (NaN/Inf and "
+                             "shape/dtype checks on every op)")
 
 
 def cmd_simulate(args) -> int:
@@ -67,7 +76,7 @@ def cmd_train(args) -> int:
     model, loss_config = build_method(args.method, settings.config.grid)
     print(f"training {args.method} ({model.num_parameters()} parameters) "
           f"for {settings.epochs} epochs...")
-    trainer = train_method(model, loss_config, train_set, settings, verbose=True)
+    train_method(model, loss_config, train_set, settings, verbose=True)
     model.save(args.weights)
     stats = {"method": args.method, "output_mean": model.output_mean,
              "output_std": model.output_std, "epochs": settings.epochs}
@@ -130,6 +139,17 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint import main as lint_main
+
+    argv = list(args.paths) or ["src"]
+    if args.gradcheck:
+        argv.append("--gradcheck")
+    if args.select:
+        argv.extend(["--select", args.select])
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -163,7 +183,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("reproduce", help="regenerate all tables and figures")
     p.add_argument("--quick", action="store_true")
     p.add_argument("--out", default="results")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run under the autograd tape sanitizer")
     p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser("lint", help="static analysis (REP rules) and gradcheck sweep")
+    p.add_argument("paths", nargs="*", help="files or directories to lint (default: src)")
+    p.add_argument("--gradcheck", action="store_true",
+                   help="also run the finite-difference sweep over every op")
+    p.add_argument("--select", help="comma-separated rule ids to run")
+    p.set_defaults(func=cmd_lint)
 
     return parser
 
@@ -174,6 +203,11 @@ def main(argv=None) -> int:
     # `train` defines --epochs; other subcommands fall back to a default.
     if not hasattr(args, "epochs"):
         args.epochs = 30
+    if getattr(args, "sanitize", False):
+        from repro.tensor import sanitize
+
+        with sanitize(True):
+            return args.func(args)
     return args.func(args)
 
 

@@ -54,9 +54,11 @@ class OpticsConfig:
     """Partially coherent projection optics (Section IV of the paper)."""
 
     wavelength_nm: float = 193.0
+    #: dimensionless NA of the immersion projection lens
     numerical_aperture: float = 1.35
-    #: annular source, inner/outer partial coherence factors
+    #: annular source, inner partial coherence factor (dimensionless)
     sigma_inner: float = 0.6
+    #: annular source, outer partial coherence factor (dimensionless)
     sigma_outer: float = 0.9
     #: number of Abbe source points around the annulus
     source_points: int = 16

@@ -25,7 +25,7 @@ from repro.baselines import (
     DeePEB, DeePEBConfig,
 )
 from repro.data import PEBDataset, generate_dataset
-from repro.litho import development_rate, development_arrival, contact_cds, cd_error_rms
+from repro.litho import development_rate, development_arrival, contact_cds
 from repro.metrics import rmse, nrmse
 
 #: the Table II method order

@@ -1,0 +1,34 @@
+"""Repo-specific static analysis for the SDM-PEB reproduction.
+
+The autograd engine, the physics solvers and the surrogate models all
+rest on a handful of conventions that plain Python will not enforce:
+every recorded tape parent must carry a vjp, hot-path allocations must
+pin their dtype, randomness must flow through seeded Generators, and
+``src/`` must stay pure numpy/scipy.  This package turns those
+conventions into machine-checked rules.
+
+Usage::
+
+    python -m repro.lint src            # lint a tree
+    python -m repro.lint --gradcheck    # finite-difference sweep of all ops
+    python -m repro.cli lint            # same, via the main CLI
+
+Diagnostics can be silenced per line with ``# repro-lint: disable=REP001``
+(comma-separate several ids, or use ``disable=all``), and per file with
+``# repro-lint: disable-file=REP001`` anywhere in the file.
+"""
+
+from .core import Diagnostic, LintFile, Rule, all_rules, get_rule, register_rule
+from .runner import lint_paths, lint_source, main
+
+__all__ = [
+    "Diagnostic",
+    "LintFile",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

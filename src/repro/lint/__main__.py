@@ -1,0 +1,8 @@
+"""``python -m repro.lint`` entry point."""
+
+import sys
+
+from .runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,170 @@
+"""Lint framework core: diagnostics, rule registry, suppressions.
+
+A :class:`Rule` inspects one :class:`LintFile` (parsed source plus its
+repo-relative path) and yields :class:`Diagnostic` objects.  Rules are
+registered by id via :func:`register_rule`; the runner applies every
+registered rule to every file and filters the results through the
+``# repro-lint: disable=...`` suppression comments.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+#: order defines severity ranking for sorting/reporting
+SEVERITIES = ("error", "warning")
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: where it is, which rule fired, and why."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+
+
+@dataclass
+class LintFile:
+    """A parsed source file handed to every rule.
+
+    ``relpath`` is the forward-slash path rules use for applicability
+    (e.g. only ``repro/tensor/ops_*.py`` gets the tape rules); it may be
+    virtual, which is how the test fixtures exercise path-scoped rules.
+    """
+
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    _line_suppressions: dict[int, set[str]] | None = None
+    _file_suppressions: set[str] | None = None
+
+    @classmethod
+    def parse(cls, relpath: str, source: str) -> "LintFile":
+        tree = ast.parse(source, filename=relpath)
+        return cls(relpath=relpath, source=source, tree=tree, lines=source.splitlines())
+
+    # ------------------------------------------------------------------
+    # Path helpers used by rules for applicability
+    # ------------------------------------------------------------------
+    def package_path(self) -> str:
+        """Path relative to the ``repro`` package root, or '' if outside it."""
+        parts = PurePosixPath(self.relpath.replace("\\", "/")).parts
+        if "repro" in parts:
+            index = len(parts) - 1 - parts[::-1].index("repro")
+            return "/".join(parts[index + 1:])
+        return ""
+
+    def in_package(self, *subpackages: str) -> bool:
+        """True when the file lives under ``repro/<subpackage>/`` (or is
+        the module ``repro/<subpackage>.py``)."""
+        pkg = self.package_path()
+        return any(pkg.startswith(f"{sub}/") or pkg == f"{sub}.py" for sub in subpackages)
+
+    # ------------------------------------------------------------------
+    # Suppressions
+    # ------------------------------------------------------------------
+    def _scan_suppressions(self) -> None:
+        per_line: dict[int, set[str]] = {}
+        per_file: set[str] = set()
+        for lineno, text in enumerate(self.lines, start=1):
+            if "repro-lint" not in text:
+                continue
+            for kind, ids in _SUPPRESS_RE.findall(text):
+                rules = {r.strip().upper() for r in ids.split(",") if r.strip()}
+                if kind == "disable-file":
+                    per_file |= rules
+                else:
+                    per_line.setdefault(lineno, set()).update(rules)
+        self._line_suppressions = per_line
+        self._file_suppressions = per_file
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if self._line_suppressions is None:
+            self._scan_suppressions()
+        assert self._line_suppressions is not None and self._file_suppressions is not None
+        if {"ALL", rule_id.upper()} & self._file_suppressions:
+            return True
+        on_line = self._line_suppressions.get(line, set())
+        return bool({"ALL", rule_id.upper()} & on_line)
+
+    def comment_on_or_above(self, lineno: int) -> bool:
+        """True if line ``lineno`` carries a trailing comment or is
+        directly preceded by a comment-only line (used by REP006)."""
+        if 1 <= lineno <= len(self.lines) and "#" in self.lines[lineno - 1]:
+            return True
+        previous = lineno - 2
+        return previous >= 0 and self.lines[previous].lstrip().startswith("#")
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id``, ``severity`` and ``description`` and
+    implement :meth:`check`, yielding diagnostics.  Use :meth:`report`
+    to build them with the rule's id/severity filled in.
+    """
+
+    id: str = "REP000"
+    severity: str = "error"
+    description: str = ""
+
+    def check(self, file: LintFile):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def report(self, file: LintFile, node: ast.AST | int, message: str) -> Diagnostic:
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line, col = getattr(node, "lineno", 1), getattr(node, "col_offset", 0)
+        return Diagnostic(
+            path=file.relpath, line=line, col=col,
+            rule=self.id, severity=self.severity, message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule instance to the global registry."""
+    if not cls.id or cls.id in _REGISTRY:
+        raise ValueError(f"duplicate or empty rule id: {cls.id!r}")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules sorted by id."""
+    return [rule for _, rule in sorted(_REGISTRY.items())]
+
+
+def get_rule(rule_id: str) -> Rule:
+    return _REGISTRY[rule_id.upper()]
+
+
+def run_rules(file: LintFile, select: set[str] | None = None) -> list[Diagnostic]:
+    """Apply (selected) registered rules to one file, honouring
+    suppression comments, and return diagnostics sorted by position."""
+    found: list[Diagnostic] = []
+    for rule in all_rules():
+        if select and rule.id not in select:
+            continue
+        for diag in rule.check(file):
+            if not file.is_suppressed(diag.rule, diag.line):
+                found.append(diag)
+    found.sort(key=lambda d: (d.line, d.col, d.rule))
+    return found

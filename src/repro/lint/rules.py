@@ -1,0 +1,356 @@
+"""The REP rule catalog.
+
+Each rule encodes one correctness invariant of this codebase; see
+``docs/static_analysis.md`` for the rationale and examples.  Rules are
+AST-based, consulting raw source lines only where the AST cannot see
+(comments, for REP006 and suppressions).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import LintFile, Rule, register_rule
+
+#: subpackages whose allocations feed the training/solver hot paths
+HOT_PACKAGES = ("tensor", "ssm", "litho", "nn")
+
+#: numpy allocation functions whose default dtype is easy to change by
+#: accident (``*_like`` variants inherit their dtype and are exempt;
+#: ``arange`` is exempt because its int/float inference is semantic)
+ALLOC_FUNCTIONS = frozenset({"zeros", "ones", "empty", "full", "eye", "identity", "linspace"})
+
+#: members of ``np.random`` that are part of the modern Generator API
+ALLOWED_RANDOM_ATTRS = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox", "SFC64",
+})
+
+#: frameworks banned from ``src/`` by the pure-numpy/scipy policy
+BANNED_IMPORTS = frozenset({
+    "torch", "torchvision", "einops", "jax", "jaxlib", "flax",
+    "tensorflow", "keras", "cupy", "mxnet", "paddle",
+})
+
+#: field-name suffixes that already name a physical unit
+UNIT_SUFFIXES = ("_nm", "_um", "_s", "_nm_s", "_mj_cm2", "_per_um", "_per_s", "_cm2", "_hz",
+                 "_deg", "_fraction")
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted-name reconstruction ('np.random.rand')."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+@register_rule
+class NoLegacyRandom(Rule):
+    """REP001: randomness must flow through seeded ``np.random.Generator``s."""
+
+    id = "REP001"
+    severity = "error"
+    description = ("no legacy np.random.* calls and no unseeded default_rng(); "
+                   "thread a seeded Generator instead")
+
+    def check(self, file: LintFile):
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Attribute):
+                dotted = _dotted(node)
+                if dotted.startswith(("np.random.", "numpy.random.")):
+                    attr = dotted.rsplit(".", 1)[1]
+                    if attr not in ALLOWED_RANDOM_ATTRS:
+                        yield self.report(
+                            file, node,
+                            f"legacy global-state RNG `{dotted}`; use a seeded "
+                            f"np.random.default_rng(seed) Generator and thread it through",
+                        )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted.endswith("default_rng") and not node.args and not node.keywords:
+                    yield self.report(
+                        file, node,
+                        "unseeded default_rng(): pass an explicit seed or accept a "
+                        "Generator argument so runs stay reproducible",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.startswith("numpy.random"):
+                    for alias in node.names:
+                        if alias.name not in ALLOWED_RANDOM_ATTRS:
+                            yield self.report(
+                                file, node,
+                                f"legacy import `{alias.name}` from numpy.random; "
+                                f"use default_rng/Generator",
+                            )
+
+
+@register_rule
+class ExplicitDtype(Rule):
+    """REP002: hot-path array allocations must pin their dtype."""
+
+    id = "REP002"
+    severity = "error"
+    description = ("array allocations in tensor/, ssm/, litho/ and nn/ must pass an "
+                   "explicit dtype= to prevent silent float32/float64 promotion")
+
+    def check(self, file: LintFile):
+        if not file.in_package(*HOT_PACKAGES):
+            return
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            root, _, func = dotted.rpartition(".")
+            if root not in ("np", "numpy") or func not in ALLOC_FUNCTIONS:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            # positional dtype: zeros/ones/empty take it 2nd, full/linspace 3rd
+            positional_slot = {"full": 2, "linspace": 2}.get(func, 1)
+            if len(node.args) > positional_slot:
+                continue
+            yield self.report(
+                file, node,
+                f"np.{func}(...) without dtype= in a hot-path package; "
+                f"pass dtype explicitly (e.g. dtype=np.float64)",
+            )
+
+
+class _OpFunctionInfo:
+    """Per-function facts gathered for REP003."""
+
+    def __init__(self) -> None:
+        self.ensured: dict[str, ast.AST] = {}   # name -> node where ensured
+        self.credited: set[str] = set()
+        self.from_op_calls: list[ast.Call] = []
+
+
+def _is_ensure_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and _dotted(node.func).split(".")[-1] == "ensure_tensor")
+
+
+def _contains_ensure(node: ast.AST) -> bool:
+    return any(_is_ensure_call(inner) for inner in ast.walk(node))
+
+
+@register_rule
+class TapeParentsHaveVjps(Rule):
+    """REP003: every ensured operand of a primitive op must be recorded
+    on the tape with a vjp."""
+
+    id = "REP003"
+    severity = "error"
+    description = ("every input passed through ensure_tensor() in an op that records "
+                   "the tape via Tensor.from_op must appear as a (tensor, vjp) parent "
+                   "pair (or be routed through another differentiable op)")
+
+    def _applies(self, file: LintFile) -> bool:
+        pkg = file.package_path()
+        return pkg.startswith("tensor/") and (
+            pkg.rsplit("/", 1)[-1].startswith("ops_") or pkg.endswith("functional.py")
+        )
+
+    def check(self, file: LintFile):
+        if not self._applies(file):
+            return
+        for node in ast.walk(file.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(file, node)
+
+    def _check_function(self, file: LintFile, func: ast.FunctionDef):
+        info = _OpFunctionInfo()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                self._record_ensured(node, info)
+            if isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                callee = dotted.split(".")[-1]
+                if callee == "from_op":
+                    info.from_op_calls.append(node)
+                elif callee not in ("ensure_tensor", "Tensor"):
+                    # an ensured tensor handed to another op (reshape, add,
+                    # getitem, ...) is differentiated by composition
+                    for arg in node.args:
+                        if isinstance(arg, ast.Name):
+                            info.credited.add(arg.id)
+            if isinstance(node, ast.Tuple) and len(node.elts) == 2:
+                first = node.elts[0]
+                if isinstance(first, ast.Name):
+                    info.credited.add(first.id)
+            if isinstance(node, (ast.For, ast.comprehension)):
+                # iterating a tracked collection credits the collection
+                iter_node = node.iter
+                for name in ast.walk(iter_node):
+                    if isinstance(name, ast.Name):
+                        info.credited.add(name.id)
+
+        if not info.from_op_calls:
+            return  # composite op: differentiability comes from its callees
+
+        for call in info.from_op_calls:
+            yield from self._check_parent_pairs(file, call)
+
+        for name, node in info.ensured.items():
+            if name not in info.credited:
+                yield self.report(
+                    file, node,
+                    f"`{name}` is ensured as a tensor but never recorded as a "
+                    f"(tensor, vjp) parent in Tensor.from_op — its gradient "
+                    f"would silently vanish",
+                )
+
+    def _record_ensured(self, node: ast.Assign, info: _OpFunctionInfo) -> None:
+        targets = node.targets[0]
+        if isinstance(targets, ast.Tuple) and isinstance(node.value, ast.Tuple):
+            pairs = zip(targets.elts, node.value.elts)
+        else:
+            pairs = [(targets, node.value)]
+        for target, value in pairs:
+            if not isinstance(target, ast.Name):
+                continue
+            if _is_ensure_call(value):
+                info.ensured[target.id] = target
+            elif isinstance(value, ast.ListComp) and _contains_ensure(value):
+                info.ensured[target.id] = target
+
+    def _check_parent_pairs(self, file: LintFile, call: ast.Call):
+        if len(call.args) < 2 or not isinstance(call.args[1], ast.List):
+            return
+        for element in call.args[1].elts:
+            if not isinstance(element, ast.Tuple) or len(element.elts) != 2:
+                yield self.report(
+                    file, element,
+                    "tape parent must be a (tensor, vjp) 2-tuple",
+                )
+                continue
+            vjp = element.elts[1]
+            if not isinstance(vjp, (ast.Lambda, ast.Name, ast.Attribute, ast.Call)):
+                yield self.report(
+                    file, element,
+                    "tape parent's second element must be a vjp callable",
+                )
+
+
+@register_rule
+class PureNumpyPolicy(Rule):
+    """REP004: src/ stays pure numpy/scipy."""
+
+    id = "REP004"
+    severity = "error"
+    description = "no torch/einops/jax/tensorflow imports in src/ (pure numpy+scipy policy)"
+
+    def check(self, file: LintFile):
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                names = [node.module] if node.module else []
+            else:
+                continue
+            for name in names:
+                root = name.split(".")[0]
+                if root in BANNED_IMPORTS:
+                    yield self.report(
+                        file, node,
+                        f"import of `{root}` violates the pure numpy/scipy policy; "
+                        f"implement on the repro.tensor substrate instead",
+                    )
+
+
+@register_rule
+class ModuleTensorAttrs(Rule):
+    """REP005: Module subclasses must not stash raw Tensors as attributes."""
+
+    id = "REP005"
+    severity = "error"
+    description = ("nn.Module subclasses must register learnable Tensor attributes as "
+                   "Parameter (raw Tensor attributes are invisible to parameters()/"
+                   "state_dict())")
+
+    def check(self, file: LintFile):
+        module_classes = self._module_classes(file.tree)
+        for cls in module_classes:
+            for method in cls.body:
+                if isinstance(method, ast.FunctionDef) and method.name == "__init__":
+                    yield from self._check_init(file, cls, method)
+
+    def _module_classes(self, tree: ast.Module) -> list[ast.ClassDef]:
+        classes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+        module_like = {"Module"}
+        # transitive within-file: iterate until no new subclass is found
+        changed = True
+        while changed:
+            changed = False
+            for cls in classes:
+                if cls.name in module_like:
+                    continue
+                for base in cls.bases:
+                    base_name = _dotted(base).split(".")[-1]
+                    if base_name in module_like:
+                        module_like.add(cls.name)
+                        changed = True
+                        break
+        return [c for c in classes if c.name in module_like and c.name != "Module"]
+
+    def _check_init(self, file: LintFile, cls: ast.ClassDef, init: ast.FunctionDef):
+        for node in ast.walk(init):
+            if not isinstance(node, ast.Assign):
+                continue
+            target = node.targets[0]
+            if not (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                continue
+            value = node.value
+            if isinstance(value, ast.Call):
+                callee = _dotted(value.func).split(".")[-1]
+                if callee in ("Tensor", "ensure_tensor"):
+                    yield self.report(
+                        file, node,
+                        f"{cls.name}.{target.attr} holds a raw Tensor; wrap it in "
+                        f"Parameter(...) to register it, or store a plain ndarray "
+                        f"if it is a constant buffer",
+                    )
+
+
+@register_rule
+class ConfigFieldsCarryUnits(Rule):
+    """REP006: physical config fields must state their units."""
+
+    id = "REP006"
+    severity = "warning"
+    description = ("float fields of the litho config dataclasses must carry physical "
+                   "units, either as a name suffix (_nm, _s, ...) or an adjacent "
+                   "comment (dimensionless quantities included)")
+
+    def check(self, file: LintFile):
+        if file.package_path() != "config.py" and not file.in_package("litho"):
+            return
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(_dotted(d).split(".")[-1] == "dataclass"
+                       or (isinstance(d, ast.Call) and _dotted(d.func).split(".")[-1] == "dataclass")
+                       for d in node.decorator_list):
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign) or not isinstance(stmt.target, ast.Name):
+                    continue
+                if _dotted(stmt.annotation) != "float":
+                    continue
+                name = stmt.target.id
+                if name.endswith(UNIT_SUFFIXES):
+                    continue
+                if file.comment_on_or_above(stmt.lineno):
+                    continue
+                yield self.report(
+                    file, stmt,
+                    f"config field `{node.name}.{name}` has no unit: add a unit "
+                    f"suffix to the name or a `#:`/inline comment stating the unit "
+                    f"(or that it is dimensionless)",
+                )

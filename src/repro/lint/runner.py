@@ -1,0 +1,130 @@
+"""File discovery, rule execution and the command-line front end."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core import Diagnostic, LintFile, all_rules, run_rules
+from . import rules as _rules  # noqa: F401  (rule registration side effect)
+
+#: directories never worth descending into
+SKIP_DIRS = {".git", "__pycache__", ".repro_cache", "results", "build", "dist", ".github"}
+
+
+def iter_python_files(paths: list[str]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: list[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_file():
+            found.append(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in SKIP_DIRS or part.startswith(".")
+                           for part in candidate.parts):
+                    found.append(candidate)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {entry}")
+    return found
+
+
+def lint_source(source: str, relpath: str, select: set[str] | None = None) -> list[Diagnostic]:
+    """Lint a source string as if it lived at ``relpath``.
+
+    This is the entry point the test fixtures use: path-scoped rules
+    (REP002/REP003/REP006) key off ``relpath``, so fixtures can pretend
+    to live inside hot-path packages.
+    """
+    try:
+        file = LintFile.parse(relpath, source)
+    except SyntaxError as exc:
+        return [Diagnostic(path=relpath, line=exc.lineno or 1, col=exc.offset or 0,
+                           rule="REP000", severity="error",
+                           message=f"syntax error: {exc.msg}")]
+    return run_rules(file, select=select)
+
+
+def lint_paths(paths: list[str], select: set[str] | None = None) -> list[Diagnostic]:
+    """Lint every python file under ``paths`` and return all diagnostics."""
+    diagnostics: list[Diagnostic] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        diagnostics.extend(lint_source(source, path.as_posix(), select=select))
+    return diagnostics
+
+
+def _run_gradcheck_sweep(stream) -> int:
+    """Finite-difference sweep over the full registered op set."""
+    from repro.tensor.gradcheck import run_gradcheck_sweep
+
+    failures = 0
+    for name, result in run_gradcheck_sweep(raise_on_fail=False):
+        status = "ok" if result.ok else "FAIL"
+        if not result.ok:
+            failures += 1
+            print(f"gradcheck {name:<24} {status}  {result.summary()}", file=stream)
+        else:
+            print(f"gradcheck {name:<24} {status}", file=stream)
+    return failures
+
+
+def main(argv: list[str] | None = None, stream=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    stream = stream if stream is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Repo-specific static analysis (REP rules) and gradcheck sweep.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument("--select", help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalog")
+    parser.add_argument("--gradcheck", action="store_true",
+                        help="run the finite-difference sweep over every registered op")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id} [{rule.severity}] {rule.description}", file=stream)
+        return 0
+
+    if not args.paths and not args.gradcheck:
+        parser.error("provide paths to lint and/or --gradcheck")
+
+    select = {r.strip().upper() for r in args.select.split(",")} if args.select else None
+    if select:
+        known = {rule.id for rule in all_rules()}
+        unknown = sorted(select - known)
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(unknown)} "
+                         f"(see --list-rules)")
+    exit_code = 0
+
+    if args.paths:
+        try:
+            diagnostics = lint_paths(args.paths, select=select)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for diag in diagnostics:
+            print(diag.format(), file=stream)
+        counts: dict[str, int] = {}
+        for diag in diagnostics:
+            counts[diag.rule] = counts.get(diag.rule, 0) + 1
+        if diagnostics:
+            breakdown = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+            print(f"{len(diagnostics)} problem(s) found ({breakdown})", file=stream)
+            exit_code = 1
+        else:
+            print("clean: no lint problems found", file=stream)
+
+    if args.gradcheck:
+        failures = _run_gradcheck_sweep(stream)
+        if failures:
+            print(f"{failures} gradcheck failure(s)", file=stream)
+            exit_code = 1
+        else:
+            print("gradcheck sweep: all ops ok", file=stream)
+
+    return exit_code

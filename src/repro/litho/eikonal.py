@@ -73,7 +73,7 @@ def _axis_neighbors(times: np.ndarray, index: tuple[int, int, int],
 
 def initial_arrival(slowness: np.ndarray, spacing: tuple[float, float, float]) -> np.ndarray:
     """Seed arrival times: the front has traversed the top cell layer."""
-    times = np.full(slowness.shape, INFINITY)
+    times = np.full(slowness.shape, INFINITY, dtype=np.float64)
     times[0] = slowness[0] * spacing[0]
     return times
 
@@ -148,7 +148,7 @@ def _godunov_vectorized(axis_minima: np.ndarray, spacings: np.ndarray,
 
 def _axis_minima_grid(times: np.ndarray) -> np.ndarray:
     """Per-axis smaller neighbour value, INFINITY at the border."""
-    minima = np.empty((3,) + times.shape)
+    minima = np.empty((3,) + times.shape, dtype=np.float64)
     for axis in range(3):
         forward = np.full_like(times, INFINITY)
         backward = np.full_like(times, INFINITY)

@@ -60,7 +60,7 @@ def _interval_overlap(lo: np.ndarray, hi: np.ndarray, a: float, b: float) -> np.
 
 def rasterize(contacts, grid: GridConfig) -> np.ndarray:
     """Rasterize rectangles to a (ny, nx) coverage map in [0, 1]."""
-    pattern = np.zeros((grid.ny, grid.nx))
+    pattern = np.zeros((grid.ny, grid.nx), dtype=np.float64)
     dx, dy = grid.dx_nm, grid.dy_nm
     x_lo = np.arange(grid.nx) * dx
     y_lo = np.arange(grid.ny) * dy

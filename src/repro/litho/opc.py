@@ -18,7 +18,7 @@ from dataclasses import dataclass, replace as dc_replace
 import numpy as np
 
 from repro.config import LithoConfig
-from .mask import Contact, MaskClip, rasterize
+from .mask import MaskClip, rasterize
 from .optics import aerial_image_stack
 from .exposure import initial_photoacid
 from .peb import RigorousPEBSolver
@@ -94,7 +94,7 @@ def calibrate_mask_bias(clip: MaskClip, config: LithoConfig, backend,
         raise ValueError("need at least one iteration")
     targets_x = np.array([c.width_nm for c in clip.contacts])
     targets_y = np.array([c.height_nm for c in clip.contacts])
-    biases = np.zeros(len(clip.contacts))
+    biases = np.zeros(len(clip.contacts), dtype=np.float64)
     current = list(clip.contacts)
     errors: list[np.ndarray] = []
     for _ in range(iterations):

@@ -65,7 +65,7 @@ def aerial_image_stack(pattern: np.ndarray, grid: GridConfig, optics: OpticsConf
     # wavelength is reduced by the resist index for in-resist propagation.
     defocus = depths - optics.focus_offset_nm
     wavelength = optics.wavelength_nm / optics.resist_index
-    intensity = np.zeros((grid.nz, grid.ny, grid.nx))
+    intensity = np.zeros((grid.nz, grid.ny, grid.nx), dtype=np.float64)
     for shift_x, shift_y in zip(sx, sy):
         f_total_sq = (fx + shift_x) ** 2 + (fy + shift_y) ** 2
         inside = f_total_sq <= cutoff ** 2

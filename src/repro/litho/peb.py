@@ -56,14 +56,14 @@ def _z_operator(grid: GridConfig, diffusivity: float, transfer: float,
     bottom.
     """
     nz, dz = grid.nz, grid.dz_nm
-    main = np.zeros(nz)
-    upper = np.full(nz - 1, diffusivity / dz ** 2)
-    lower = np.full(nz - 1, diffusivity / dz ** 2)
+    main = np.zeros(nz, dtype=np.float64)
+    upper = np.full(nz - 1, diffusivity / dz ** 2, dtype=np.float64)
+    lower = np.full(nz - 1, diffusivity / dz ** 2, dtype=np.float64)
     main[:] = -2.0 * diffusivity / dz ** 2
     main[0] = -diffusivity / dz ** 2 - transfer / dz
     main[-1] = -diffusivity / dz ** 2
     matrix = np.diag(main) + np.diag(upper, 1) + np.diag(lower, -1)
-    source = np.zeros(nz)
+    source = np.zeros(nz, dtype=np.float64)
     source[0] = transfer / dz * saturation
     return matrix, source
 
@@ -77,9 +77,10 @@ class _ZPropagator:
         self.step_matrix = expm(dt * matrix)
         if np.any(source):
             # u+ = E u + M^{-1} (E - I) c; M is invertible when transfer > 0.
-            self.affine = np.linalg.solve(matrix, (self.step_matrix - np.eye(grid.nz)) @ source)
+            self.affine = np.linalg.solve(
+                matrix, (self.step_matrix - np.eye(grid.nz, dtype=np.float64)) @ source)
         else:
-            self.affine = np.zeros(grid.nz)
+            self.affine = np.zeros(grid.nz, dtype=np.float64)
 
     def apply(self, u: np.ndarray) -> np.ndarray:
         """Advance a (nz, ny, nx) field one step along z."""

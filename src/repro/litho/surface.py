@@ -26,7 +26,7 @@ def height_map(arrival: np.ndarray, grid: GridConfig, develop: DevelopConfig) ->
     nz, ny, nx = arrival.shape
     threshold = develop.duration_s
     developed = arrival <= threshold  # True where resist removed
-    thickness = np.empty((ny, nx))
+    thickness = np.empty((ny, nx), dtype=np.float64)
     depths = (np.arange(nz) + 0.5) * grid.dz_nm
     for iy in range(ny):
         for ix in range(nx):

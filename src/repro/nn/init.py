@@ -40,11 +40,11 @@ def normal(shape, std: float = 0.02) -> np.ndarray:
 
 
 def zeros(shape) -> np.ndarray:
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=np.float64)
 
 
 def ones(shape) -> np.ndarray:
-    return np.ones(shape)
+    return np.ones(shape, dtype=np.float64)
 
 
 def uniform(shape, low: float, high: float) -> np.ndarray:

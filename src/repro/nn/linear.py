@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import tensor as T
 from repro.tensor import functional as F

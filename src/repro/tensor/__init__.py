@@ -7,7 +7,10 @@ baselines.  Import order matters slightly: the ``ops_*`` modules attach
 operator methods onto :class:`Tensor` when imported.
 """
 
-from .tensor import Tensor, no_grad, is_grad_enabled, as_array, ensure_tensor, DEFAULT_DTYPE
+from .tensor import (
+    Tensor, no_grad, is_grad_enabled, as_array, ensure_tensor, DEFAULT_DTYPE,
+    sanitize, is_sanitize_enabled, SanitizeError,
+)
 from . import ops_basic, ops_shape, ops_reduce  # noqa: F401  (method installation)
 from .ops_basic import (
     add, sub, mul, div, neg, pow_, exp, log, sqrt, tanh, sigmoid, abs_,
@@ -25,6 +28,7 @@ from . import functional
 
 __all__ = [
     "Tensor", "no_grad", "is_grad_enabled", "as_array", "ensure_tensor", "DEFAULT_DTYPE",
+    "sanitize", "is_sanitize_enabled", "SanitizeError",
     "add", "sub", "mul", "div", "neg", "pow_", "exp", "log", "sqrt", "tanh",
     "sigmoid", "abs_", "maximum", "minimum", "clip", "where", "matmul", "einsum",
     "reshape", "transpose", "swapaxes", "moveaxis", "concatenate", "stack",

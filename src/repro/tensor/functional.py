@@ -85,12 +85,17 @@ def mse_loss(prediction, target) -> Tensor:
     return R.mean(B.mul(diff, diff))
 
 
+# Fallback generator for callers that do not thread their own; seeded so
+# repeated runs of the same script stay reproducible.
+_DROPOUT_RNG = np.random.default_rng(0)
+
+
 def dropout(x, p: float, training: bool, rng: np.random.Generator | None = None) -> Tensor:
     """Inverted dropout; identity at evaluation time."""
     if not training or p <= 0.0:
         return ensure_tensor(x)
     x = ensure_tensor(x)
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else _DROPOUT_RNG
     mask = (rng.random(x.shape) >= p) / (1.0 - p)
     return Tensor.from_op(x.data * mask, [(x, lambda g: g * mask)])
 

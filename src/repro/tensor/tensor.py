@@ -15,6 +15,8 @@ lives in the sibling ``ops_*`` modules which attach methods onto
 from __future__ import annotations
 
 import contextlib
+import os
+import sys
 import threading
 
 import numpy as np
@@ -22,6 +24,11 @@ import numpy as np
 DEFAULT_DTYPE = np.float64
 
 _state = threading.local()
+
+
+class SanitizeError(RuntimeError):
+    """Raised by the tape sanitizer on a non-finite value or a vjp whose
+    output does not match its parent's shape/dtype."""
 
 
 def _grad_enabled() -> bool:
@@ -49,6 +56,76 @@ def is_grad_enabled() -> bool:
     return _grad_enabled()
 
 
+def is_sanitize_enabled() -> bool:
+    """Return whether the tape sanitizer is active.
+
+    An explicit :func:`sanitize` block wins; otherwise the
+    ``REPRO_SANITIZE`` environment variable decides, so whole test runs
+    and CLI invocations can opt in without code changes.
+    """
+    flag = getattr(_state, "sanitize", None)
+    if flag is not None:
+        return flag
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0", "false", "False")
+
+
+@contextlib.contextmanager
+def sanitize(enabled: bool = True):
+    """Context manager toggling the tape sanitizer.
+
+    While active, every op's forward output is checked for NaN/Inf as it
+    is recorded, and every vjp result is checked during backward for
+    NaN/Inf and for shape/dtype mismatch against its parent.  Failures
+    raise :class:`SanitizeError` naming the offending op and the operand
+    shapes, which turns a loss that "goes NaN somewhere" into a stack
+    trace pointing at the first bad op.
+    """
+    previous = getattr(_state, "sanitize", None)
+    _state.sanitize = bool(enabled)
+    try:
+        yield
+    finally:
+        _state.sanitize = previous
+
+
+def _is_float_array(arr: np.ndarray) -> bool:
+    return np.issubdtype(arr.dtype, np.floating) or np.issubdtype(arr.dtype, np.complexfloating)
+
+
+def _describe_operands(parents) -> str:
+    return ", ".join(f"{tuple(p.shape)}:{p.dtype}" for p, _ in parents) or "<no operands>"
+
+
+def _sanitize_forward(data: np.ndarray, parents, op_name: str) -> None:
+    if _is_float_array(data) and not np.all(np.isfinite(data)):
+        bad = int(np.count_nonzero(~np.isfinite(data)))
+        raise SanitizeError(
+            f"op '{op_name}' produced {bad} non-finite value(s) in output of shape "
+            f"{tuple(data.shape)} (operands: {_describe_operands(parents)})"
+        )
+
+
+def _sanitize_vjp(contribution: np.ndarray, parent: "Tensor", op_name: str) -> None:
+    contribution = np.asarray(contribution)
+    if contribution.shape != parent.data.shape:
+        raise SanitizeError(
+            f"vjp of op '{op_name}' returned gradient of shape {tuple(contribution.shape)} "
+            f"for a parent of shape {tuple(parent.data.shape)}"
+        )
+    if (_is_float_array(contribution) and _is_float_array(parent.data)
+            and contribution.dtype != parent.data.dtype):
+        raise SanitizeError(
+            f"vjp of op '{op_name}' returned dtype {contribution.dtype} for a parent of "
+            f"dtype {parent.data.dtype} (silent promotion)"
+        )
+    if _is_float_array(contribution) and not np.all(np.isfinite(contribution)):
+        bad = int(np.count_nonzero(~np.isfinite(contribution)))
+        raise SanitizeError(
+            f"vjp of op '{op_name}' produced {bad} non-finite gradient value(s) for a "
+            f"parent of shape {tuple(parent.data.shape)}"
+        )
+
+
 def as_array(value, dtype=DEFAULT_DTYPE) -> np.ndarray:
     """Coerce ``value`` (scalar, sequence, ndarray or Tensor) to ndarray."""
     if isinstance(value, Tensor):
@@ -68,7 +145,7 @@ class Tensor:
         :meth:`backward` is called on a downstream scalar.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "name", "_op")
 
     # Let Tensor win against ndarray in mixed binary ops.
     __array_priority__ = 200
@@ -79,20 +156,29 @@ class Tensor:
         self.requires_grad = bool(requires_grad)
         self._parents: list[tuple[Tensor, object]] = []
         self.name = name
+        self._op: str | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
     @staticmethod
-    def from_op(data: np.ndarray, parents) -> "Tensor":
+    def from_op(data: np.ndarray, parents, op: str | None = None) -> "Tensor":
         """Create the result tensor of an operation.
 
         ``parents`` is an iterable of ``(tensor, vjp)`` pairs; pairs whose
         tensor does not require grad are dropped.  When grad recording is
         globally disabled, or no parent requires grad, the result is a
         plain constant tensor.
+
+        ``op`` names the operation for sanitizer error messages; when
+        omitted under :func:`sanitize`, the calling function's name is
+        used, which matches the public op name for every ``ops_*`` module.
         """
         out = Tensor(data)
+        if is_sanitize_enabled():
+            parents = list(parents)
+            out._op = op or sys._getframe(1).f_code.co_name
+            _sanitize_forward(out.data, parents, out._op)
         if _grad_enabled():
             kept = [(p, fn) for p, fn in parents if p.requires_grad]
             if kept:
@@ -169,6 +255,7 @@ class Tensor:
             if grad.shape != self.data.shape:
                 raise ValueError(f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}")
 
+        sanitizing = is_sanitize_enabled()
         order = self._topological_order()
         grads: dict[int, np.ndarray] = {id(self): grad}
         for node in order:
@@ -186,6 +273,8 @@ class Tensor:
                 contribution = vjp(node_grad)
                 if contribution is None:
                     continue
+                if sanitizing:
+                    _sanitize_vjp(contribution, parent, node._op or "<unnamed op>")
                 key = id(parent)
                 if key in grads:
                     grads[key] = grads[key] + contribution

@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.config import GridConfig, LithoConfig
 from repro.data import (
-    DIHEDRAL_OPS, PEBDataset, PEBSample, augment_dataset, augment_sample,
+    PEBDataset, PEBSample, augment_dataset, augment_sample,
     transform_contact, transform_volume,
 )
 from repro.litho.mask import Contact, rasterize

@@ -65,7 +65,7 @@ class TestGenerateDataset:
         """A different physics config must not hit the same cache entries."""
         _, cache = dataset
         other = LithoConfig(grid=GridConfig(size_um=1.0, nx=16, ny=16, nz=4))
-        ds2 = generate_dataset(1, other, cache_dir=cache, time_step_s=0.5)
+        generate_dataset(1, other, cache_dir=cache, time_step_s=0.5)
         assert len(list(cache.glob("clip_*.npz"))) == 5
 
 

@@ -1,0 +1,13 @@
+"""REP001 fixture: exactly one legacy global-state RNG call (line 9)."""
+
+import numpy as np
+
+_rng = np.random.default_rng(0)  # modern seeded Generator: allowed
+
+
+def noisy(shape):
+    return np.random.rand(*shape)
+
+
+def seeded(shape):
+    return _rng.random(shape)

@@ -1,0 +1,14 @@
+"""REP002 fixture: one dtype-less hot-path allocation (line 13).
+
+Linted under the virtual path ``src/repro/litho/fixture.py`` so the
+hot-path scoping applies.
+"""
+
+import numpy as np
+
+
+def alloc(n):
+    good = np.zeros(n, dtype=np.float64)
+    like = np.zeros_like(good)  # *_like inherits dtype: allowed
+    bad = np.empty(n)
+    return good + like + bad

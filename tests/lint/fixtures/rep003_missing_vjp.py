@@ -1,0 +1,25 @@
+"""REP003 fixture: an op that drops one operand from the tape (line 14).
+
+Linted under the virtual path ``src/repro/tensor/ops_fixture.py``.
+``busted_mul`` ensures both ``a`` and ``b`` but records only ``a`` as a
+parent, so ``b``'s gradient would silently vanish.
+"""
+
+import numpy as np  # noqa: F401  (mirrors the real ops modules)
+
+from repro.tensor import Tensor, ensure_tensor
+
+
+def busted_mul(a, b):
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out = a.data * b.data
+    return Tensor.from_op(out, [(a, lambda g: g * b.data)])
+
+
+def honest_mul(a, b):
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out = a.data * b.data
+    return Tensor.from_op(out, [
+        (a, lambda g: g * b.data),
+        (b, lambda g: g * a.data),
+    ])

@@ -1,0 +1,14 @@
+"""REP004 fixture: one banned framework import (line 8)."""
+
+import numpy as np
+import scipy.ndimage  # numpy/scipy are the sanctioned stack
+
+
+def upsample(x):
+    import torch
+
+    return torch.nn.functional.interpolate(torch.from_numpy(np.asarray(x)))
+
+
+def blur(x):
+    return scipy.ndimage.gaussian_filter(x, 1.0)

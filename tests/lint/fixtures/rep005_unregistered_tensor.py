@@ -1,0 +1,19 @@
+"""REP005 fixture: a Module stashing a raw Tensor attribute (line 15)."""
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class Leaky(Module):
+    """Scale layer whose weight never reaches parameters()."""
+
+    def __init__(self):
+        super().__init__()
+        self.registered = Parameter(np.ones(3, dtype=np.float64))
+        self.scale = Tensor(np.ones(3, dtype=np.float64))
+        self.buffer = np.ones(3, dtype=np.float64)  # plain ndarray: allowed
+
+    def forward(self, x):
+        return x * self.scale

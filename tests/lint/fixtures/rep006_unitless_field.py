@@ -1,0 +1,17 @@
+"""REP006 fixture: a config float field with no unit anywhere (line 16).
+
+Linted under the virtual path ``src/repro/litho/fixture_config.py``.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FixtureConfig:
+    """Config with one well-annotated field and one naked one."""
+
+    width_nm: float = 12.0
+    #: dimensionless blending factor
+    eta: float = 0.5
+    mystery: float = 2.0
+    count: int = 3

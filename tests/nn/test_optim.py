@@ -5,7 +5,6 @@ import pytest
 
 from repro import nn
 from repro.nn.module import Parameter
-from repro.tensor import Tensor
 
 
 def quadratic_param(start=5.0):

@@ -5,7 +5,6 @@ import pytest
 
 from repro import nn
 from repro.ssm import LTISSM, lti_kernel, causal_conv_fft
-from repro.ssm.s4d import LTISSM as _LTISSM
 from repro.tensor import Tensor
 
 RNG = np.random.default_rng(41)

@@ -1,0 +1,64 @@
+"""Tests for structured gradcheck diagnostics and the full-op sweep."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, sanitize
+from repro.tensor.gradcheck import (
+    GradcheckResult, gradcheck, numeric_gradient, run_gradcheck_sweep,
+)
+
+
+def _wrong_square(ts):
+    # vjp should be 2*x*g; identity is deliberately wrong
+    x = ts[0]
+    return Tensor.from_op(x.data ** 2, [(x, lambda g: g)]).sum()
+
+
+class TestStructuredResult:
+    def test_pass_returns_truthy_result_with_diagnostics(self):
+        result = gradcheck(lambda ts: (ts[0] * ts[0]).sum(), [np.array([1.0, -2.0, 3.0])])
+        assert isinstance(result, GradcheckResult)
+        assert result and result.ok
+        assert len(result.per_input) == 1
+        assert result.per_input[0].ok
+        assert result.max_abs_error < 1e-6
+        assert "passed" in result.summary()
+
+    def test_failure_reports_worst_element_and_input(self):
+        result = gradcheck(_wrong_square, [np.array([1.0, 4.0])], raise_on_fail=False)
+        assert not result
+        failing = result.failing_inputs
+        assert [d.input_index for d in failing] == [0]
+        # worst element is x=4 where |1 - 2*4| = 7
+        assert failing[0].worst_index == (1,)
+        assert failing[0].max_abs_error == pytest.approx(7.0, abs=1e-4)
+        assert failing[0].autograd_value == pytest.approx(1.0)
+        assert failing[0].numeric_value == pytest.approx(8.0, abs=1e-4)
+        assert "MISMATCH" in result.summary()
+
+    def test_raise_on_fail_carries_the_structured_summary(self):
+        with pytest.raises(AssertionError, match=r"max_abs_err.*at index \(1,\)"):
+            gradcheck(_wrong_square, [np.array([1.0, 4.0])], op="wrong_square")
+
+    def test_op_label_lands_in_summary(self):
+        result = gradcheck(_wrong_square, [np.array([2.0])], op="wrong_square",
+                           raise_on_fail=False)
+        assert "wrong_square" in result.summary()
+
+    def test_numeric_gradient_matches_analytic(self):
+        grad = numeric_gradient(lambda ts: (ts[0] ** 2.0).sum(), [np.array([3.0])], 0)
+        assert grad == pytest.approx([6.0], abs=1e-4)
+
+
+class TestSweep:
+    def test_full_op_sweep_passes_under_sanitizer(self):
+        with sanitize():
+            results = run_gradcheck_sweep()
+        names = [name for name, _ in results]
+        assert len(names) == len(set(names))
+        # spot-check the sweep really covers every op family
+        for expected in ("add", "matmul", "einsum", "conv3d", "conv_transpose3d",
+                         "max_", "var", "softmax", "layer_norm", "dropout"):
+            assert expected in names, f"sweep is missing op {expected}"
+        assert all(result.ok for _, result in results)

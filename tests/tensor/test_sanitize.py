@@ -1,0 +1,111 @@
+"""Tests for the autograd tape sanitizer."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.tensor import SanitizeError, Tensor, is_sanitize_enabled, sanitize
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+class TestToggle:
+    def test_disabled_by_default(self):
+        assert not is_sanitize_enabled()
+
+    def test_context_manager_nests_and_restores(self):
+        with sanitize():
+            assert is_sanitize_enabled()
+            with sanitize(False):
+                assert not is_sanitize_enabled()
+            assert is_sanitize_enabled()
+        assert not is_sanitize_enabled()
+
+    def test_env_var_enables(self):
+        script = (
+            "from repro.tensor import is_sanitize_enabled; "
+            "import sys; sys.exit(0 if is_sanitize_enabled() else 1)"
+        )
+        env = dict(os.environ, REPRO_SANITIZE="1", PYTHONPATH=SRC)
+        assert subprocess.run([sys.executable, "-c", script], env=env).returncode == 0
+        env["REPRO_SANITIZE"] = "0"
+        assert subprocess.run([sys.executable, "-c", script], env=env).returncode == 1
+
+
+class TestForwardChecks:
+    def test_nan_output_names_the_op(self):
+        with sanitize():
+            x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+            with pytest.raises(SanitizeError, match=r"op 'mul'"):
+                x * np.array([np.nan, 1.0])
+
+    def test_inf_output_names_the_op_and_operands(self):
+        with sanitize(), np.errstate(divide="ignore"):
+            x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+            with pytest.raises(SanitizeError, match=r"op 'div'.*\(2,\)"):
+                x / np.array([0.0, 1.0])
+
+    def test_nan_injected_mid_graph_blames_the_consuming_op(self):
+        with sanitize():
+            x = Tensor(np.ones(3), requires_grad=True)
+            y = x.exp()
+            y.data[1] = np.nan  # corrupt the graph between two ops
+            with pytest.raises(SanitizeError, match=r"op 'mul'"):
+                y * 2.0
+
+    def test_finite_graph_passes(self):
+        with sanitize():
+            x = Tensor(np.ones(3), requires_grad=True)
+            loss = (x.exp() * 2.0).sum()
+            loss.backward()
+        assert np.allclose(x.grad, 2.0 * np.e)
+
+    def test_disabled_lets_nan_through(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        out = x * np.array([np.nan])
+        assert np.isnan(out.data).all()
+
+
+class TestBackwardChecks:
+    def test_vjp_nan_names_the_op(self):
+        with sanitize():
+            x = Tensor(np.ones(2), requires_grad=True)
+            out = Tensor.from_op(
+                x.data * 2.0,
+                [(x, lambda g: np.array([np.nan, 1.0]))],
+                op="badop",
+            )
+            with pytest.raises(SanitizeError, match=r"vjp of op 'badop'.*non-finite"):
+                out.backward(np.ones(2))
+
+    def test_vjp_shape_mismatch(self):
+        with sanitize():
+            x = Tensor(np.ones(2), requires_grad=True)
+            out = Tensor.from_op(
+                x.data * 2.0,
+                [(x, lambda g: np.ones(5))],
+                op="badshape",
+            )
+            with pytest.raises(SanitizeError, match=r"badshape.*shape \(5,\).*shape \(2,\)"):
+                out.backward(np.ones(2))
+
+    def test_vjp_dtype_promotion(self):
+        with sanitize():
+            x = Tensor(np.ones(2), requires_grad=True)
+            out = Tensor.from_op(
+                x.data * 2.0,
+                [(x, lambda g: np.ones(2, dtype=np.float32))],
+                op="baddtype",
+            )
+            with pytest.raises(SanitizeError, match=r"baddtype.*float32.*float64"):
+                out.backward(np.ones(2))
+
+    def test_ops_record_their_names_for_backward_errors(self):
+        with sanitize():
+            x = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+            out = x.sqrt()
+            assert out._op == "sqrt"
