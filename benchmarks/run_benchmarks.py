@@ -1,0 +1,257 @@
+#!/usr/bin/env python
+"""Perf regression harness: time the hot paths, record ``BENCH_perf.json``.
+
+Four sections, each a dict of timings/counters:
+
+* ``scan``     — forward and forward+backward wall time of the two scan
+  kernels at a training-typical (B, L, C, N);
+* ``solver``   — rigorous dataset generation wall time per clip, serial
+  (``workers=1``) vs. parallel (``workers=min(4, cores)``), no disk cache;
+* ``backward`` — tracemalloc peak / live-block count across one SDM-PEB
+  loss.backward() at quick scale, plus the wall time of a full
+  forward+backward+step;
+* ``epoch``    — one Trainer epoch on synthetic quick-scale data.
+
+``--smoke`` shrinks every section to CI-runner size (seconds, not
+minutes).  ``--check`` compares the fresh timings against
+``benchmarks/reference_perf.json`` and exits non-zero on a >2x
+regression (with an absolute floor so runner noise on sub-second
+entries never flakes).  The JSON lands at the repo root by default so
+successive PRs accumulate a perf trajectory.
+
+Usage:
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--smoke] [--check] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+import scipy
+
+from repro import nn
+from repro.config import GridConfig, LithoConfig
+from repro.core import TrainConfig, Trainer
+from repro.core.losses import SDMPEBLoss
+from repro.data import generate_dataset
+from repro.experiments import build_method
+from repro.ssm.scan import diagonal_scan, run_scan
+from repro.tensor import Tensor
+
+REFERENCE_PATH = REPO_ROOT / "benchmarks" / "reference_perf.json"
+
+#: regression gate: fail when fresh > max(RATIO * ref, ref + FLOOR_S).
+#: The additive floor keeps sub-second entries from flaking on noisy
+#: shared CI runners.
+REGRESSION_RATIO = 2.0
+REGRESSION_FLOOR_S = 0.75
+
+
+def best_of(fn, repeats: int = 3) -> float:
+    """Minimum wall time of ``fn()`` over ``repeats`` runs."""
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def machine_metadata() -> dict:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "cpu_count": os.cpu_count(),
+        "repro_workers_env": os.environ.get("REPRO_WORKERS", ""),
+        "timestamp_unix_s": round(time.time(), 3),
+    }
+
+
+def bench_scan(smoke: bool) -> dict:
+    shape = (1, 64, 4, 4) if smoke else (2, 256, 8, 8)
+    rng = np.random.default_rng(0)
+    a = np.exp(-rng.uniform(0.01, 3.0, size=shape))
+    b = rng.standard_normal(shape)
+    out: dict = {"shape": list(shape)}
+    for mode in ("sequential", "chunked"):
+        out[f"forward_{mode}_s"] = best_of(lambda m=mode: run_scan(a, b, mode=m))
+
+        def forward_backward(m=mode):
+            ta = Tensor(a, requires_grad=True)
+            tb = Tensor(b, requires_grad=True)
+            diagonal_scan(ta, tb, mode=m).sum().backward()
+
+        out[f"forward_backward_{mode}_s"] = best_of(forward_backward)
+    return out
+
+
+def bench_solver(smoke: bool) -> dict:
+    if smoke:
+        clips, grid, dt = 2, GridConfig(size_um=1.0, nx=16, ny=16, nz=2), 1.0
+    else:
+        clips, grid, dt = 8, GridConfig(size_um=1.0, nx=32, ny=32, nz=4), 0.5
+    config = LithoConfig(grid=grid)
+    parallel_workers = max(2, min(4, os.cpu_count() or 1))
+
+    def timed_run(workers: int) -> float:
+        start = time.perf_counter()
+        generate_dataset(clips, config, time_step_s=dt, cache_dir=None, workers=workers)
+        return time.perf_counter() - start
+
+    serial_s = timed_run(1)
+    parallel_s = timed_run(parallel_workers)
+    return {
+        "clips": clips,
+        "grid": list(grid.shape),
+        "time_step_s": dt,
+        "serial_s": serial_s,
+        "serial_per_clip_s": serial_s / clips,
+        "parallel_workers": parallel_workers,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+    }
+
+
+def _quick_model_and_batch(smoke: bool):
+    grid = (GridConfig(size_um=1.0, nx=16, ny=16, nz=2) if smoke
+            else GridConfig(size_um=1.0, nx=32, ny=32, nz=4))
+    nn.init.seed(0)
+    model, loss_config = build_method("SDM-PEB", grid)
+    model.set_output_stats(0.5, 1.0)
+    rng = np.random.default_rng(1)
+    inputs = rng.random((2,) + grid.shape)
+    targets = rng.random((2,) + grid.shape)
+    return model, SDMPEBLoss(loss_config), inputs, targets, grid
+
+
+def bench_backward(smoke: bool) -> dict:
+    model, loss_fn, inputs, targets, _ = _quick_model_and_batch(smoke)
+    model.train()
+    prediction = model(Tensor(inputs))
+    loss = loss_fn(prediction, Tensor(targets))
+    tracemalloc.start()
+    loss.backward()
+    current, peak = tracemalloc.get_traced_memory()
+    snapshot = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    live_blocks = sum(stat.count for stat in snapshot.statistics("filename"))
+
+    optimizer = nn.Adam(model.parameters(), lr=1e-3)
+
+    def train_step():
+        optimizer.zero_grad()
+        step_loss = loss_fn(model(Tensor(inputs)), Tensor(targets))
+        step_loss.backward()
+        optimizer.step()
+
+    return {
+        "batch_shape": list(inputs.shape),
+        "backward_peak_bytes": peak,
+        "backward_live_bytes": current,
+        "backward_live_blocks": live_blocks,
+        "train_step_s": best_of(train_step),
+    }
+
+
+def bench_epoch(smoke: bool) -> dict:
+    model, _, _, _, grid = _quick_model_and_batch(smoke)
+    rng = np.random.default_rng(2)
+    n = 4 if smoke else 6
+    inputs = rng.random((n,) + grid.shape)
+    targets = 2.0 * inputs + rng.normal(0.0, 0.05, size=inputs.shape)
+    trainer = Trainer(model, inputs, targets, TrainConfig(epochs=1, batch_size=2))
+    start = time.perf_counter()
+    trainer.fit()
+    return {"samples": n, "epoch_s": time.perf_counter() - start}
+
+
+#: ``_s``-suffixed section entries that are parameters, not measurements
+NON_TIMING_KEYS = {"time_step_s"}
+
+
+def flatten_timings(sections: dict) -> dict:
+    """``section.key -> seconds`` for every float entry ending in ``_s``."""
+    flat = {}
+    for section, values in sections.items():
+        for key, value in values.items():
+            if (key.endswith("_s") and key not in NON_TIMING_KEYS
+                    and isinstance(value, (int, float))):
+                flat[f"{section}.{key}"] = float(value)
+    return flat
+
+
+def check_regressions(fresh: dict, reference_path: Path) -> list[str]:
+    if not reference_path.exists():
+        print(f"no reference timings at {reference_path}; skipping check")
+        return []
+    reference = json.loads(reference_path.read_text())["timings"]
+    failures = []
+    for key, ref_value in reference.items():
+        new_value = fresh.get(key)
+        if new_value is None:
+            continue
+        limit = max(REGRESSION_RATIO * ref_value, ref_value + REGRESSION_FLOOR_S)
+        status = "FAIL" if new_value > limit else "ok"
+        print(f"  {status:>4}  {key}: {new_value:.4f}s (ref {ref_value:.4f}s, limit {limit:.4f}s)")
+        if new_value > limit:
+            failures.append(key)
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized subset (seconds of wall time)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against benchmarks/reference_perf.json and "
+                             "fail on >2x regressions")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_perf.json"),
+                        help="output JSON path (default: repo-root BENCH_perf.json)")
+    args = parser.parse_args(argv)
+
+    sections = {}
+    for name, fn in (("scan", bench_scan), ("solver", bench_solver),
+                     ("backward", bench_backward), ("epoch", bench_epoch)):
+        print(f"[{name}] ...", flush=True)
+        sections[name] = fn(args.smoke)
+        for key, value in sections[name].items():
+            print(f"    {key}: {value}")
+
+    payload = {
+        "meta": machine_metadata(),
+        "smoke": args.smoke,
+        "sections": sections,
+        "timings": flatten_timings(sections),
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+
+    if args.check:
+        print("checking against reference timings:")
+        failures = check_regressions(payload["timings"], REFERENCE_PATH)
+        if failures:
+            print(f"PERF REGRESSION in {len(failures)} timing(s): {', '.join(failures)}")
+            return 1
+        print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

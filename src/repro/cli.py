@@ -41,7 +41,7 @@ def _settings_from_args(args) -> ExperimentSettings:
     grid = GridConfig(size_um=args.clip_um, nx=args.nx, ny=args.nx, nz=args.nz)
     settings = ExperimentSettings(
         num_clips=args.clips, epochs=args.epochs, cache_dir=args.cache,
-        config=LithoConfig(grid=grid),
+        config=LithoConfig(grid=grid), workers=args.workers,
     )
     return settings
 
@@ -52,6 +52,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--nz", type=int, default=4, help="depth grid points")
     parser.add_argument("--clip-um", type=float, default=1.0, help="clip size in um")
     parser.add_argument("--cache", default=".repro_cache", help="dataset cache dir")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="processes for rigorous dataset generation "
+                             "(default: REPRO_WORKERS env or all cores; 1 = serial)")
     parser.add_argument("--sanitize", action="store_true",
                         help="run under the autograd tape sanitizer (NaN/Inf and "
                              "shape/dtype checks on every op)")
@@ -135,6 +138,7 @@ def cmd_reproduce(args) -> int:
     from repro.experiments.reproduce_all import run_all
 
     settings = ExperimentSettings.quick() if args.quick else ExperimentSettings.full()
+    settings.workers = args.workers
     run_all(settings, Path(args.out))
     return 0
 
@@ -183,6 +187,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("reproduce", help="regenerate all tables and figures")
     p.add_argument("--quick", action="store_true")
     p.add_argument("--out", default="results")
+    p.add_argument("--workers", type=int, default=None,
+                   help="processes for rigorous dataset generation")
     p.add_argument("--sanitize", action="store_true",
                    help="run under the autograd tape sanitizer")
     p.set_defaults(func=cmd_reproduce)

@@ -8,6 +8,13 @@ geometry (for CD evaluation) and the rigorous solver's wall time (for
 the runtime comparison).  Samples are cached on disk as ``.npz`` keyed
 by a hash of the full configuration, so repeated experiment runs are
 cheap.
+
+Clips are mutually independent and every clip derives all of its
+randomness from its own seed, so cache misses fan out across a
+process pool (:func:`repro.runtime.parallel_map`): the arrays produced
+are bit-for-bit identical for any worker count, only the recorded
+wall times differ.  ``workers=1`` (or ``REPRO_WORKERS=1``) keeps the
+historical in-process serial path; cache hits never touch the pool.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from repro.litho import (
     MaskClip, Contact, generate_clip, aerial_image_stack, initial_photoacid,
     RigorousPEBSolver,
 )
+from repro.runtime import parallel_map
 
 
 @dataclass
@@ -103,35 +111,76 @@ def simulate_clip(seed: int, config: LithoConfig, time_step_s: float = 0.25,
                      contacts=clip.contacts, rigorous_seconds=elapsed)
 
 
+def _load_sample(path: Path, seed: int) -> PEBSample:
+    with np.load(path) as archive:
+        return PEBSample(
+            seed=seed, acid=archive["acid"], inhibitor=archive["inhibitor"],
+            label=archive["label"],
+            contacts=_contacts_from_array(archive["contacts"]),
+            rigorous_seconds=float(archive["rigorous_seconds"]),
+        )
+
+
+def _save_sample(path: Path, sample: PEBSample) -> None:
+    np.savez_compressed(
+        path, acid=sample.acid, inhibitor=sample.inhibitor,
+        label=sample.label, contacts=_contacts_to_array(sample.contacts),
+        rigorous_seconds=sample.rigorous_seconds)
+
+
+def _simulate_clip_task(task: tuple) -> PEBSample:
+    """Pool-worker entry point: one rigorous clip from its task tuple.
+
+    Module-level so it pickles; everything it needs travels in the task
+    (seed, config, dt, splitting) — no global state, which is what makes
+    serial and parallel runs bitwise-identical.
+    """
+    seed, config, time_step_s, splitting = task
+    return simulate_clip(seed, config, time_step_s, splitting)
+
+
 def generate_dataset(num_clips: int, config: LithoConfig | None = None,
                      base_seed: int = 0, time_step_s: float = 0.25,
                      splitting: str = "strang", cache_dir: str | Path | None = None,
-                     verbose: bool = False) -> PEBDataset:
-    """Generate (or load from cache) a dataset of ``num_clips`` samples."""
+                     verbose: bool = False, workers: int | None = None) -> PEBDataset:
+    """Generate (or load from cache) a dataset of ``num_clips`` samples.
+
+    ``workers`` is the process count used for cache misses (default:
+    ``REPRO_WORKERS`` or all cores; see :func:`repro.runtime.resolve_workers`).
+    The sample arrays are identical for every worker count; only the
+    per-sample ``rigorous_seconds`` wall times vary.
+    """
     config = config if config is not None else LithoConfig()
     dataset = PEBDataset(config)
     key = _config_key(config, time_step_s, splitting)
     cache = Path(cache_dir) if cache_dir is not None else None
     if cache is not None:
         cache.mkdir(parents=True, exist_ok=True)
-    for i in range(num_clips):
-        seed = base_seed + i
-        path = cache / f"clip_{key}_{seed}.npz" if cache is not None else None
+
+    seeds = [base_seed + i for i in range(num_clips)]
+    paths = {seed: cache / f"clip_{key}_{seed}.npz" if cache is not None else None
+             for seed in seeds}
+    by_seed: dict[int, PEBSample] = {}
+    missing: list[int] = []
+    for seed in seeds:
+        path = paths[seed]
         if path is not None and path.exists():
-            with np.load(path) as archive:
-                sample = PEBSample(
-                    seed=seed, acid=archive["acid"], inhibitor=archive["inhibitor"],
-                    label=archive["label"],
-                    contacts=_contacts_from_array(archive["contacts"]),
-                    rigorous_seconds=float(archive["rigorous_seconds"]),
-                )
+            by_seed[seed] = _load_sample(path, seed)
         else:
-            sample = simulate_clip(seed, config, time_step_s, splitting)
+            missing.append(seed)
+
+    if missing:
+        # Cache hits never reach the pool; only the misses fan out.
+        tasks = [(seed, config, time_step_s, splitting) for seed in missing]
+        results = parallel_map(_simulate_clip_task, tasks, workers=workers)
+        for seed, sample in zip(missing, results):
+            by_seed[seed] = sample
+            path = paths[seed]
             if path is not None:
-                np.savez_compressed(
-                    path, acid=sample.acid, inhibitor=sample.inhibitor,
-                    label=sample.label, contacts=_contacts_to_array(sample.contacts),
-                    rigorous_seconds=sample.rigorous_seconds)
+                _save_sample(path, sample)
+
+    for i, seed in enumerate(seeds):
+        sample = by_seed[seed]
         dataset.samples.append(sample)
         if verbose:
             print(f"clip {i + 1}/{num_clips} (seed {seed}): "

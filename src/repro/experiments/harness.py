@@ -53,6 +53,9 @@ class ExperimentSettings:
     base_seed: int = 0
     init_seed: int = 0
     cache_dir: str | None = ".repro_cache"
+    #: process count for rigorous dataset generation (None = REPRO_WORKERS
+    #: env or all cores; 1 = the historical serial path)
+    workers: int | None = None
     evaluate_cd: bool = True
     #: cap on the number of test clips used for (expensive) CD evaluation
     cd_clips: int | None = None
@@ -209,7 +212,8 @@ def prepare_data(settings: ExperimentSettings, verbose: bool = False):
     dataset = generate_dataset(settings.num_clips, settings.config,
                                base_seed=settings.base_seed,
                                time_step_s=settings.time_step_s,
-                               cache_dir=settings.cache_dir, verbose=verbose)
+                               cache_dir=settings.cache_dir, verbose=verbose,
+                               workers=settings.workers)
     return dataset.split(settings.train_fraction)
 
 

@@ -15,6 +15,7 @@ import numpy as np
 from scipy import fft as spfft
 
 from repro.config import GridConfig
+from repro.runtime.fft import fft_workers
 
 
 def neumann_laplacian_eigenvalues(n: int, spacing: float) -> np.ndarray:
@@ -40,9 +41,10 @@ class LateralDiffusionPropagator:
 
     def apply(self, field: np.ndarray) -> np.ndarray:
         """Advance the field by one time step (axes (1, 2) are y, x)."""
-        coefficients = spfft.dctn(field, axes=(1, 2), type=2, norm="ortho")
+        workers = fft_workers()
+        coefficients = spfft.dctn(field, axes=(1, 2), type=2, norm="ortho", workers=workers)
         coefficients *= self._factor[None, :, :]
-        return spfft.idctn(coefficients, axes=(1, 2), type=2, norm="ortho")
+        return spfft.idctn(coefficients, axes=(1, 2), type=2, norm="ortho", workers=workers)
 
 
 def lateral_step_fdm(field: np.ndarray, diffusivity: float, dt: float,

@@ -33,7 +33,8 @@ import numpy as np
 from scipy.linalg import expm
 
 from repro.config import GridConfig, PEBConfig
-from .dct import LateralDiffusionPropagator, lateral_step_fdm
+from repro.runtime.cache import cached_lateral_propagator, cached_z_propagator
+from .dct import lateral_step_fdm
 
 
 @dataclass
@@ -146,17 +147,20 @@ class RigorousPEBSolver:
         self._steps = int(round(peb.duration_s / self.dt))
         if self._steps < 1:
             raise ValueError("duration shorter than one time step")
+        # Propagators are immutable and keyed on (grid, physics, dt), so
+        # identical solver configurations share operator instances (the
+        # expm / eigenvalue setup is the dominant construction cost).
         if lateral_mode == "dct":
-            self._lat_acid = LateralDiffusionPropagator(grid, peb.diffusivity("acid", "lateral"), self.dt)
-            self._lat_base = LateralDiffusionPropagator(grid, peb.diffusivity("base", "lateral"), self.dt)
+            self._lat_acid = cached_lateral_propagator(grid, peb.diffusivity("acid", "lateral"), self.dt)
+            self._lat_base = cached_lateral_propagator(grid, peb.diffusivity("base", "lateral"), self.dt)
         else:
             limit = 0.5 / (peb.diffusivity("acid", "lateral") * (1.0 / grid.dx_nm ** 2 + 1.0 / grid.dy_nm ** 2))
             if self.dt > limit:
                 raise ValueError(f"explicit lateral step unstable: dt={self.dt} > {limit:.3f}")
-        self._z_acid = _ZPropagator(grid, peb.diffusivity("acid", "normal"),
-                                    peb.transfer_coefficient_acid, peb.acid_saturation, self.dt)
-        self._z_base = _ZPropagator(grid, peb.diffusivity("base", "normal"),
-                                    peb.transfer_coefficient_base, peb.base_saturation, self.dt)
+        self._z_acid = cached_z_propagator(grid, peb.diffusivity("acid", "normal"),
+                                           peb.transfer_coefficient_acid, peb.acid_saturation, self.dt)
+        self._z_base = cached_z_propagator(grid, peb.diffusivity("base", "normal"),
+                                           peb.transfer_coefficient_base, peb.base_saturation, self.dt)
 
     # ------------------------------------------------------------------
     def _diffuse(self, acid: np.ndarray, base: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

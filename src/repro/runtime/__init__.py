@@ -1,0 +1,32 @@
+"""Performance layer: process pools, FFT threading and operator caches.
+
+``repro.runtime`` centralizes the knobs that decide how fast the
+reproduction runs on a given machine without changing any numerics:
+
+* :mod:`repro.runtime.pool` — a fork-based worker pool for
+  embarrassingly parallel stages (rigorous dataset generation), with a
+  deterministic serial fallback;
+* :mod:`repro.runtime.fft` — the thread count handed to ``scipy.fft``
+  (DCT diffusion propagator, S4D global convolution);
+* :mod:`repro.runtime.cache` — LRU caches for the PEB propagators,
+  whose construction is dominated by ``expm`` / eigenvalue setup and is
+  repeated verbatim across solver instances, benches and pool workers.
+
+Environment variables: ``REPRO_WORKERS`` (process count for dataset
+generation) and ``REPRO_FFT_WORKERS`` (scipy.fft thread count); see
+``docs/performance.md``.
+"""
+
+from .pool import resolve_workers, fork_available, parallel_map
+from .fft import fft_workers, set_fft_workers
+from .cache import (
+    cached_lateral_propagator, cached_z_propagator,
+    clear_propagator_caches, propagator_cache_info,
+)
+
+__all__ = [
+    "resolve_workers", "fork_available", "parallel_map",
+    "fft_workers", "set_fft_workers",
+    "cached_lateral_propagator", "cached_z_propagator",
+    "clear_propagator_caches", "propagator_cache_info",
+]

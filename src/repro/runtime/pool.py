@@ -1,0 +1,81 @@
+"""Process-pool execution policy for embarrassingly parallel stages.
+
+The rigorous ``[A] -> [I]`` flow is one independent solver run per
+seeded clip, so it parallelizes trivially — *provided* the results come
+back in a deterministic order and each task derives all of its
+randomness from its own seed (which :func:`repro.litho.generate_clip`
+guarantees).  :func:`parallel_map` fans tasks out across ``fork``ed
+processes and reassembles results in submission order; on platforms
+without ``fork`` (or with ``workers=1``) it degrades to a plain serial
+loop that is bit-for-bit the historical code path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["resolve_workers", "fork_available", "parallel_map"]
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve a worker count: explicit arg > ``REPRO_WORKERS`` > cpu count.
+
+    Always at least 1; a non-positive or unparsable request raises so a
+    typo'd environment variable fails loudly instead of silently running
+    serial.
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError as exc:
+                raise ValueError(f"REPRO_WORKERS={env!r} is not an integer") from exc
+        else:
+            workers = os.cpu_count() or 1
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists (it does not on Windows,
+    and ``spawn`` would re-import the world per task, so we fall back to
+    serial instead)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _limit_worker_threads() -> None:
+    """Pool-worker initializer: each process runs its tasks single-
+    threaded so N workers never oversubscribe N cores with FFT threads."""
+    from repro.runtime.fft import set_fft_workers
+
+    set_fft_workers(1)
+
+
+def parallel_map(fn: Callable, items: Iterable, workers: int | None = None) -> list:
+    """``[fn(item) for item in items]`` across a fork-based process pool.
+
+    Results are returned in input order regardless of completion order.
+    Runs serially (in-process, no pool, identical numerics) when the
+    resolved worker count is 1, there are fewer than two items, ``fork``
+    is unavailable, or pool creation fails (e.g. a sandbox forbidding
+    new processes).
+
+    ``fn`` must be picklable (a module-level function) and must derive
+    any randomness from its argument, not from global state.
+    """
+    tasks: Sequence = list(items)
+    workers = resolve_workers(workers)
+    if workers == 1 or len(tasks) < 2 or not fork_available():
+        return [fn(task) for task in tasks]
+    context = multiprocessing.get_context("fork")
+    try:
+        with context.Pool(processes=min(workers, len(tasks)),
+                          initializer=_limit_worker_threads) as pool:
+            return pool.map(fn, tasks)
+    except OSError:
+        return [fn(task) for task in tasks]

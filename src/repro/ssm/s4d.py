@@ -18,8 +18,10 @@ SDM-PEB's accuracy comes from input-dependent scanning.
 from __future__ import annotations
 
 import numpy as np
+from scipy import fft as spfft
 
 from repro import tensor as T
+from repro.runtime.fft import fft_workers
 from repro.tensor import Tensor, ensure_tensor
 from repro.nn.module import Module, Parameter
 from repro.nn import init
@@ -38,12 +40,18 @@ def lti_kernel(a_bar: np.ndarray, b_bar: np.ndarray, c: np.ndarray, length: int)
 
 
 def causal_conv_fft(x: np.ndarray, kernel: np.ndarray) -> np.ndarray:
-    """Causal per-channel convolution of (B, L, C) with kernel (C, L)."""
+    """Causal per-channel convolution of (B, L, C) with kernel (C, L).
+
+    Uses scipy's pocketfft so the B*C transform batch threads across
+    :func:`repro.runtime.fft.fft_workers` cores; the spectral product is
+    computed in place to avoid a second (B, 2L, C) complex buffer.
+    """
     batch, length, channels = x.shape
     size = 2 * length
-    x_f = np.fft.rfft(x, n=size, axis=1)
-    k_f = np.fft.rfft(kernel.T[None], n=size, axis=1)
-    return np.fft.irfft(x_f * k_f, n=size, axis=1)[:, :length]
+    workers = fft_workers()
+    x_f = spfft.rfft(x, n=size, axis=1, workers=workers)
+    x_f *= spfft.rfft(kernel.T[None], n=size, axis=1, workers=workers)
+    return spfft.irfft(x_f, n=size, axis=1, workers=workers)[:, :length]
 
 
 class LTISSM(Module):

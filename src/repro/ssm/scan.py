@@ -24,6 +24,8 @@ channels, SSM state dimension.
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 from repro.tensor import Tensor, ensure_tensor
@@ -49,12 +51,19 @@ def scan_chunked(a: np.ndarray, b: np.ndarray, chunk: int = DEFAULT_CHUNK) -> np
 
         h_k = P_k * h0 + P_k * sum_{j<=k} b_j / P_j,   P_k = prod_{i<=k} a_i.
 
-    ``a`` values are decay factors in (0, 1]; with the default chunk of
+    ``a`` values are decay factors in [0, 1]; with the default chunk of
     16 the ratio ``P_k / P_j`` stays far away from overflow in float64.
+    Chunks whose running product underflows (exact-zero or denormal
+    decays, where ``P_k / P_j`` is no longer representable) are
+    integrated step-by-step from the carry instead, so the kernel is
+    exact on the full decay domain.
     """
     batch, length = b.shape[:2]
     if length == 0:
         return b.copy()
+    # Never pad past the sequence: short sequences (post-patching stages
+    # run L=4) would otherwise inflate every intermediate by chunk/L.
+    chunk = min(chunk, length)
     pad = (-length) % chunk
     if pad:
         a = np.concatenate([a, np.ones((batch, pad) + a.shape[2:], dtype=a.dtype)], axis=1)
@@ -63,13 +72,33 @@ def scan_chunked(a: np.ndarray, b: np.ndarray, chunk: int = DEFAULT_CHUNK) -> np
     a_blocks = a.reshape(batch, chunks, chunk, *a.shape[2:])
     b_blocks = b.reshape(batch, chunks, chunk, *b.shape[2:])
     prods = np.cumprod(a_blocks, axis=2)
-    safe = np.maximum(prods, np.finfo(a.dtype).tiny)
-    inner = prods * np.cumsum(b_blocks / safe, axis=2)
-    h = np.empty_like(inner)
-    carry = np.zeros_like(inner[:, 0, 0])
+    tiny = np.finfo(a.dtype).tiny
+    bad = None
+    if float(prods.min()) < tiny:
+        bad = (prods < tiny).any(axis=tuple(i for i in range(prods.ndim) if i != 1))
+    guard = (np.errstate(over="ignore", divide="ignore", invalid="ignore")
+             if bad is not None else contextlib.nullcontext())
+    with guard:
+        # h doubles as the scratch buffer for the whole rescale chain:
+        # clamp, divide, running sum, product and the carry folding all
+        # land in the one allocation.
+        h = np.maximum(prods, tiny)
+        np.divide(b_blocks, h, out=h)
+        np.cumsum(h, axis=2, out=h)
+        np.multiply(prods, h, out=h)
+    carry = np.zeros_like(h[:, 0, 0])
+    scratch = np.empty_like(h[:, 0])
     for c in range(chunks):
-        h[:, c] = inner[:, c] + prods[:, c] * carry[:, None]
-        carry = h[:, c, -1]
+        if bad is not None and bad[c]:
+            # Underflowing chunk: the closed form divided by a clamped
+            # (or zero) product; fall back to the exact recurrence.
+            for t in range(chunk):
+                carry = a_blocks[:, c, t] * carry + b_blocks[:, c, t]
+                h[:, c, t] = carry
+        else:
+            np.multiply(prods[:, c], carry[:, None], out=scratch)
+            h[:, c] += scratch
+            carry = h[:, c, -1]
     h = h.reshape(batch, chunks * chunk, *a.shape[2:])
     return h[:, :length] if pad else h
 
@@ -109,12 +138,37 @@ def diagonal_scan(a, b, mode: str = "chunked", chunk: int = DEFAULT_CHUNK) -> Te
         raise ValueError(f"scan inputs must match: {a.shape} vs {b.shape}")
     h = run_scan(a.data, b.data, mode=mode, chunk=chunk)
 
+    # Both vjps need the adjoint state lam, and backward calls them with
+    # the same output-gradient array, so the reverse scan runs once and
+    # is shared (identity-checked: the engine never mutates the gradient
+    # it hands to vjps).  Neither vjp may write into lam — grad_b hands
+    # the shared buffer to the engine as-is (the engine treats vjp
+    # results as read-only), grad_a multiplies into a fresh buffer.
+    # After both vjps have consumed it, the closure's reference is
+    # dropped so the buffer does not stay pinned to the tape.
+    shared = {"grad": None, "lam": None, "uses": 0}
+
+    def _adjoint(grad_h):
+        if shared["grad"] is not grad_h:
+            shared["lam"] = _reverse_scan(a.data, grad_h, mode, chunk)
+            shared["grad"] = grad_h
+            shared["uses"] = 0
+        shared["uses"] += 1
+        lam = shared["lam"]
+        if shared["uses"] >= 2:
+            shared["grad"] = shared["lam"] = None
+        return lam
+
     def grad_b(grad_h):
-        return _reverse_scan(a.data, grad_h, mode, chunk)
+        return _adjoint(grad_h)
 
     def grad_a(grad_h):
-        lam = _reverse_scan(a.data, grad_h, mode, chunk)
-        h_prev = np.concatenate([np.zeros_like(h[:, :1]), h[:, :-1]], axis=1)
-        return lam * h_prev
+        lam = _adjoint(grad_h)
+        # dL/da_t = lam_t * h_{t-1}: write directly into the output
+        # instead of materializing the shifted h via concatenate.
+        out = np.empty_like(lam)
+        out[:, :1] = 0.0
+        np.multiply(lam[:, 1:], h[:, :-1], out=out[:, 1:])
+        return out
 
     return Tensor.from_op(h, [(a, grad_a), (b, grad_b)])

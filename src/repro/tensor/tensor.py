@@ -222,7 +222,12 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a tensor with exactly one element, got shape "
+                f"{tuple(self.shape)} ({self.data.size} elements)"
+            )
+        return float(self.data.reshape(-1)[0])
 
     def __len__(self) -> int:
         return len(self.data)
@@ -246,10 +251,12 @@ class Tensor:
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
+        seed_owned = False
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError("backward() without an explicit gradient requires a scalar tensor")
             grad = np.ones_like(self.data)
+            seed_owned = True
         else:
             grad = as_array(grad)
             if grad.shape != self.data.shape:
@@ -258,14 +265,26 @@ class Tensor:
         sanitizing = is_sanitize_enabled()
         order = self._topological_order()
         grads: dict[int, np.ndarray] = {id(self): grad}
+        # Ownership discipline: a buffer returned by a vjp may alias
+        # forward data (identity-like vjps return the incoming gradient,
+        # others return cached activations), so it is stored *borrowed*
+        # and never written to.  Only buffers this pass allocated itself
+        # (`owned`) are accumulated into with np.add(..., out=...);
+        # everything else falls back to the allocating `a + b`.
+        owned: set[int] = {id(self)} if seed_owned else set()
         for node in order:
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
                 continue
             if not node._parents:
-                # Leaf: accumulate into .grad
+                # Leaf: accumulate into .grad.  An owned buffer transfers
+                # straight into .grad (nothing else references it); a
+                # borrowed one is copied so the tape stays untouched.
                 if node.grad is None:
-                    node.grad = node_grad.copy()
+                    node.grad = node_grad if id(node) in owned else node_grad.copy()
+                elif (node.grad.shape == node_grad.shape
+                      and np.result_type(node.grad.dtype, node_grad.dtype) == node.grad.dtype):
+                    np.add(node.grad, node_grad, out=node.grad)
                 else:
                     node.grad = node.grad + node_grad
                 continue
@@ -275,11 +294,18 @@ class Tensor:
                     continue
                 if sanitizing:
                     _sanitize_vjp(contribution, parent, node._op or "<unnamed op>")
+                contribution = np.asarray(contribution)
                 key = id(parent)
-                if key in grads:
-                    grads[key] = grads[key] + contribution
-                else:
+                accumulated = grads.get(key)
+                if accumulated is None:
                     grads[key] = contribution
+                elif (key in owned
+                      and accumulated.shape == contribution.shape
+                      and np.result_type(accumulated.dtype, contribution.dtype) == accumulated.dtype):
+                    np.add(accumulated, contribution, out=accumulated)
+                else:
+                    grads[key] = accumulated + contribution
+                    owned.add(key)
 
     def _topological_order(self) -> list["Tensor"]:
         """Nodes reachable from self, ordered output-to-input."""

@@ -50,6 +50,58 @@ class TestValidation:
         assert 1 <= history.best_epoch <= 5
 
 
+class TestValidationChunking:
+    def _trainer(self, n_val=4):
+        x, y = data()
+        vx, vy = data(n_val)
+        return Trainer(tiny_model(), x, y, TrainConfig(epochs=1),
+                       val_inputs=vx, val_targets=vy)
+
+    def test_default_is_bitwise_identical_to_full_batch(self):
+        """val_batch_size=0 (the default) and any chunk covering the whole
+        set must reproduce the historical single-forward value exactly."""
+        trainer = self._trainer()
+        full = trainer.validation_loss()
+        assert trainer.validation_loss(batch_size=0) == full
+        assert trainer.validation_loss(batch_size=4) == full
+        assert trainer.validation_loss(batch_size=100) == full
+
+    def test_config_chunk_size_used(self):
+        trainer = self._trainer()
+        full = trainer.validation_loss()
+        trainer.config.val_batch_size = 2
+        chunked = trainer.validation_loss()
+        assert np.isfinite(chunked)
+        # per-voxel terms are exact under chunking; the batch-global MaxSE
+        # becomes a mean of per-chunk maxima, which can only shrink
+        assert chunked <= full + 1e-9
+
+    def test_chunked_close_to_full(self):
+        trainer = self._trainer()
+        full = trainer.validation_loss()
+        chunked = trainer.validation_loss(batch_size=1)
+        assert np.isfinite(chunked)
+        assert chunked <= full + 1e-9
+        assert chunked == pytest.approx(full, rel=0.5)
+
+    def test_uneven_chunks_weighted_correctly(self):
+        """3 validation samples with chunk 2 → chunks of 2 and 1; the
+        result is the sample-weighted mean, not the chunk mean."""
+        trainer = self._trainer(n_val=3)
+        chunked = trainer.validation_loss(batch_size=2)
+        # recompute by hand from per-chunk single-forward losses
+        first = Trainer(trainer.model, trainer.inputs, trainer.targets,
+                        TrainConfig(epochs=1),
+                        val_inputs=trainer.val_inputs[:2],
+                        val_targets=trainer.val_targets[:2])
+        second = Trainer(trainer.model, trainer.inputs, trainer.targets,
+                         TrainConfig(epochs=1),
+                         val_inputs=trainer.val_inputs[2:],
+                         val_targets=trainer.val_targets[2:])
+        expected = (first.validation_loss() * 2 + second.validation_loss() * 1) / 3
+        assert chunked == pytest.approx(expected, rel=1e-12)
+
+
 class TestEarlyStopping:
     def test_requires_validation(self):
         x, y = data()

@@ -59,6 +59,39 @@ class TestChunkedKernel:
         assert np.all(np.isfinite(h))
         assert np.allclose(h, scan.scan_sequential(a, b))
 
+    def test_exact_zero_decay_matches_sequential(self):
+        """Exact zeros kill the cumprod rescale (P_k/P_j = 0/0); the
+        underflowing chunks must fall back to the exact recurrence."""
+        a, b = decay(2, 40, 2, 2), drive(2, 40, 2, 2)
+        a[0, 5, 0, 0] = 0.0
+        a[1, 17, 1, 1] = 0.0
+        a[0, 33] = 0.0
+        h = scan.scan_chunked(a, b)
+        assert np.all(np.isfinite(h))
+        assert np.allclose(h, scan.scan_sequential(a, b), atol=1e-12)
+
+    def test_all_zero_decay_is_passthrough(self):
+        b = drive(1, 37, 2, 2)
+        assert np.allclose(scan.scan_chunked(np.zeros_like(b), b), b)
+
+    def test_denormal_decay_matches_sequential(self):
+        """Denormal decays underflow the running product without being
+        exactly zero; same fallback path, same exact answer."""
+        a, b = decay(1, 48, 1, 2), drive(1, 48, 1, 2)
+        a[0, 10] = 1e-310
+        a[0, 30, 0, 1] = 5e-324
+        h = scan.scan_chunked(a, b)
+        assert np.all(np.isfinite(h))
+        assert np.allclose(h, scan.scan_sequential(a, b), atol=1e-12)
+
+    def test_short_sequence_clamps_chunk(self):
+        """L < chunk must not pad up to the chunk size; results agree
+        for every chunk setting."""
+        a, b = decay(3, 4, 2, 2), drive(3, 4, 2, 2)
+        for chunk in (4, 16, 64):
+            assert np.allclose(scan.scan_chunked(a, b, chunk=chunk),
+                               scan.scan_sequential(a, b))
+
     @settings(max_examples=25, deadline=None)
     @given(
         length=st.integers(1, 48),
@@ -109,3 +142,22 @@ class TestDiagonalScanGrad:
     def test_shape_mismatch_raises(self):
         with pytest.raises(ValueError):
             scan.diagonal_scan(Tensor(decay(1, 3, 1, 1)), Tensor(drive(1, 4, 1, 1)))
+
+    def test_zero_decay_gradients_agree(self):
+        """The backward reverse scan runs through the same chunked kernel,
+        so exact-zero decays must give finite, mode-independent grads."""
+        a_np, b_np = decay(1, 24, 2, 2), drive(1, 24, 2, 2)
+        a_np[0, 7, 0, 0] = 0.0
+        a_np[0, 19] = 0.0
+        w = drive(1, 24, 2, 2)
+        grads = {}
+        for mode in ("sequential", "chunked"):
+            a = Tensor(a_np.copy(), requires_grad=True)
+            b = Tensor(b_np.copy(), requires_grad=True)
+            (scan.diagonal_scan(a, b, mode=mode) * w).sum().backward()
+            grads[mode] = (a.grad.copy(), b.grad.copy())
+        for mode in grads:
+            assert np.all(np.isfinite(grads[mode][0]))
+            assert np.all(np.isfinite(grads[mode][1]))
+        assert np.allclose(grads["sequential"][0], grads["chunked"][0], atol=1e-11)
+        assert np.allclose(grads["sequential"][1], grads["chunked"][1], atol=1e-11)

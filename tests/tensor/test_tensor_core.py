@@ -35,6 +35,16 @@ class TestConstruction:
         t = Tensor(np.zeros((3, 4)))
         assert len(t) == 3 and t.size == 12 and t.ndim == 2
 
+    def test_item_on_single_element_shapes(self):
+        assert Tensor(np.array([[2.5]])).item() == 2.5
+        assert Tensor(np.array([7.0])).item() == 7.0
+
+    def test_item_on_non_scalar_raises(self):
+        with pytest.raises(ValueError, match="one element"):
+            Tensor([1.0, 2.0]).item()
+        with pytest.raises(ValueError, match=r"\(2, 2\)"):
+            Tensor(np.zeros((2, 2))).item()
+
 
 class TestDetachCopy:
     def test_detach_shares_data(self):
@@ -72,6 +82,44 @@ class TestBackwardValidation:
         b = x * 4.0
         (a + b).sum().backward()
         assert np.allclose(x.grad, [7.0])
+
+
+class TestBackwardOwnership:
+    """In-place accumulation must never mutate buffers vjps hand back."""
+
+    def test_shared_vjp_buffer_not_mutated(self):
+        """Three vjps returning the *same* array: the leaf must see the
+        sum, and the shared buffer must come through untouched."""
+        shared = np.array([1.0, 2.0])
+        original = shared.copy()
+        x = Tensor(np.zeros(2), requires_grad=True)
+        branches = [Tensor.from_op(np.zeros(2), [(x, lambda g: shared)])
+                    for _ in range(3)]
+        (branches[0] + branches[1] + branches[2]).sum().backward()
+        assert np.array_equal(shared, original)
+        assert np.allclose(x.grad, 3.0 * original)
+
+    def test_seed_gradient_not_mutated(self):
+        """The caller's explicit seed array is borrowed, not owned."""
+        seed = np.array([1.0, 1.0])
+        original = seed.copy()
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 1.0 + x * 2.0
+        y.backward(seed)
+        assert np.array_equal(seed, original)
+        assert np.allclose(x.grad, [3.0, 3.0])
+
+    def test_forward_data_not_mutated_by_accumulation(self):
+        """vjps that return forward arrays must not see those arrays
+        changed by downstream accumulation."""
+        x = Tensor([2.0, 3.0], requires_grad=True)
+        a = x * 1.0
+        b1 = Tensor.from_op(np.zeros(2), [(a, lambda g: a.data)])
+        b2 = Tensor.from_op(np.zeros(2), [(a, lambda g: a.data)])
+        data_before = a.data.copy()
+        (b1 + b2).sum().backward()
+        assert np.array_equal(a.data, data_before)
+        assert np.allclose(x.grad, 2.0 * data_before)
 
 
 class TestUnbroadcast:
