@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Perf regression harness: time the hot paths, record ``BENCH_perf.json``.
 
-Four sections, each a dict of timings/counters:
+Five sections, each a dict of timings/counters:
 
 * ``scan``     — forward and forward+backward wall time of the two scan
   kernels at a training-typical (B, L, C, N);
@@ -10,7 +10,11 @@ Four sections, each a dict of timings/counters:
 * ``backward`` — tracemalloc peak / live-block count across one SDM-PEB
   loss.backward() at quick scale, plus the wall time of a full
   forward+backward+step;
-* ``epoch``    — one Trainer epoch on synthetic quick-scale data.
+* ``epoch``    — one Trainer epoch on synthetic quick-scale data;
+* ``stages``   — per-stage breakdown of one rigorous solve (lateral DCT
+  diffusion vs z matrix-exponential vs reaction step) recorded through
+  the ``repro.obs`` trace layer, plus the tracing overhead ratio and the
+  cost of a disabled (no-op) span.
 
 ``--smoke`` shrinks every section to CI-runner size (seconds, not
 minutes).  ``--check`` compares the fresh timings against
@@ -180,6 +184,56 @@ def bench_epoch(smoke: bool) -> dict:
     return {"samples": n, "epoch_s": time.perf_counter() - start}
 
 
+def bench_stages(smoke: bool) -> dict:
+    """Per-stage solver breakdown via the trace layer + tracing overhead."""
+    import tempfile
+
+    from repro.config import PEBConfig
+    from repro.litho.peb import RigorousPEBSolver
+    from repro.obs import disable_tracing, enable_tracing, span
+    from repro.obs.report import load_events, summarize_spans
+
+    grid = (GridConfig(size_um=1.0, nx=16, ny=16, nz=2) if smoke
+            else GridConfig(size_um=1.0, nx=32, ny=32, nz=4))
+    dt = 1.0 if smoke else 0.5
+    rng = np.random.default_rng(3)
+    acid = rng.random(grid.shape)
+    solver = RigorousPEBSolver(grid, PEBConfig(), splitting="strang", time_step_s=dt)
+    solver.solve(acid)  # warm the propagator caches out of the measurement
+
+    untraced_s = best_of(lambda: solver.solve(acid), repeats=2)
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "stages.jsonl"
+        enable_tracing(trace_path)
+        try:
+            traced_s = best_of(lambda: solver.solve(acid), repeats=1)
+        finally:
+            disable_tracing()
+        events = load_events(trace_path)
+    totals = {s.name: s.total_s for s in summarize_spans(events)}
+
+    noop_iters = 20000
+    start = time.perf_counter()
+    for _ in range(noop_iters):
+        with span("bench.noop"):
+            pass
+    noop_span_us = (time.perf_counter() - start) / noop_iters * 1e6
+
+    return {
+        "grid": list(grid.shape),
+        "time_step_s": dt,
+        "untraced_solve_s": untraced_s,
+        "traced_solve_s": traced_s,
+        "trace_overhead_ratio": traced_s / untraced_s if untraced_s > 0 else float("inf"),
+        "stage_lateral_s": totals.get("peb.lateral", 0.0),
+        "stage_z_s": totals.get("peb.z", 0.0),
+        "stage_react_s": totals.get("peb.react", 0.0),
+        "solve_span_s": totals.get("peb.solve", 0.0),
+        "trace_events": len(events),
+        "noop_span_us": noop_span_us,
+    }
+
+
 #: ``_s``-suffixed section entries that are parameters, not measurements
 NON_TIMING_KEYS = {"time_step_s"}
 
@@ -227,7 +281,8 @@ def main(argv=None) -> int:
 
     sections = {}
     for name, fn in (("scan", bench_scan), ("solver", bench_solver),
-                     ("backward", bench_backward), ("epoch", bench_epoch)):
+                     ("backward", bench_backward), ("epoch", bench_epoch),
+                     ("stages", bench_stages)):
         print(f"[{name}] ...", flush=True)
         sections[name] = fn(args.smoke)
         for key, value in sections[name].items():

@@ -10,12 +10,16 @@ Subcommands mirror the stages a user actually runs:
 * ``reproduce`` — regenerate all tables/figures (wraps
   :mod:`repro.experiments.reproduce_all`);
 * ``lint``      — repo-specific static analysis and the full-op
-  gradcheck sweep (wraps :mod:`repro.lint`).
+  gradcheck sweep (wraps :mod:`repro.lint`);
+* ``report``    — summarize a trace JSONL (from ``--trace`` or
+  ``REPRO_TRACE``) into a per-span table (wraps :mod:`repro.obs.report`).
 
 Every simulation/training subcommand accepts ``--sanitize``, which runs
 the whole command under the autograd tape sanitizer: each op's forward
 output and each backward vjp result is checked for NaN/Inf and
-shape/dtype mismatch, raising with the offending op's name.
+shape/dtype mismatch, raising with the offending op's name.  They also
+accept ``--trace PATH``, which records observation-only spans (solver
+stages, trainer epochs/steps, pool dispatches) to a JSONL file.
 
 Usage:  python -m repro.cli <subcommand> [options]
 """
@@ -58,6 +62,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sanitize", action="store_true",
                         help="run under the autograd tape sanitizer (NaN/Inf and "
                              "shape/dtype checks on every op)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record observation-only spans to this JSONL file "
+                             "(same as REPRO_TRACE=PATH; summarize with "
+                             "`python -m repro.cli report PATH`)")
 
 
 def cmd_simulate(args) -> int:
@@ -143,6 +151,20 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    from repro.obs.report import format_report, load_events, summarize_spans
+
+    path = Path(args.trace_file)
+    if not path.exists():
+        print(f"no trace file at {path}")
+        return 1
+    events = load_events(path)
+    summaries = summarize_spans(events)
+    print(format_report(summaries, limit=args.limit,
+                        title=f"{path} — {len(events)} event(s)"))
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.lint import main as lint_main
 
@@ -191,7 +213,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="processes for rigorous dataset generation")
     p.add_argument("--sanitize", action="store_true",
                    help="run under the autograd tape sanitizer")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="record observation-only spans to this JSONL file")
     p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser("report", help="summarize a trace JSONL into a per-span table")
+    p.add_argument("trace_file", help="trace file written via --trace / REPRO_TRACE")
+    p.add_argument("--limit", type=int, default=None,
+                   help="show only the top N span names by total time")
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("lint", help="static analysis (REP rules) and gradcheck sweep")
     p.add_argument("paths", nargs="*", help="files or directories to lint (default: src)")
@@ -209,6 +239,10 @@ def main(argv=None) -> int:
     # `train` defines --epochs; other subcommands fall back to a default.
     if not hasattr(args, "epochs"):
         args.epochs = 30
+    if getattr(args, "trace", None):
+        from repro.obs import enable_tracing
+
+        enable_tracing(args.trace)
     if getattr(args, "sanitize", False):
         from repro.tensor import sanitize
 

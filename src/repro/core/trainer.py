@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import nn
+from repro.obs import set_span_attrs, span, timer
 from repro.tensor import Tensor, no_grad
 from .losses import LossConfig, SDMPEBLoss
 
@@ -110,14 +111,16 @@ class Trainer:
         self.model.train()
         epoch_loss, batches, grad_norm = 0.0, 0, 0.0
         for batch_inputs, batch_targets in self._batches(rng):
-            self.optimizer.zero_grad()
-            prediction = self.model(Tensor(batch_inputs))
-            loss = self.loss_fn(prediction, Tensor(batch_targets))
-            loss.backward()
-            grad_norm = nn.clip_grad_norm(self.model.parameters(), self.config.grad_clip)
-            self.optimizer.step()
-            epoch_loss += float(loss.data)
-            batches += 1
+            with span("trainer.step", batch=len(batch_inputs)):
+                self.optimizer.zero_grad()
+                prediction = self.model(Tensor(batch_inputs))
+                loss = self.loss_fn(prediction, Tensor(batch_targets))
+                loss.backward()
+                grad_norm = nn.clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+                self.optimizer.step()
+                epoch_loss += float(loss.data)
+                batches += 1
+                set_span_attrs(loss=float(loss.data), grad_norm=float(grad_norm))
         return epoch_loss / max(batches, 1), grad_norm
 
     def validation_loss(self, batch_size: int | None = None) -> float:
@@ -139,7 +142,7 @@ class Trainer:
         size = self.config.val_batch_size if batch_size is None else batch_size
         if size <= 0 or size >= total:
             size = total
-        with no_grad():
+        with span("trainer.validation", samples=total, chunk=size), no_grad():
             if size == total:
                 prediction = self.model(Tensor(self.val_inputs))
                 loss = self.loss_fn(prediction, Tensor(self.val_targets))
@@ -164,35 +167,45 @@ class Trainer:
         start = time.perf_counter()
         every = self.config.log_every or 1
         best_val, best_state, best_epoch, stale = np.inf, None, 0, 0
-        for epoch in range(1, self.config.epochs + 1):
-            mean_loss, grad_norm = self.train_epoch(rng)
-            self.scheduler.step()
-            val_loss = self.validation_loss() if self.val_inputs is not None else None
-            if val_loss is not None and val_loss < best_val:
-                best_val, best_epoch, stale = val_loss, epoch, 0
-                if self.config.restore_best:
-                    best_state = self.model.state_dict()
-            elif val_loss is not None:
-                stale += 1
-            if epoch % every == 0 or epoch == self.config.epochs:
-                self.history.epochs.append(epoch)
-                self.history.losses.append(mean_loss)
-                self.history.learning_rates.append(self.optimizer.lr)
-                self.history.grad_norms.append(grad_norm)
-                if val_loss is not None:
-                    self.history.val_losses.append(val_loss)
-                if verbose:
-                    val_text = f"  val {val_loss:.5f}" if val_loss is not None else ""
-                    print(f"epoch {epoch:4d}  loss {mean_loss:.5f}  "
-                          f"lr {self.optimizer.lr:.2e}  |g| {grad_norm:.3f}{val_text}")
-            if (self.config.early_stop_patience
-                    and stale >= self.config.early_stop_patience):
-                self.history.stopped_early = True
-                break
-        if best_state is not None and self.config.restore_best:
-            self.model.load_state_dict(best_state)
-        self.history.best_epoch = best_epoch
-        self.history.wall_time_s = time.perf_counter() - start
+        with span("trainer.fit", epochs=self.config.epochs,
+                  samples=len(self.inputs), batch_size=self.config.batch_size):
+            for epoch in range(1, self.config.epochs + 1):
+                epoch_start = time.perf_counter()
+                with span("trainer.epoch", epoch=epoch):
+                    mean_loss, grad_norm = self.train_epoch(rng)
+                    self.scheduler.step()
+                    val_loss = self.validation_loss() if self.val_inputs is not None else None
+                    set_span_attrs(loss=mean_loss, grad_norm=float(grad_norm),
+                                   lr=self.optimizer.lr,
+                                   **({} if val_loss is None else {"val_loss": val_loss}))
+                timer("trainer.epoch").observe(time.perf_counter() - epoch_start)
+                if val_loss is not None and val_loss < best_val:
+                    best_val, best_epoch, stale = val_loss, epoch, 0
+                    if self.config.restore_best:
+                        best_state = self.model.state_dict()
+                elif val_loss is not None:
+                    stale += 1
+                if epoch % every == 0 or epoch == self.config.epochs:
+                    self.history.epochs.append(epoch)
+                    self.history.losses.append(mean_loss)
+                    self.history.learning_rates.append(self.optimizer.lr)
+                    self.history.grad_norms.append(grad_norm)
+                    if val_loss is not None:
+                        self.history.val_losses.append(val_loss)
+                    if verbose:
+                        val_text = f"  val {val_loss:.5f}" if val_loss is not None else ""
+                        print(f"epoch {epoch:4d}  loss {mean_loss:.5f}  "
+                              f"lr {self.optimizer.lr:.2e}  |g| {grad_norm:.3f}{val_text}")
+                if (self.config.early_stop_patience
+                        and stale >= self.config.early_stop_patience):
+                    self.history.stopped_early = True
+                    break
+            if best_state is not None and self.config.restore_best:
+                self.model.load_state_dict(best_state)
+            self.history.best_epoch = best_epoch
+            self.history.wall_time_s = time.perf_counter() - start
+            set_span_attrs(best_epoch=best_epoch, wall_time_s=self.history.wall_time_s,
+                           stopped_early=self.history.stopped_early)
         return self.history
 
     def predict(self, inputs: np.ndarray, batch_size: int | None = None) -> np.ndarray:
@@ -200,7 +213,7 @@ class Trainer:
         self.model.eval()
         size = batch_size if batch_size is not None else self.config.batch_size
         outputs = []
-        with no_grad():
+        with span("trainer.predict", samples=len(inputs), chunk=size), no_grad():
             for start in range(0, len(inputs), size):
                 chunk = np.asarray(inputs[start:start + size], dtype=np.float64)
                 outputs.append(self.model(Tensor(chunk)).numpy())

@@ -33,6 +33,7 @@ from repro.litho import (
     MaskClip, Contact, generate_clip, aerial_image_stack, initial_photoacid,
     RigorousPEBSolver,
 )
+from repro.obs import counter, set_span_attrs, span
 from repro.runtime import parallel_map
 
 
@@ -162,22 +163,26 @@ def generate_dataset(num_clips: int, config: LithoConfig | None = None,
              for seed in seeds}
     by_seed: dict[int, PEBSample] = {}
     missing: list[int] = []
-    for seed in seeds:
-        path = paths[seed]
-        if path is not None and path.exists():
-            by_seed[seed] = _load_sample(path, seed)
-        else:
-            missing.append(seed)
-
-    if missing:
-        # Cache hits never reach the pool; only the misses fan out.
-        tasks = [(seed, config, time_step_s, splitting) for seed in missing]
-        results = parallel_map(_simulate_clip_task, tasks, workers=workers)
-        for seed, sample in zip(missing, results):
-            by_seed[seed] = sample
+    with span("dataset.generate", clips=num_clips, cached=cache is not None):
+        for seed in seeds:
             path = paths[seed]
-            if path is not None:
-                _save_sample(path, sample)
+            if path is not None and path.exists():
+                by_seed[seed] = _load_sample(path, seed)
+            else:
+                missing.append(seed)
+        counter("dataset.cache_hits").inc(num_clips - len(missing))
+        counter("dataset.cache_misses").inc(len(missing))
+        set_span_attrs(hits=num_clips - len(missing), misses=len(missing))
+
+        if missing:
+            # Cache hits never reach the pool; only the misses fan out.
+            tasks = [(seed, config, time_step_s, splitting) for seed in missing]
+            results = parallel_map(_simulate_clip_task, tasks, workers=workers)
+            for seed, sample in zip(missing, results):
+                by_seed[seed] = sample
+                path = paths[seed]
+                if path is not None:
+                    _save_sample(path, sample)
 
     for i, seed in enumerate(seeds):
         sample = by_seed[seed]

@@ -27,6 +27,7 @@ from repro.baselines import (
 from repro.data import PEBDataset, generate_dataset
 from repro.litho import development_rate, development_arrival, contact_cds
 from repro.metrics import rmse, nrmse
+from repro.obs import span
 
 #: the Table II method order
 TABLE2_METHODS = ("DeepCNN", "TEMPO-resist", "FNO", "DeePEB", "SDM-PEB")
@@ -249,8 +250,10 @@ def run_methods(method_names, builder, settings: ExperimentSettings,
         model, loss_config = builder(name, settings.config.grid)
         if verbose:
             print(f"== {name}: {model.num_parameters()} parameters")
-        trainer = train_method(model, loss_config, train_set, settings, verbose=verbose)
-        result = evaluate_method(name, trainer, test_set, settings, references)
+        with span("experiment.train", method=name):
+            trainer = train_method(model, loss_config, train_set, settings, verbose=verbose)
+        with span("experiment.evaluate", method=name):
+            result = evaluate_method(name, trainer, test_set, settings, references)
         if verbose:
             print(f"   NRMSE(I) {result.inhibitor_nrmse * 100:.2f}%  "
                   f"NRMSE(R) {result.rate_nrmse * 100:.2f}%  "

@@ -18,6 +18,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import span
+
 from .harness import ExperimentSettings
 from . import fig6, fig7, fig8_fig9, runtime, table2, table3
 
@@ -34,15 +36,18 @@ def run_all(settings: ExperimentSettings, out_dir: Path, verbose: bool = True) -
 
     started = time.time()
 
-    frequencies = fig6.run(settings)
+    with span("experiment.fig6"):
+        frequencies = fig6.run(settings)
     section("Fig. 6 — value-distribution imbalance", fig6.format_figure(frequencies))
     np.savez(out_dir / "fig6.npz", **frequencies)
 
-    results, trainers, test_set = table2.run(settings, verbose=verbose,
-                                             return_trainers=True)
+    with span("experiment.table2"):
+        results, trainers, test_set = table2.run(settings, verbose=verbose,
+                                                 return_trainers=True)
     section("Table II — comparison with learning-based PEB solvers",
             table2.format_table(results))
-    buckets = fig7.run(settings, results=results)
+    with span("experiment.fig7"):
+        buckets = fig7.run(settings, results=results)
     section("Fig. 7 — CD error distribution", fig7.format_figure(buckets))
     rows = [asdict_clean(r) for r in results]
     (out_dir / "table2.json").write_text(json.dumps(rows, indent=2))
@@ -50,18 +55,21 @@ def run_all(settings: ExperimentSettings, out_dir: Path, verbose: bool = True) -
              **{f"{name}_{axis}": values
                 for name, axes in buckets.items() for axis, values in axes.items()})
 
-    ablation_results = table3.run(settings, verbose=verbose)
+    with span("experiment.table3"):
+        ablation_results = table3.run(settings, verbose=verbose)
     section("Table III — ablation study", table3.format_table(ablation_results))
     (out_dir / "table3.json").write_text(
         json.dumps([asdict_clean(r) for r in ablation_results], indent=2))
 
-    visual = fig8_fig9.from_trainer(trainers["SDM-PEB"], test_set, settings)
+    with span("experiment.fig8_fig9"):
+        visual = fig8_fig9.from_trainer(trainers["SDM-PEB"], test_set, settings)
     section("Figs. 8 & 9 — prediction visualizations", fig8_fig9.format_figures(visual))
     np.savez_compressed(out_dir / "fig8_fig9.npz", truth=visual.truth,
                         prediction=visual.prediction, difference=visual.difference,
                         center_row=visual.center_row, corner_row=visual.corner_row)
 
-    rigorous, runtime_rows = runtime.run(settings)
+    with span("experiment.runtime"):
+        rigorous, runtime_rows = runtime.run(settings)
     section("Runtime — surrogates vs rigorous solver",
             runtime.format_table(rigorous, runtime_rows))
 

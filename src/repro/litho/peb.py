@@ -33,6 +33,7 @@ import numpy as np
 from scipy.linalg import expm
 
 from repro.config import GridConfig, PEBConfig
+from repro.obs import span
 from repro.runtime.cache import cached_lateral_propagator, cached_z_propagator
 from .dct import lateral_step_fdm
 
@@ -164,19 +165,22 @@ class RigorousPEBSolver:
 
     # ------------------------------------------------------------------
     def _diffuse(self, acid: np.ndarray, base: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        if self.lateral_mode == "dct":
-            acid = self._lat_acid.apply(acid)
-            base = self._lat_base.apply(base)
-        else:
-            acid = lateral_step_fdm(acid, self.peb.diffusivity("acid", "lateral"), self.dt,
-                                    self.grid.dx_nm, self.grid.dy_nm)
-            base = lateral_step_fdm(base, self.peb.diffusivity("base", "lateral"), self.dt,
-                                    self.grid.dx_nm, self.grid.dy_nm)
-        return self._z_acid.apply(acid), self._z_base.apply(base)
+        with span("peb.lateral", mode=self.lateral_mode):
+            if self.lateral_mode == "dct":
+                acid = self._lat_acid.apply(acid)
+                base = self._lat_base.apply(base)
+            else:
+                acid = lateral_step_fdm(acid, self.peb.diffusivity("acid", "lateral"), self.dt,
+                                        self.grid.dx_nm, self.grid.dy_nm)
+                base = lateral_step_fdm(base, self.peb.diffusivity("base", "lateral"), self.dt,
+                                        self.grid.dx_nm, self.grid.dy_nm)
+        with span("peb.z"):
+            return self._z_acid.apply(acid), self._z_base.apply(base)
 
     def _react(self, acid, base, inhibitor, dt):
-        inhibitor = catalysis_step(inhibitor, acid, self.peb.catalysis_rate, dt)
-        acid, base = neutralization_step(acid, base, self.peb.neutralization_rate, dt)
+        with span("peb.react"):
+            inhibitor = catalysis_step(inhibitor, acid, self.peb.catalysis_rate, dt)
+            acid, base = neutralization_step(acid, base, self.peb.neutralization_rate, dt)
         return acid, base, inhibitor
 
     def solve(self, acid0: np.ndarray, record_every: int | None = None) -> PEBResult:
@@ -191,18 +195,21 @@ class RigorousPEBSolver:
         base = np.full_like(acid, self.peb.base_initial)
         inhibitor = np.full_like(acid, self.peb.inhibitor_initial)
         result = PEBResult(acid=acid, base=base, inhibitor=inhibitor)
-        for step in range(self._steps):
-            if self.splitting == "lie":
-                acid, base, inhibitor = self._react(acid, base, inhibitor, self.dt)
-                acid, base = self._diffuse(acid, base)
-            else:
-                acid, base, inhibitor = self._react(acid, base, inhibitor, self.dt / 2.0)
-                acid, base = self._diffuse(acid, base)
-                acid, base, inhibitor = self._react(acid, base, inhibitor, self.dt / 2.0)
-            if record_every and (step + 1) % record_every == 0:
-                result.times.append((step + 1) * self.dt)
-                result.trajectory.append({
-                    "acid": acid.copy(), "base": base.copy(), "inhibitor": inhibitor.copy(),
-                })
+        with span("peb.solve", steps=self._steps, dt_s=self.dt,
+                  splitting=self.splitting, lateral_mode=self.lateral_mode,
+                  grid=list(self.grid.shape)):
+            for step in range(self._steps):
+                if self.splitting == "lie":
+                    acid, base, inhibitor = self._react(acid, base, inhibitor, self.dt)
+                    acid, base = self._diffuse(acid, base)
+                else:
+                    acid, base, inhibitor = self._react(acid, base, inhibitor, self.dt / 2.0)
+                    acid, base = self._diffuse(acid, base)
+                    acid, base, inhibitor = self._react(acid, base, inhibitor, self.dt / 2.0)
+                if record_every and (step + 1) % record_every == 0:
+                    result.times.append((step + 1) * self.dt)
+                    result.trajectory.append({
+                        "acid": acid.copy(), "base": base.copy(), "inhibitor": inhibitor.copy(),
+                    })
         result.acid, result.base, result.inhibitor = acid, base, inhibitor
         return result

@@ -1,0 +1,42 @@
+"""Observability layer: metrics, span tracing, and profiling hooks.
+
+``repro.obs`` is strictly *observation-only* infrastructure.  Nothing in
+this package touches a numpy array that belongs to the simulation or the
+training loop; enabling or disabling it cannot change a single bit of
+any numerical output (the determinism matrix in ``tests/runtime/``
+asserts exactly that).  It is disabled by default and its disabled fast
+path is a single boolean check, so instrumented hot loops pay
+effectively nothing when nobody is watching.
+
+Three sub-modules:
+
+* :mod:`repro.obs.metrics` — process-local counters, timers and
+  histograms in a named registry (``counter("pool.tasks").inc()``);
+* :mod:`repro.obs.trace` — nested span tracing with a JSONL event sink,
+  switched on by ``REPRO_TRACE=path`` or the CLI ``--trace`` flag;
+* :mod:`repro.obs.profile` — wall-time/tracemalloc profiling contexts
+  and propagator-cache hit-rate collection.
+
+``python -m repro.cli report <trace.jsonl>`` summarizes a recorded
+trace into a per-span table; see ``docs/observability.md`` for the
+event schema and the span/metric catalog.
+"""
+
+from .metrics import (
+    Counter, Timer, Histogram, MetricsRegistry,
+    counter, timer, histogram, metrics_snapshot, reset_metrics,
+)
+from .trace import (
+    span, trace_event, set_span_attrs, trace_enabled, enable_tracing,
+    disable_tracing, current_trace_path, configure_from_env,
+)
+from .profile import profiled, propagator_cache_stats
+
+__all__ = [
+    "Counter", "Timer", "Histogram", "MetricsRegistry",
+    "counter", "timer", "histogram", "metrics_snapshot", "reset_metrics",
+    "span", "trace_event", "set_span_attrs", "trace_enabled",
+    "enable_tracing", "disable_tracing", "current_trace_path",
+    "configure_from_env",
+    "profiled", "propagator_cache_stats",
+]

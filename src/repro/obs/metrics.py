@@ -1,0 +1,213 @@
+"""Process-local metric primitives: counters, timers, histograms.
+
+A :class:`MetricsRegistry` is a flat ``name -> metric`` namespace; the
+module-level registry (reached through :func:`counter`, :func:`timer`
+and :func:`histogram`) is what the instrumented code paths use.  All
+metrics live in plain Python floats/ints — they never allocate numpy
+arrays and never touch simulation state, which is what keeps the layer
+provably non-perturbing.
+
+Metrics are process-local by design: pool workers fork their own copy
+of the registry, and their numbers die with them.  Cross-process
+visibility goes through the trace sink (:mod:`repro.obs.trace`), whose
+append-only JSONL file is shared by every process.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Timer:
+    """Accumulated wall time with count/min/max, usable as a context manager.
+
+    ``with timer("trainer.step").time(): ...`` records one observation;
+    :meth:`observe` records an externally measured duration.
+    """
+
+    __slots__ = ("name", "count", "total_s", "min_s", "max_s")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = math.inf
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        if seconds < self.min_s:
+            self.min_s = seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    def time(self) -> "_TimerContext":
+        return _TimerContext(self)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "timer", "count": self.count, "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s if self.count else 0.0, "max_s": self.max_s,
+        }
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer):
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._timer.observe(time.perf_counter() - self._start)
+
+
+def default_buckets() -> tuple[float, ...]:
+    """Geometric decade/half-decade bounds spanning µs to minutes."""
+    return tuple(10.0 ** (e / 2.0) for e in range(-12, 5))
+
+
+class Histogram:
+    """Fixed-boundary histogram plus running count/sum/min/max."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] | None = None):
+        self.name = name
+        self.bounds = tuple(bounds) if bounds is not None else default_buckets()
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        index = 0
+        for bound in self.bounds:
+            if value <= bound:
+                break
+            index += 1
+        self.bucket_counts[index] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram", "count": self.count, "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "bounds": list(self.bounds), "bucket_counts": list(self.bucket_counts),
+        }
+
+
+class MetricsRegistry:
+    """A flat namespace of metrics, created on first use.
+
+    Asking for an existing name with a different metric kind raises, so
+    ``counter("x")`` and ``timer("x")`` can never silently alias.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Timer | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = cls(name, *args)
+                    self._metrics[name] = metric
+        if not isinstance(metric, cls):
+            raise TypeError(f"metric {name!r} already registered as "
+                            f"{type(metric).__name__}, not {cls.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)
+
+    def histogram(self, name: str, bounds: tuple[float, ...] | None = None) -> Histogram:
+        if name in self._metrics or bounds is None:
+            return self._get(name, Histogram)
+        return self._get(name, Histogram, bounds)
+
+    def snapshot(self) -> dict:
+        """``name -> metric snapshot`` for everything ever registered."""
+        return {name: metric.snapshot() for name, metric in sorted(self._metrics.items())}
+
+    def reset(self) -> None:
+        """Drop every metric (tests; between experiment repetitions)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: the process-wide registry used by all instrumented code paths
+_REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    """The process-wide counter called ``name`` (created on first use)."""
+    return _REGISTRY.counter(name)
+
+
+def timer(name: str) -> Timer:
+    """The process-wide timer called ``name`` (created on first use)."""
+    return _REGISTRY.timer(name)
+
+
+def histogram(name: str, bounds: tuple[float, ...] | None = None) -> Histogram:
+    """The process-wide histogram called ``name`` (created on first use)."""
+    return _REGISTRY.histogram(name, bounds)
+
+
+def metrics_snapshot() -> dict:
+    """Snapshot of every metric in the process-wide registry."""
+    return _REGISTRY.snapshot()
+
+
+def reset_metrics() -> None:
+    """Clear the process-wide registry."""
+    return _REGISTRY.reset()

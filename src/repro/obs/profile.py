@@ -1,0 +1,84 @@
+"""Lightweight profiling hooks: wall time, tracemalloc peak, cache rates.
+
+:func:`profiled` wraps a block with a wall-time observation (into the
+metric registry and, when tracing is on, a span).  With ``memory=True``
+it also captures the ``tracemalloc`` peak over the block — starting and
+stopping the tracer itself when nobody else is tracing, which is far
+from free (~2-4x slowdown while active), so memory profiling is opt-in
+per call site and never enabled implicitly.
+
+:func:`propagator_cache_stats` summarizes the rigorous solver's
+propagator cache (the FFT-plan analog on this substrate: the cached
+DCT eigenvalue grids and z matrix exponentials) into hit rates, and
+records them as counters so they show up in metric snapshots.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+import tracemalloc
+
+from .metrics import counter, timer
+from .trace import span, trace_enabled
+
+__all__ = ["profiled", "propagator_cache_stats"]
+
+
+@contextlib.contextmanager
+def profiled(name: str, memory: bool = False):
+    """Observe a block: wall time always, tracemalloc peak on request.
+
+    Records into ``profile.<name>`` (a timer) and, when ``memory=True``,
+    ``profile.<name>.peak_bytes`` (a counter holding the running max).
+    Under active tracing the block also appears as a span named
+    ``profile.<name>`` carrying the same numbers.
+    """
+    started_tracer = False
+    if memory:
+        if tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
+        else:
+            tracemalloc.start()
+            started_tracer = True
+    start = time.perf_counter()
+    with span(f"profile.{name}", memory=bool(memory)):
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            timer(f"profile.{name}").observe(elapsed)
+            if memory:
+                _, peak = tracemalloc.get_traced_memory()
+                peak_metric = counter(f"profile.{name}.peak_bytes")
+                if peak > peak_metric.value:
+                    peak_metric.value = peak
+                if started_tracer:
+                    tracemalloc.stop()
+
+
+def propagator_cache_stats(record: bool = True) -> dict:
+    """Hit/miss/rate summary of the solver's propagator operator caches.
+
+    Returns ``{"lateral": {...}, "z": {...}, "hit_rate": float}`` where
+    each species entry carries lru_cache's hits/misses/currsize.  With
+    ``record=True`` (default) the totals are mirrored into the metric
+    registry under ``cache.propagator.*``.
+    """
+    from repro.runtime.cache import propagator_cache_info
+
+    info = propagator_cache_info()
+    hits = sum(entry["hits"] for entry in info.values())
+    misses = sum(entry["misses"] for entry in info.values())
+    total = hits + misses
+    stats = dict(info)
+    stats["hit_rate"] = hits / total if total else 0.0
+    if record:
+        counter("cache.propagator.hits").value = hits
+        counter("cache.propagator.misses").value = misses
+    if trace_enabled():
+        from .trace import trace_event
+
+        trace_event("cache.propagator", hits=hits, misses=misses,
+                    hit_rate=stats["hit_rate"])
+    return stats

@@ -1,0 +1,102 @@
+"""Summarize a trace JSONL file into a per-span table.
+
+This is the consumer side of :mod:`repro.obs.trace`: load the events,
+aggregate spans by name, and render a text table — what ``python -m
+repro.cli report trace.jsonl`` prints and what the benchmark harness
+embeds into ``BENCH_perf.json`` as the stage breakdown.
+
+Aggregation is by span *name* across all processes.  ``total_s`` sums
+wall-clock durations, so for spans that ran concurrently in pool
+workers it can legitimately exceed the enclosing span's duration —
+that is CPU-seconds across the fleet, not elapsed time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["SpanSummary", "load_events", "summarize_spans", "format_report"]
+
+
+@dataclass
+class SpanSummary:
+    """Aggregate statistics for every span sharing one name."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+    pids: int = 0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+def load_events(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace; skips blank/corrupt lines (a truncated last
+    line from a killed process must not poison the whole report)."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+    return events
+
+
+def summarize_spans(events: list[dict]) -> list[SpanSummary]:
+    """Aggregate span events by name, sorted by descending total time."""
+    by_name: dict[str, SpanSummary] = {}
+    pids_by_name: dict[str, set] = {}
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        name = str(event.get("name", "<unnamed>"))
+        duration = float(event.get("dur_s", 0.0))
+        summary = by_name.get(name)
+        if summary is None:
+            summary = by_name[name] = SpanSummary(name=name)
+            pids_by_name[name] = set()
+        summary.count += 1
+        summary.total_s += duration
+        summary.min_s = min(summary.min_s, duration)
+        summary.max_s = max(summary.max_s, duration)
+        pids_by_name[name].add(event.get("pid"))
+    for name, summary in by_name.items():
+        summary.pids = len(pids_by_name[name])
+    return sorted(by_name.values(), key=lambda s: (-s.total_s, s.name))
+
+
+def format_report(summaries: list[SpanSummary], limit: int | None = None,
+                  title: str | None = None) -> str:
+    """Render the per-span table (share is of the largest total)."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = (f"{'span':<28} {'count':>7} {'total_s':>10} {'mean_s':>10} "
+              f"{'min_s':>10} {'max_s':>10} {'pids':>5} {'share':>7}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    if not summaries:
+        lines.append("(no span events)")
+        return "\n".join(lines)
+    reference = summaries[0].total_s or 1.0
+    shown = summaries if limit is None else summaries[:limit]
+    for s in shown:
+        lines.append(
+            f"{s.name:<28} {s.count:>7d} {s.total_s:>10.4f} {s.mean_s:>10.5f} "
+            f"{s.min_s:>10.5f} {s.max_s:>10.5f} {s.pids:>5d} "
+            f"{100.0 * s.total_s / reference:>6.1f}%")
+    if limit is not None and len(summaries) > limit:
+        lines.append(f"... {len(summaries) - limit} more span name(s)")
+    return "\n".join(lines)

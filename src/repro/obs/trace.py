@@ -1,0 +1,190 @@
+"""Span tracing with nested scopes and an append-only JSONL sink.
+
+Disabled by default.  The fast path of :func:`span` while disabled is a
+single module-global boolean check returning a shared no-op context
+manager — no allocation, no syscalls — which is what keeps instrumented
+hot loops (the solver's per-step stages, the trainer's per-batch step)
+free when tracing is off.
+
+Enabling: set ``REPRO_TRACE=/path/to/trace.jsonl`` in the environment
+(picked up lazily on the first span) or call :func:`enable_tracing`
+(what the CLI ``--trace`` flag does).  Every finished span appends one
+JSON line::
+
+    {"type": "span", "name": "peb.lateral", "pid": 1234, "id": 7,
+     "parent": 6, "depth": 2, "t_wall_s": 1722970000.123,
+     "dur_s": 0.0042, "attrs": {...}}
+
+Events are written with ``O_APPEND`` so forked pool workers — which
+inherit the enabled flag and the file descriptor — interleave whole
+lines into the same file instead of corrupting each other; the ``pid``
+field keeps their spans attributable.  Span ``id``/``parent`` pairs are
+only meaningful within one ``pid``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+__all__ = [
+    "span", "trace_event", "set_span_attrs", "trace_enabled",
+    "enable_tracing", "disable_tracing", "current_trace_path",
+    "configure_from_env",
+]
+
+_ENABLED = False
+_CONFIGURED = False          # whether REPRO_TRACE has been consulted
+_PATH: str | None = None
+_FD: int | None = None
+_NEXT_ID = 1
+_STACK: list["_Span"] = []   # active spans, innermost last (per process)
+
+
+class _NoopSpan:
+    """Shared reusable do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+def _open_sink(path: str, truncate: bool) -> int:
+    flags = os.O_WRONLY | os.O_CREAT | os.O_APPEND
+    if truncate:
+        flags |= os.O_TRUNC
+    return os.open(path, flags, 0o644)
+
+
+def _emit(payload: dict) -> None:
+    if _FD is None:
+        return
+    line = json.dumps(payload, separators=(",", ":"), sort_keys=True) + "\n"
+    os.write(_FD, line.encode("utf-8"))
+
+
+def configure_from_env() -> bool:
+    """Consult ``REPRO_TRACE`` and enable tracing if it names a path.
+
+    Called lazily by the first :func:`span`; callable explicitly (tests,
+    long-lived processes that changed their environment).  Returns the
+    resulting enabled state.  The env-configured sink appends rather
+    than truncates, so multi-command pipelines sharing one trace file
+    accumulate.
+    """
+    global _CONFIGURED
+    _CONFIGURED = True
+    path = os.environ.get("REPRO_TRACE", "").strip()
+    if path:
+        enable_tracing(path, truncate=False)
+    return _ENABLED
+
+
+def enable_tracing(path: str | os.PathLike, truncate: bool = True) -> None:
+    """Start writing spans to ``path`` (JSONL, created if missing)."""
+    global _ENABLED, _CONFIGURED, _PATH, _FD
+    disable_tracing()
+    _PATH = os.fspath(path)
+    _FD = _open_sink(_PATH, truncate)
+    _ENABLED = True
+    _CONFIGURED = True
+
+
+def disable_tracing() -> None:
+    """Stop tracing and close the sink (open spans finish silently)."""
+    global _ENABLED, _PATH, _FD
+    _ENABLED = False
+    _PATH = None
+    if _FD is not None:
+        try:
+            os.close(_FD)
+        except OSError:
+            pass
+        _FD = None
+    _STACK.clear()
+
+
+def trace_enabled() -> bool:
+    """Whether spans are currently being recorded."""
+    if not _CONFIGURED:
+        configure_from_env()
+    return _ENABLED
+
+
+def current_trace_path() -> str | None:
+    """The active sink path, or None when disabled."""
+    return _PATH if _ENABLED else None
+
+
+class _Span:
+    """A live span; emits its JSONL record when the scope exits."""
+
+    __slots__ = ("name", "attrs", "id", "parent", "depth", "_start", "_wall")
+
+    def __init__(self, name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        global _NEXT_ID
+        self.id = _NEXT_ID
+        _NEXT_ID += 1
+        self.parent = _STACK[-1].id if _STACK else None
+        self.depth = len(_STACK)
+        _STACK.append(self)
+        self._wall = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._start
+        if _STACK and _STACK[-1] is self:
+            _STACK.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        if _ENABLED:
+            _emit({
+                "type": "span", "name": self.name, "pid": os.getpid(),
+                "id": self.id, "parent": self.parent, "depth": self.depth,
+                "t_wall_s": round(self._wall, 6), "dur_s": duration,
+                "attrs": self.attrs,
+            })
+
+
+def span(name: str, **attrs) -> "_Span | _NoopSpan":
+    """Context manager recording a named span around its body.
+
+    Disabled tracing returns a shared no-op context manager; nothing is
+    measured or allocated beyond the call itself.
+    """
+    if not _ENABLED:
+        if _CONFIGURED or not configure_from_env():
+            return _NOOP
+    return _Span(name, attrs)
+
+
+def trace_event(name: str, **attrs) -> None:
+    """Record an instantaneous point event (no duration)."""
+    if not _ENABLED:
+        if _CONFIGURED or not configure_from_env():
+            return
+    _emit({
+        "type": "event", "name": name, "pid": os.getpid(),
+        "parent": _STACK[-1].id if _STACK else None,
+        "t_wall_s": round(time.time(), 6), "attrs": attrs,
+    })
+
+
+def set_span_attrs(**attrs) -> None:
+    """Attach attributes to the innermost active span (no-op when disabled
+    or outside any span)."""
+    if _ENABLED and _STACK:
+        _STACK[-1].attrs.update(attrs)

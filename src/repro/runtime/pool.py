@@ -16,6 +16,8 @@ import multiprocessing
 import os
 from typing import Callable, Iterable, Sequence
 
+from repro.obs import counter, span, trace_enabled
+
 __all__ = ["resolve_workers", "fork_available", "parallel_map"]
 
 
@@ -56,6 +58,25 @@ def _limit_worker_threads() -> None:
     set_fft_workers(1)
 
 
+class _TracedTask:
+    """Pickle-friendly wrapper giving each pool task a worker-side span.
+
+    Only substituted for the raw ``fn`` when tracing is already enabled
+    in the parent (forked children inherit the enabled flag and the
+    ``O_APPEND`` sink descriptor), so untraced runs dispatch the exact
+    historical callable.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def __call__(self, task):
+        with span("pool.worker_task"):
+            return self.fn(task)
+
+
 def parallel_map(fn: Callable, items: Iterable, workers: int | None = None) -> list:
     """``[fn(item) for item in items]`` across a fork-based process pool.
 
@@ -70,12 +91,21 @@ def parallel_map(fn: Callable, items: Iterable, workers: int | None = None) -> l
     """
     tasks: Sequence = list(items)
     workers = resolve_workers(workers)
+    counter("pool.dispatches").inc()
+    counter("pool.tasks").inc(len(tasks))
     if workers == 1 or len(tasks) < 2 or not fork_available():
-        return [fn(task) for task in tasks]
+        counter("pool.serial_runs").inc()
+        with span("pool.dispatch", mode="serial", workers=1, tasks=len(tasks)):
+            return [fn(task) for task in tasks]
+    task_fn = _TracedTask(fn) if trace_enabled() else fn
     context = multiprocessing.get_context("fork")
     try:
-        with context.Pool(processes=min(workers, len(tasks)),
-                          initializer=_limit_worker_threads) as pool:
-            return pool.map(fn, tasks)
+        with span("pool.dispatch", mode="fork",
+                  workers=min(workers, len(tasks)), tasks=len(tasks)):
+            with context.Pool(processes=min(workers, len(tasks)),
+                              initializer=_limit_worker_threads) as pool:
+                return pool.map(task_fn, tasks)
     except OSError:
-        return [fn(task) for task in tasks]
+        counter("pool.serial_fallbacks").inc()
+        with span("pool.dispatch", mode="serial_fallback", workers=1, tasks=len(tasks)):
+            return [fn(task) for task in tasks]

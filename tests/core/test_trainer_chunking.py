@@ -1,0 +1,104 @@
+"""Chunked predict/validation paths with sizes that do NOT divide N.
+
+The ragged last chunk is the classic off-by-one surface: these tests pin
+down output shape, ordering, the sample-weighted mean arithmetic, and
+equivalence with the unchunked forward on a per-voxel loss.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.baselines import DeepCNN, DeepCNNConfig
+from repro.core import TrainConfig, Trainer
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(31)
+
+
+def tiny_model():
+    nn.init.seed(0)
+    return DeepCNN(DeepCNNConfig(width=4, num_blocks=1))
+
+
+def data(n):
+    inputs = RNG.random((n, 2, 8, 8))
+    return inputs, 2.0 * inputs + 1.0
+
+
+def make_trainer(n_train=4, n_val=7, **config_kwargs):
+    x, y = data(n_train)
+    vx, vy = data(n_val)
+    trainer = Trainer(tiny_model(), x, y, TrainConfig(epochs=1, **config_kwargs),
+                      val_inputs=vx, val_targets=vy)
+    return trainer, vx, vy
+
+
+class TestPredictChunking:
+    def test_ragged_last_chunk_matches_full_forward(self):
+        """batch_size=3 over 7 samples: chunks of 3, 3, 1."""
+        trainer, vx, _ = make_trainer(n_val=7)
+        full = trainer.predict(vx, batch_size=7)
+        chunked = trainer.predict(vx, batch_size=3)
+        assert chunked.shape == full.shape == vx.shape
+        assert np.allclose(chunked, full, atol=1e-12)
+
+    def test_chunk_of_one_matches_full_forward(self):
+        trainer, vx, _ = make_trainer(n_val=5)
+        full = trainer.predict(vx, batch_size=5)
+        one_by_one = trainer.predict(vx, batch_size=1)
+        assert np.allclose(one_by_one, full, atol=1e-12)
+
+    def test_oversized_chunk_is_single_forward(self):
+        trainer, vx, _ = make_trainer(n_val=3)
+        assert np.allclose(trainer.predict(vx, batch_size=100),
+                           trainer.predict(vx, batch_size=3), atol=1e-12)
+
+    def test_row_order_preserved(self):
+        """Each sample's prediction is independent of its batch peers for
+        a pointwise CNN — so per-row forwards must land in input order."""
+        trainer, vx, _ = make_trainer(n_val=5)
+        chunked = trainer.predict(vx, batch_size=2)
+        for i in range(len(vx)):
+            single = trainer.predict(vx[i:i + 1], batch_size=1)[0]
+            assert np.allclose(chunked[i], single, atol=1e-12), f"row {i}"
+
+
+class TestValidationChunking:
+    def test_weighted_mean_over_ragged_chunks(self):
+        """validation_loss(batch_size=3) over 7 == sum(loss_c * n_c) / 7,
+        recomputed manually from the same chunk boundaries."""
+        trainer, vx, vy = make_trainer(n_val=7)
+        got = trainer.validation_loss(batch_size=3)
+
+        trainer.model.eval()
+        weighted = 0.0
+        from repro.tensor import no_grad
+        with no_grad():
+            for start in range(0, 7, 3):
+                cx, cy = vx[start:start + 3], vy[start:start + 3]
+                loss = trainer.loss_fn(trainer.model(Tensor(cx)), Tensor(cy))
+                weighted += float(loss.data) * len(cx)
+        assert got == weighted / 7
+
+    def test_zero_batch_size_means_whole_set(self):
+        trainer, _, _ = make_trainer(n_val=5)
+        assert trainer.validation_loss(batch_size=0) == trainer.validation_loss(batch_size=5)
+
+    def test_oversized_batch_matches_whole_set_bitwise(self):
+        trainer, _, _ = make_trainer(n_val=5)
+        assert trainer.validation_loss(batch_size=100) == trainer.validation_loss(batch_size=5)
+
+    def test_chunked_close_to_full_on_smooth_loss(self):
+        """Per-voxel terms are exact under the weighted mean; only the
+        batch-global MaxSE term deviates, so the values stay close."""
+        trainer, _, _ = make_trainer(n_val=7)
+        full = trainer.validation_loss(batch_size=0)
+        chunked = trainer.validation_loss(batch_size=3)
+        assert np.isfinite(chunked)
+        assert abs(chunked - full) < 0.5 * abs(full) + 1e-6
+
+    def test_fit_with_ragged_val_chunks_runs(self):
+        trainer, _, _ = make_trainer(n_val=7, val_batch_size=3)
+        history = trainer.fit()
+        assert len(history.val_losses) == 1
+        assert np.isfinite(history.val_losses[0])

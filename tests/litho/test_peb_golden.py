@@ -1,0 +1,264 @@
+"""Physics-golden tests for the rigorous PEB solver.
+
+Certifies the solver against *independently derived* closed-form
+solutions of Eqs. 1-4 in degenerate regimes where the exact answer is
+known, plus an empirical convergence-order check of the operator
+splitting in ``dt``:
+
+* pure lateral diffusion — Neumann-Laplacian DCT modes decay by
+  ``exp(lambda_k D T)`` with ``lambda_k = -4 sin^2(pi k / 2n) / h^2``;
+* pure normal (z) diffusion — the matrix exponential reproduces the
+  same closed-form mode decay along z;
+* zero diffusion — the deprotection integral is exact:
+  ``I(T) = I0 exp(-k_c A0 T)`` without neutralization (bitwise-stable
+  for any dt because every sub-step is exact), and with neutralization
+  the acid follows the conserved-difference closed form while the
+  inhibitor converges to ``I0 exp(-k_c \\int A dt)`` with the integral
+  evaluated analytically;
+* convergence order — Lie splitting is O(dt), Strang is O(dt^2)
+  (measured in the neutralization-free configuration where the reaction
+  sub-flow is exactly the catalysis ODE).
+
+The expensive sweeps carry ``@pytest.mark.slow`` and are excluded from
+the default tier-1 run (``-m "not slow"``); CI runs them in a dedicated
+job.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import GridConfig, PEBConfig
+from repro.litho import peb
+
+GRID = GridConfig(size_um=1.0, nx=16, ny=16, nz=4)
+
+#: reaction-free, surface-exchange-free physics: pure diffusion
+PURE_DIFFUSION = replace(
+    PEBConfig(), catalysis_rate=0.0, neutralization_rate=0.0,
+    transfer_coefficient_acid=0.0, transfer_coefficient_base=0.0,
+)
+
+#: diffusion-free, surface-exchange-free physics: pointwise reactions
+ZERO_DIFFUSION = replace(
+    PEBConfig(), normal_diffusion_length_acid_nm=0.0,
+    normal_diffusion_length_base_nm=0.0, lateral_diffusion_length_acid_nm=0.0,
+    lateral_diffusion_length_base_nm=0.0, transfer_coefficient_acid=0.0,
+    transfer_coefficient_base=0.0,
+)
+
+
+def neumann_mode(n: int, k: int) -> np.ndarray:
+    """k-th eigenvector of the 1D zero-flux discrete Laplacian."""
+    i = np.arange(n)
+    return np.cos(np.pi * k * (2 * i + 1) / (2.0 * n))
+
+
+def neumann_decay(n: int, k: int, spacing: float, diffusivity: float, t: float) -> float:
+    """Closed-form decay factor of that mode under diffusion for time t."""
+    eigenvalue = -4.0 * np.sin(np.pi * k / (2.0 * n)) ** 2 / spacing ** 2
+    return float(np.exp(eigenvalue * diffusivity * t))
+
+
+def gaussian_acid(grid=GRID, amplitude=0.8, sigma_nm=120.0):
+    x = (np.arange(grid.nx) + 0.5) * grid.dx_nm
+    y = (np.arange(grid.ny) + 0.5) * grid.dy_nm
+    cx, cy = x.mean(), y.mean()
+    blob = np.exp(-(((x[None, :] - cx) ** 2 + (y[:, None] - cy) ** 2) / (2 * sigma_nm ** 2)))
+    profile = np.linspace(1.0, 0.6, grid.nz)
+    return amplitude * profile[:, None, None] * blob[None, :, :]
+
+
+class TestPureLateralDiffusion:
+    """Solver end-to-end == closed-form DCT mode decay (lateral only)."""
+
+    CFG = replace(PURE_DIFFUSION, normal_diffusion_length_acid_nm=0.0,
+                  normal_diffusion_length_base_nm=0.0,
+                  lateral_diffusion_length_acid_nm=100.0)
+
+    def test_x_mode_decays_in_closed_form(self):
+        k = 3
+        mode = neumann_mode(GRID.nx, k)
+        acid0 = 0.5 + 0.3 * np.broadcast_to(mode, GRID.shape).copy()
+        solver = peb.RigorousPEBSolver(GRID, self.CFG, time_step_s=30.0)
+        result = solver.solve(acid0)
+        duration = self.CFG.duration_s
+        decay = neumann_decay(GRID.nx, k, GRID.dx_nm,
+                              self.CFG.diffusivity("acid", "lateral"), duration)
+        expected = 0.5 + 0.3 * decay * np.broadcast_to(mode, GRID.shape)
+        assert 0.3 < decay < 0.9  # the test actually exercises decay
+        assert np.allclose(result.acid, expected, atol=1e-12)
+
+    def test_y_mode_decays_in_closed_form(self):
+        k = 2
+        mode = neumann_mode(GRID.ny, k)[None, :, None]
+        acid0 = (0.4 + 0.2 * mode) * np.ones(GRID.shape)
+        solver = peb.RigorousPEBSolver(GRID, self.CFG, splitting="strang",
+                                       time_step_s=45.0)
+        result = solver.solve(acid0)
+        decay = neumann_decay(GRID.ny, k, GRID.dy_nm,
+                              self.CFG.diffusivity("acid", "lateral"),
+                              self.CFG.duration_s)
+        expected = (0.4 + 0.2 * decay * mode) * np.ones(GRID.shape)
+        assert np.allclose(result.acid, expected, atol=1e-12)
+
+    def test_gaussian_matches_mode_synthesis(self):
+        """A smooth blob == the sum of its modes, each decayed exactly."""
+        from scipy import fft as spfft
+
+        acid0 = gaussian_acid()
+        solver = peb.RigorousPEBSolver(GRID, self.CFG, time_step_s=10.0)
+        result = solver.solve(acid0)
+        diffusivity = self.CFG.diffusivity("acid", "lateral")
+        lam_y = -4.0 * np.sin(np.pi * np.arange(GRID.ny) / (2.0 * GRID.ny)) ** 2 / GRID.dy_nm ** 2
+        lam_x = -4.0 * np.sin(np.pi * np.arange(GRID.nx) / (2.0 * GRID.nx)) ** 2 / GRID.dx_nm ** 2
+        coeff = spfft.dctn(acid0, axes=(1, 2), type=2, norm="ortho")
+        coeff *= np.exp(self.CFG.duration_s * diffusivity
+                        * (lam_y[:, None] + lam_x[None, :]))[None, :, :]
+        expected = spfft.idctn(coeff, axes=(1, 2), type=2, norm="ortho")
+        assert np.allclose(result.acid, expected, atol=1e-11)
+        assert np.allclose(result.inhibitor, 1.0)  # no catalysis happened
+
+    def test_mass_conserved(self):
+        acid0 = gaussian_acid()
+        result = peb.RigorousPEBSolver(GRID, self.CFG, time_step_s=30.0).solve(acid0)
+        assert np.isclose(result.acid.sum(), acid0.sum(), rtol=1e-12)
+
+
+class TestPureNormalDiffusion:
+    """The z matrix-exponential stage reproduces closed-form mode decay."""
+
+    CFG = replace(PURE_DIFFUSION, lateral_diffusion_length_acid_nm=0.0,
+                  lateral_diffusion_length_base_nm=0.0,
+                  normal_diffusion_length_acid_nm=70.0)
+
+    def test_z_mode_decays_in_closed_form(self):
+        k = 2
+        mode = neumann_mode(GRID.nz, k)[:, None, None]
+        acid0 = (0.6 + 0.25 * mode) * np.ones(GRID.shape)
+        solver = peb.RigorousPEBSolver(GRID, self.CFG, time_step_s=30.0)
+        result = solver.solve(acid0)
+        decay = neumann_decay(GRID.nz, k, GRID.dz_nm,
+                              self.CFG.diffusivity("acid", "normal"),
+                              self.CFG.duration_s)
+        expected = (0.6 + 0.25 * decay * mode) * np.ones(GRID.shape)
+        assert decay < 0.2  # strong vertical smoothing at L = 70 nm
+        assert np.allclose(result.acid, expected, atol=1e-12)
+
+    def test_uniform_profile_is_fixed_point(self):
+        acid0 = np.full(GRID.shape, 0.7)
+        result = peb.RigorousPEBSolver(GRID, self.CFG, time_step_s=45.0).solve(acid0)
+        assert np.allclose(result.acid, acid0, atol=1e-13)
+
+
+def analytic_acid_integral(acid0: float, base0: float, rate: float, t: float) -> float:
+    """Exact ``\\int_0^t A`` for the neutralization ODE (A0 > B0 > 0).
+
+    With ``d = A0 - B0`` conserved and ``A(t) = d / (1 - (B0/A0)
+    e^{-k d t})``, substituting ``u = e^{-k d t}`` gives
+    ``\\int A = (1/k) ln[(1 - r0 s) / (s (1 - r0))]`` with
+    ``r0 = B0/A0`` and ``s = e^{-k d t}``.
+    """
+    diff = acid0 - base0
+    ratio = base0 / acid0
+    s = np.exp(-rate * diff * t)
+    return float(np.log((1.0 - ratio * s) / (s * (1.0 - ratio))) / rate)
+
+
+class TestZeroDiffusion:
+    """Diffusion-free bake: pointwise ODEs with known closed forms."""
+
+    def test_deprotection_exact_without_neutralization(self):
+        """Acid frozen => I(T) = I0 exp(-k_c A0 T), exact for ANY dt."""
+        cfg = replace(ZERO_DIFFUSION, base_initial=0.0)
+        rng = np.random.default_rng(17)
+        acid0 = rng.uniform(0.0, 1.0, size=GRID.shape)
+        for splitting, dt in (("lie", 30.0), ("strang", 45.0), ("lie", 0.5)):
+            result = peb.RigorousPEBSolver(GRID, cfg, splitting=splitting,
+                                           time_step_s=dt).solve(acid0)
+            expected = np.exp(-cfg.catalysis_rate * acid0 * cfg.duration_s)
+            assert np.allclose(result.inhibitor, expected, rtol=1e-11, atol=1e-13), \
+                f"splitting={splitting} dt={dt}"
+            assert np.allclose(result.acid, acid0, atol=1e-12)
+
+    def test_acid_follows_conserved_difference_closed_form(self):
+        """With neutralization on, the acid trajectory is exact for any dt
+        because the neutralization sub-steps compose exactly."""
+        cfg = ZERO_DIFFUSION
+        acid0 = np.full(GRID.shape, 0.8)
+        result = peb.RigorousPEBSolver(GRID, cfg, time_step_s=30.0).solve(acid0)
+        diff = 0.8 - cfg.base_initial
+        ratio = cfg.base_initial / 0.8
+        s = np.exp(-cfg.neutralization_rate * diff * cfg.duration_s)
+        expected_acid = diff / (1.0 - ratio * s)
+        assert np.allclose(result.acid, expected_acid, rtol=1e-10)
+        assert np.allclose(result.acid - result.base, diff, atol=1e-10)
+
+    def test_deprotection_converges_to_exact_integral(self):
+        """I(T) -> I0 exp(-k_c \\int A dt) as dt -> 0 (analytic integral)."""
+        cfg = ZERO_DIFFUSION
+        acid0_value = 0.8
+        acid0 = np.full(GRID.shape, acid0_value)
+        integral = analytic_acid_integral(acid0_value, cfg.base_initial,
+                                          cfg.neutralization_rate, cfg.duration_s)
+        expected = np.exp(-cfg.catalysis_rate * integral)
+        errors = []
+        for dt in (9.0, 3.0, 1.0):
+            result = peb.RigorousPEBSolver(GRID, cfg, splitting="strang",
+                                           time_step_s=dt).solve(acid0)
+            errors.append(abs(float(result.inhibitor[0, 0, 0]) - expected))
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 5e-3
+
+    def test_analytic_integral_reduces_to_a0_t_without_base(self):
+        """Sanity of the reference formula itself: B0 -> 0 gives A0*T."""
+        near_zero = analytic_acid_integral(0.8, 1e-9, 8.6993, 90.0)
+        assert np.isclose(near_zero, 0.8 * 90.0, rtol=1e-6)
+
+
+@pytest.mark.slow
+class TestConvergenceOrder:
+    """Measured splitting order in dt against a fine-step reference.
+
+    Neutralization is disabled so the reaction sub-flow is exactly the
+    catalysis ODE; then Lie is cleanly O(dt) and Strang O(dt^2) (with
+    neutralization on, the inner catalysis|neutralization split caps
+    both at first order — asserted separately below).
+    """
+
+    GRID_SMALL = GridConfig(size_um=1.0, nx=16, ny=16, nz=2)
+
+    def _errors(self, cfg, splitting, dts, reference_dt=0.05):
+        acid0 = gaussian_acid(self.GRID_SMALL)
+        reference = peb.RigorousPEBSolver(
+            self.GRID_SMALL, cfg, splitting="strang",
+            time_step_s=reference_dt).solve(acid0)
+        errors = []
+        for dt in dts:
+            result = peb.RigorousPEBSolver(self.GRID_SMALL, cfg,
+                                           splitting=splitting,
+                                           time_step_s=dt).solve(acid0)
+            errors.append(np.abs(result.inhibitor - reference.inhibitor).max())
+        return errors
+
+    def test_lie_is_first_order(self):
+        cfg = replace(PEBConfig(), neutralization_rate=0.0)
+        errors = self._errors(cfg, "lie", (3.0, 1.5, 0.75))
+        orders = [np.log2(errors[i] / errors[i + 1]) for i in range(2)]
+        assert all(0.8 < order < 1.25 for order in orders), (errors, orders)
+
+    def test_strang_is_second_order(self):
+        cfg = replace(PEBConfig(), neutralization_rate=0.0)
+        errors = self._errors(cfg, "strang", (3.0, 1.5, 0.75))
+        orders = [np.log2(errors[i] / errors[i + 1]) for i in range(2)]
+        assert all(1.7 < order < 2.3 for order in orders), (errors, orders)
+
+    def test_strang_beats_lie_on_full_physics(self):
+        cfg = PEBConfig()
+        lie = self._errors(cfg, "lie", (3.0, 1.5))
+        strang = self._errors(cfg, "strang", (3.0, 1.5))
+        assert strang[0] < lie[0]
+        assert strang[1] < lie[1]
+        # full physics: the inner reaction split keeps both ~first order
+        assert 0.7 < np.log2(lie[0] / lie[1]) < 1.4

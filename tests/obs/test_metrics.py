@@ -1,0 +1,100 @@
+"""Counters, timers, histograms and the process-local registry."""
+
+import pytest
+
+from repro.obs import (
+    Counter, Histogram, MetricsRegistry, Timer,
+    counter, histogram, metrics_snapshot, reset_metrics, timer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    reset_metrics()
+    yield
+    reset_metrics()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("c")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_snapshot(self):
+        c = Counter("c")
+        c.inc(3)
+        assert c.snapshot() == {"type": "counter", "value": 3}
+
+
+class TestTimer:
+    def test_observe_accumulates(self):
+        t = Timer("t")
+        t.observe(0.5)
+        t.observe(1.5)
+        assert t.count == 2
+        assert t.total_s == 2.0
+        assert t.min_s == 0.5 and t.max_s == 1.5
+        assert t.mean_s == 1.0
+
+    def test_context_manager_records_positive_duration(self):
+        t = Timer("t")
+        with t.time():
+            sum(range(100))
+        assert t.count == 1
+        assert t.total_s > 0.0
+
+    def test_empty_snapshot_has_zero_min(self):
+        assert Timer("t").snapshot()["min_s"] == 0.0
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        h = Histogram("h", bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0, 0.1):
+            h.observe(v)
+        assert h.bucket_counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.min == 0.1 and h.max == 50.0
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(10.0, 1.0))
+
+    def test_default_buckets_span_micro_to_minutes(self):
+        h = Histogram("h")
+        assert h.bounds[0] < 1e-5
+        assert h.bounds[-1] > 60.0
+
+
+class TestRegistry:
+    def test_same_name_returns_same_metric(self):
+        assert counter("a") is counter("a")
+        assert timer("b") is timer("b")
+        assert histogram("c") is histogram("c")
+
+    def test_kind_conflict_raises(self):
+        counter("x")
+        with pytest.raises(TypeError):
+            timer("x")
+
+    def test_snapshot_covers_all_kinds(self):
+        counter("a").inc(2)
+        timer("b").observe(0.1)
+        histogram("c").observe(1.0)
+        snap = metrics_snapshot()
+        assert snap["a"]["type"] == "counter"
+        assert snap["b"]["type"] == "timer"
+        assert snap["c"]["type"] == "histogram"
+
+    def test_reset_clears(self):
+        counter("a").inc()
+        reset_metrics()
+        assert metrics_snapshot() == {}
+
+    def test_registries_are_independent(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.counter("n").inc()
+        assert r2.counter("n").value == 0

@@ -1,0 +1,97 @@
+"""Trace report: JSONL loading, per-span aggregation, CLI rendering."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import DeepCNN, DeepCNNConfig
+from repro.cli import main as cli_main
+from repro.core import TrainConfig, Trainer
+from repro.obs import disable_tracing, enable_tracing, propagator_cache_stats
+from repro.obs.report import format_report, load_events, summarize_spans
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off_after():
+    yield
+    disable_tracing()
+
+
+def span_line(name, dur, pid=1):
+    return json.dumps({"type": "span", "name": name, "pid": pid, "id": 1,
+                       "parent": None, "depth": 0, "t_wall_s": 0.0,
+                       "dur_s": dur, "attrs": {}})
+
+
+class TestLoadEvents:
+    def test_skips_blank_and_corrupt_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(span_line("a", 1.0) + "\n\nnot json\n" +
+                        span_line("b", 2.0) + "\n" + '{"type": "spa')
+        events = load_events(path)
+        assert [e["name"] for e in events] == ["a", "b"]
+
+
+class TestSummarize:
+    def test_aggregates_by_name_sorted_by_total(self, tmp_path):
+        lines = [span_line("fast", 0.1), span_line("slow", 5.0),
+                 span_line("fast", 0.3, pid=2)]
+        path = tmp_path / "t.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        summaries = summarize_spans(load_events(path))
+        assert [s.name for s in summaries] == ["slow", "fast"]
+        fast = summaries[1]
+        assert fast.count == 2
+        assert fast.total_s == pytest.approx(0.4)
+        assert fast.min_s == pytest.approx(0.1)
+        assert fast.max_s == pytest.approx(0.3)
+        assert fast.mean_s == pytest.approx(0.2)
+        assert fast.pids == 2
+
+    def test_non_span_events_ignored(self):
+        events = [{"type": "event", "name": "cache"}]
+        assert summarize_spans(events) == []
+
+    def test_format_empty(self):
+        text = format_report([])
+        assert "no span events" in text
+
+    def test_format_limit(self, tmp_path):
+        lines = [span_line(f"s{i}", float(i + 1)) for i in range(5)]
+        path = tmp_path / "t.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        text = format_report(summarize_spans(load_events(path)), limit=2)
+        assert "more span name(s)" in text
+
+
+class TestCliReport:
+    def test_report_from_real_fit_trace(self, tmp_path, capsys):
+        """Acceptance: the report subcommand renders a per-span summary
+        from a trace produced by an actual Trainer.fit run."""
+        trace_path = tmp_path / "fit.jsonl"
+        nn.init.seed(0)
+        model = DeepCNN(DeepCNNConfig(width=4, num_blocks=1))
+        rng = np.random.default_rng(11)
+        x = rng.random((4, 2, 8, 8))
+        y = 2.0 * x + 1.0
+        enable_tracing(trace_path)
+        Trainer(model, x, y, TrainConfig(epochs=2, batch_size=2)).fit()
+        disable_tracing()
+
+        assert cli_main(["report", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        for name in ("trainer.fit", "trainer.epoch", "trainer.step"):
+            assert name in out
+
+    def test_report_missing_file(self, tmp_path, capsys):
+        assert cli_main(["report", str(tmp_path / "absent.jsonl")]) == 1
+        assert "no trace file" in capsys.readouterr().out
+
+
+class TestCacheStats:
+    def test_propagator_cache_stats_shape(self):
+        stats = propagator_cache_stats(record=False)
+        assert set(stats) == {"lateral", "z", "hit_rate"}
+        assert 0.0 <= stats["hit_rate"] <= 1.0

@@ -1,0 +1,150 @@
+"""Span tracing: enable/disable, nesting, JSONL schema, env config."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    disable_tracing, enable_tracing, configure_from_env, current_trace_path,
+    profiled, set_span_attrs, span, trace_enabled, trace_event, timer,
+    reset_metrics,
+)
+from repro.obs import trace as trace_module
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off_after():
+    yield
+    disable_tracing()
+    reset_metrics()
+
+
+def read_events(path):
+    return [json.loads(line) for line in path.read_text().splitlines() if line.strip()]
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not trace_enabled()
+        assert current_trace_path() is None
+
+    def test_disabled_span_is_shared_noop(self):
+        disable_tracing()
+        a, b = span("x"), span("y", attr=1)
+        assert a is b  # the shared no-op singleton: no allocation per call
+        with a:
+            pass
+
+    def test_disabled_event_and_attrs_are_noops(self):
+        trace_event("nothing", n=1)
+        set_span_attrs(ignored=True)
+
+
+class TestEnabled:
+    def test_span_written_with_schema(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        enable_tracing(path)
+        with span("outer", label="L"):
+            with span("inner"):
+                pass
+        events = read_events(path)
+        assert [e["name"] for e in events] == ["inner", "outer"]  # close order
+        inner, outer = events
+        for e in events:
+            assert e["type"] == "span"
+            assert e["pid"] == os.getpid()
+            assert e["dur_s"] >= 0.0
+        assert inner["parent"] == outer["id"]
+        assert inner["depth"] == 1 and outer["depth"] == 0
+        assert outer["attrs"] == {"label": "L"}
+
+    def test_set_span_attrs_lands_on_innermost(self, tmp_path):
+        enable_tracing(tmp_path / "t.jsonl")
+        with span("outer"):
+            with span("inner"):
+                set_span_attrs(loss=1.5)
+        inner = read_events(tmp_path / "t.jsonl")[0]
+        assert inner["attrs"] == {"loss": 1.5}
+
+    def test_point_event(self, tmp_path):
+        enable_tracing(tmp_path / "t.jsonl")
+        trace_event("cache", hits=3)
+        event = read_events(tmp_path / "t.jsonl")[0]
+        assert event["type"] == "event"
+        assert event["attrs"] == {"hits": 3}
+
+    def test_exception_recorded_and_propagated(self, tmp_path):
+        enable_tracing(tmp_path / "t.jsonl")
+        with pytest.raises(RuntimeError):
+            with span("boom"):
+                raise RuntimeError("x")
+        event = read_events(tmp_path / "t.jsonl")[0]
+        assert event["attrs"]["error"] == "RuntimeError"
+
+    def test_enable_truncates_by_default(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        enable_tracing(path)
+        with span("first"):
+            pass
+        enable_tracing(path)
+        with span("second"):
+            pass
+        assert [e["name"] for e in read_events(path)] == ["second"]
+
+    def test_disable_stops_writing(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        enable_tracing(path)
+        disable_tracing()
+        with span("after"):
+            pass
+        assert read_events(path) == []
+
+
+class TestEnvConfig:
+    def test_repro_trace_env_enables(self, tmp_path, monkeypatch):
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        assert configure_from_env()
+        with span("via_env"):
+            pass
+        assert [e["name"] for e in read_events(path)] == ["via_env"]
+
+    def test_env_sink_appends(self, tmp_path, monkeypatch):
+        path = tmp_path / "env.jsonl"
+        path.write_text('{"type":"span","name":"old","dur_s":0}\n')
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        configure_from_env()
+        with span("new"):
+            pass
+        assert [e["name"] for e in read_events(path)] == ["old", "new"]
+
+    def test_empty_env_stays_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        disable_tracing()
+        trace_module._CONFIGURED = False
+        assert not configure_from_env()
+        assert not trace_enabled()
+
+
+class TestProfiled:
+    def test_wall_time_recorded(self):
+        with profiled("block"):
+            sum(range(1000))
+        assert timer("profile.block").count == 1
+        assert timer("profile.block").total_s > 0.0
+
+    def test_memory_peak_recorded(self):
+        from repro.obs import counter
+
+        with profiled("alloc", memory=True):
+            data = [0.0] * 50_000
+            del data
+        assert counter("profile.alloc.peak_bytes").value > 0
+
+    def test_profiled_span_emitted_when_tracing(self, tmp_path):
+        enable_tracing(tmp_path / "t.jsonl")
+        with profiled("traced"):
+            pass
+        events = read_events(tmp_path / "t.jsonl")
+        assert events[0]["name"] == "profile.traced"

@@ -1,0 +1,97 @@
+"""Determinism matrix: worker count and tracing must not change results.
+
+The repro contract is that every artifact is a pure function of config +
+seed.  These tests sweep the two knobs most likely to break that —
+process-pool fan-out (``workers`` in {1, 2, 4}) and the ``repro.obs``
+trace layer (on vs off) — and assert *bitwise* identity of dataset
+arrays, trainer history and final parameters across the whole matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import DeepCNN, DeepCNNConfig
+from repro.config import GridConfig, LithoConfig
+from repro.core import TrainConfig, Trainer
+from repro.data import generate_dataset
+from repro.obs import disable_tracing, enable_tracing
+
+GRID = GridConfig(size_um=1.0, nx=12, ny=12, nz=2)
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off_after():
+    yield
+    disable_tracing()
+
+
+def tiny_dataset(workers):
+    dataset = generate_dataset(3, LithoConfig(grid=GRID), time_step_s=5.0,
+                               cache_dir=None, workers=workers)
+    return dataset.inputs(), dataset.labels(), dataset.inhibitors()
+
+
+def tiny_fit():
+    nn.init.seed(0)
+    model = DeepCNN(DeepCNNConfig(width=4, num_blocks=1))
+    rng = np.random.default_rng(5)
+    x = rng.random((6, 2, 8, 8))
+    y = 2.0 * x + 1.0
+    history = Trainer(model, x, y, TrainConfig(epochs=3, batch_size=2)).fit()
+    params = [p.data.copy() for p in model.parameters()]
+    return list(history.losses), params
+
+
+class TestWorkerDeterminism:
+    def test_dataset_bitwise_identical_across_worker_counts(self):
+        reference = tiny_dataset(workers=1)
+        for workers in (2, 4):
+            candidate = tiny_dataset(workers=workers)
+            for ref, got in zip(reference, candidate):
+                assert np.array_equal(ref, got), f"workers={workers}"
+
+    def test_dataset_identical_with_tracing_under_fork(self, tmp_path):
+        reference = tiny_dataset(workers=2)
+        enable_tracing(tmp_path / "gen.jsonl")
+        try:
+            traced = tiny_dataset(workers=2)
+        finally:
+            disable_tracing()
+        for ref, got in zip(reference, traced):
+            assert np.array_equal(ref, got)
+        # the forked workers actually wrote spans into the shared sink
+        assert (tmp_path / "gen.jsonl").stat().st_size > 0
+
+
+class TestTracingDeterminism:
+    def test_fit_bitwise_identical_with_tracing(self, tmp_path):
+        """Acceptance: instrumented Trainer paths are observation-only."""
+        losses_off, params_off = tiny_fit()
+        enable_tracing(tmp_path / "fit.jsonl")
+        try:
+            losses_on, params_on = tiny_fit()
+        finally:
+            disable_tracing()
+        assert losses_off == losses_on  # float equality, not approx
+        assert len(params_off) == len(params_on) > 0
+        for ref, got in zip(params_off, params_on):
+            assert np.array_equal(ref, got)
+
+    def test_solver_bitwise_identical_with_tracing(self, tmp_path):
+        """Acceptance: instrumented solver stages are observation-only."""
+        from repro.config import PEBConfig
+        from repro.litho.peb import RigorousPEBSolver
+
+        rng = np.random.default_rng(9)
+        acid = rng.random(GRID.shape)
+        solver = RigorousPEBSolver(GRID, PEBConfig(), time_step_s=5.0)
+        off = solver.solve(acid)
+        enable_tracing(tmp_path / "solve.jsonl")
+        try:
+            on = solver.solve(acid)
+        finally:
+            disable_tracing()
+        assert np.array_equal(off.acid, on.acid)
+        assert np.array_equal(off.inhibitor, on.inhibitor)
+        assert np.array_equal(off.base, on.base)

@@ -1,0 +1,189 @@
+"""Property-based fuzzing of the tensor layer against numpy + gradcheck.
+
+Hypothesis draws random (seeded, shrinking) shapes, broadcast pairs and
+values; every drawn case checks the forward result against a plain-numpy
+reference evaluation and, for a scalar-reduced composite, the autograd
+backward against finite differences via :func:`repro.tensor.gradcheck`.
+Example counts stay small because each gradcheck is O(input size)
+forward evaluations; shapes are capped accordingly.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import tensor as T
+from repro.tensor import Tensor
+from repro.tensor.gradcheck import gradcheck
+
+#: bounded, finite, well-scaled doubles — keeps finite differences honest
+ELEMENTS = st.floats(min_value=-3.0, max_value=3.0,
+                     allow_nan=False, allow_infinity=False, width=64)
+POSITIVE_ELEMENTS = st.floats(min_value=0.1, max_value=3.0,
+                              allow_nan=False, allow_infinity=False, width=64)
+
+SMALL_SHAPES = hnp.array_shapes(min_dims=0, max_dims=3, min_side=1, max_side=4)
+
+
+def small_arrays(elements=ELEMENTS, shapes=SMALL_SHAPES):
+    return hnp.arrays(np.float64, shapes, elements=elements)
+
+
+def broadcast_pairs(elements=ELEMENTS):
+    return hnp.mutually_broadcastable_shapes(
+        num_shapes=2, min_dims=0, max_dims=3, min_side=1, max_side=4,
+    ).flatmap(lambda bs: st.tuples(
+        hnp.arrays(np.float64, bs.input_shapes[0], elements=elements),
+        hnp.arrays(np.float64, bs.input_shapes[1], elements=elements),
+    ))
+
+
+BINARY_OPS = {
+    "add": (T.add, np.add),
+    "sub": (T.sub, np.subtract),
+    "mul": (T.mul, np.multiply),
+    "maximum": (T.maximum, np.maximum),
+    "minimum": (T.minimum, np.minimum),
+}
+
+UNARY_OPS = {
+    "exp": (T.exp, np.exp),
+    "tanh": (T.tanh, np.tanh),
+    "sigmoid": (T.sigmoid, lambda x: 1.0 / (1.0 + np.exp(-x))),
+    "neg": (T.neg, np.negative),
+}
+
+
+class TestBinaryBroadcast:
+    @given(pair=broadcast_pairs(), op=st.sampled_from(sorted(BINARY_OPS)))
+    @settings(max_examples=40)
+    def test_forward_matches_numpy(self, pair, op):
+        a, b = pair
+        tensor_op, numpy_op = BINARY_OPS[op]
+        result = tensor_op(Tensor(a), Tensor(b))
+        expected = numpy_op(a, b)
+        assert result.shape == expected.shape
+        assert result.data.dtype == np.float64
+        np.testing.assert_allclose(result.data, expected, rtol=1e-12, atol=0)
+
+    @given(pair=broadcast_pairs(), op=st.sampled_from(["add", "sub", "mul"]))
+    @settings(max_examples=15)
+    def test_backward_matches_finite_differences(self, pair, op):
+        a, b = pair
+        tensor_op, _ = BINARY_OPS[op]
+        gradcheck(lambda ts: tensor_op(ts[0], ts[1]).sum(), [a, b], op=op)
+
+    @given(pair=broadcast_pairs())
+    @settings(max_examples=10)
+    def test_maximum_backward_away_from_ties(self, pair):
+        a, b = pair
+        # finite differences are ill-defined at (near-)ties; skip those draws
+        assume(np.all(np.abs(np.subtract(*np.broadcast_arrays(a, b))) > 1e-3))
+        gradcheck(lambda ts: T.maximum(ts[0], ts[1]).sum(), [a, b], op="maximum")
+
+
+class TestUnary:
+    @given(x=small_arrays(), op=st.sampled_from(sorted(UNARY_OPS)))
+    @settings(max_examples=40)
+    def test_forward_matches_numpy(self, x, op):
+        tensor_op, numpy_op = UNARY_OPS[op]
+        result = tensor_op(Tensor(x))
+        np.testing.assert_allclose(result.data, numpy_op(x), rtol=1e-12, atol=1e-15)
+
+    @given(x=small_arrays(), op=st.sampled_from(sorted(UNARY_OPS)))
+    @settings(max_examples=15)
+    def test_backward_matches_finite_differences(self, x, op):
+        tensor_op, _ = UNARY_OPS[op]
+        gradcheck(lambda ts: tensor_op(ts[0]).sum(), [x], op=op)
+
+    @given(x=small_arrays(elements=POSITIVE_ELEMENTS))
+    @settings(max_examples=15)
+    def test_log_and_sqrt_on_positive_domain(self, x):
+        np.testing.assert_allclose(T.log(Tensor(x)).data, np.log(x), rtol=1e-12)
+        np.testing.assert_allclose(T.sqrt(Tensor(x)).data, np.sqrt(x), rtol=1e-12)
+        gradcheck(lambda ts: T.log(ts[0]).sum(), [x], op="log")
+        gradcheck(lambda ts: T.sqrt(ts[0]).sum(), [x], op="sqrt")
+
+
+def reduction_cases():
+    """(array, axis, keepdims) with axis valid for the drawn rank."""
+    return small_arrays().flatmap(lambda x: st.tuples(
+        st.just(x),
+        st.one_of(st.none(), st.integers(min_value=-max(x.ndim, 1),
+                                         max_value=max(x.ndim, 1) - 1))
+        if x.ndim else st.none(),
+        st.booleans(),
+    ))
+
+
+class TestReductions:
+    @given(case=reduction_cases(), op=st.sampled_from(["sum", "mean"]))
+    @settings(max_examples=40)
+    def test_forward_matches_numpy(self, case, op):
+        x, axis, keepdims = case
+        tensor_op = {"sum": T.sum_, "mean": T.mean}[op]
+        numpy_op = {"sum": np.sum, "mean": np.mean}[op]
+        result = tensor_op(Tensor(x), axis=axis, keepdims=keepdims)
+        expected = numpy_op(x, axis=axis, keepdims=keepdims)
+        assert result.shape == np.shape(expected)
+        np.testing.assert_allclose(result.data, expected, rtol=1e-12, atol=1e-15)
+
+    @given(case=reduction_cases(), op=st.sampled_from(["sum", "mean"]))
+    @settings(max_examples=12)
+    def test_backward_matches_finite_differences(self, case, op):
+        x, axis, keepdims = case
+        tensor_op = {"sum": T.sum_, "mean": T.mean}[op]
+        gradcheck(lambda ts: tensor_op(ts[0], axis=axis, keepdims=keepdims).sum(),
+                  [x], op=op)
+
+
+class TestMatmul:
+    @given(m=st.integers(1, 3), k=st.integers(1, 3), n=st.integers(1, 3),
+           data=st.data())
+    @settings(max_examples=20)
+    def test_forward_and_backward(self, m, k, n, data):
+        a = data.draw(hnp.arrays(np.float64, (m, k), elements=ELEMENTS))
+        b = data.draw(hnp.arrays(np.float64, (k, n), elements=ELEMENTS))
+        result = T.matmul(Tensor(a), Tensor(b))
+        np.testing.assert_allclose(result.data, a @ b, rtol=1e-12, atol=1e-13)
+        gradcheck(lambda ts: T.matmul(ts[0], ts[1]).sum(), [a, b], op="matmul")
+
+
+class TestShapeOps:
+    @given(x=small_arrays())
+    @settings(max_examples=30)
+    def test_reshape_roundtrip_preserves_values_and_grads(self, x):
+        flat = T.reshape(Tensor(x), (x.size,))
+        back = T.reshape(flat, x.shape)
+        np.testing.assert_array_equal(back.data, x)
+        gradcheck(lambda ts: T.reshape(ts[0], (x.size,)).sum(), [x], op="reshape")
+
+    @given(x=small_arrays(shapes=hnp.array_shapes(min_dims=2, max_dims=3,
+                                                  min_side=1, max_side=4)),
+           data=st.data())
+    @settings(max_examples=30)
+    def test_swapaxes_matches_numpy(self, x, data):
+        axis1 = data.draw(st.integers(0, x.ndim - 1))
+        axis2 = data.draw(st.integers(0, x.ndim - 1))
+        result = T.swapaxes(Tensor(x), axis1, axis2)
+        np.testing.assert_array_equal(result.data, np.swapaxes(x, axis1, axis2))
+        gradcheck(lambda ts: T.swapaxes(ts[0], axis1, axis2).sum(), [x],
+                  op="swapaxes")
+
+
+class TestSelection:
+    @given(pair=broadcast_pairs())
+    @settings(max_examples=25)
+    def test_where_matches_numpy(self, pair):
+        a, b = pair
+        condition = np.broadcast_arrays(a, b)[0] > 0.0
+        result = T.where(condition, Tensor(a), Tensor(b))
+        np.testing.assert_array_equal(result.data, np.where(condition, a, b))
+
+    @given(x=small_arrays(), low=st.floats(-2.0, 0.0), high=st.floats(0.5, 2.0))
+    @settings(max_examples=25)
+    def test_clip_matches_numpy(self, x, low, high):
+        result = T.clip(Tensor(x), low, high)
+        np.testing.assert_array_equal(result.data, np.clip(x, low, high))
+        assert result.data.min() >= low and result.data.max() <= high
