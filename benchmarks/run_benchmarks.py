@@ -14,7 +14,10 @@ Five sections, each a dict of timings/counters:
 * ``stages``   — per-stage breakdown of one rigorous solve (lateral DCT
   diffusion vs z matrix-exponential vs reaction step) recorded through
   the ``repro.obs`` trace layer, plus the tracing overhead ratio and the
-  cost of a disabled (no-op) span.
+  cost of a disabled (no-op) span;
+* ``serving``  — p50/p95/p99 request latency, throughput and overload
+  rejection of the ``repro.serve`` HTTP service under 8 concurrent
+  clients (delegates to ``run_serve_bench.bench_serving``).
 
 ``--smoke`` shrinks every section to CI-runner size (seconds, not
 minutes).  ``--check`` compares the fresh timings against
@@ -39,8 +42,9 @@ import tracemalloc
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-if str(REPO_ROOT / "src") not in sys.path:
-    sys.path.insert(0, str(REPO_ROOT / "src"))
+for _entry in (REPO_ROOT / "src", REPO_ROOT / "benchmarks"):
+    if str(_entry) not in sys.path:
+        sys.path.insert(0, str(_entry))
 
 import numpy as np
 import scipy
@@ -279,10 +283,12 @@ def main(argv=None) -> int:
                         help="output JSON path (default: repo-root BENCH_perf.json)")
     args = parser.parse_args(argv)
 
+    from run_serve_bench import bench_serving
+
     sections = {}
     for name, fn in (("scan", bench_scan), ("solver", bench_solver),
                      ("backward", bench_backward), ("epoch", bench_epoch),
-                     ("stages", bench_stages)):
+                     ("stages", bench_stages), ("serving", bench_serving)):
         print(f"[{name}] ...", flush=True)
         sections[name] = fn(args.smoke)
         for key, value in sections[name].items():

@@ -10,6 +10,7 @@ Subpackages
 ``repro.litho``        rigorous lithography substrate (S-Litho substitute)
 ``repro.data``         dataset generation and caching
 ``repro.experiments``  regeneration of every paper table and figure
+``repro.serve``        batched inference service + model registry
 """
 
 from . import config

@@ -9,6 +9,8 @@ Subcommands mirror the stages a user actually runs:
 * ``evaluate``  — full Table II-style evaluation of saved weights;
 * ``reproduce`` — regenerate all tables/figures (wraps
   :mod:`repro.experiments.reproduce_all`);
+* ``serve``     — batched inference HTTP service over a saved
+  checkpoint or a model registry (wraps :mod:`repro.serve`);
 * ``lint``      — repo-specific static analysis and the full-op
   gradcheck sweep (wraps :mod:`repro.lint`);
 * ``report``    — summarize a trace JSONL (from ``--trace`` or
@@ -39,6 +41,31 @@ from repro.experiments import (
     ExperimentSettings, TABLE2_METHODS, build_method, evaluate_method,
     train_method,
 )
+
+
+class CLIError(Exception):
+    """A user-facing CLI failure: printed as one line, exit code 2."""
+
+
+def _weights_or_cli_error(path_text: str) -> Path:
+    """The normalized weights path, or a friendly CLIError when unusable."""
+    from repro.nn.module import normalize_weights_path
+
+    path = normalize_weights_path(path_text)
+    if not path.exists():
+        raise CLIError(
+            f"weights file not found: {path}\n"
+            f"  (train one first: python -m repro.cli train --weights {path})")
+    try:
+        with np.load(path) as archive:
+            if not archive.files:
+                raise CLIError(f"weights file {path} is empty (no arrays)")
+    except CLIError:
+        raise
+    except Exception as error:
+        raise CLIError(f"weights file {path} is not a readable npz archive: "
+                       f"{error}") from error
+    return path
 
 
 def _settings_from_args(args) -> ExperimentSettings:
@@ -88,19 +115,35 @@ def cmd_train(args) -> int:
     print(f"training {args.method} ({model.num_parameters()} parameters) "
           f"for {settings.epochs} epochs...")
     train_method(model, loss_config, train_set, settings, verbose=True)
-    model.save(args.weights)
+    from repro.serve import save_checkpoint
+
+    weights = model.save(args.weights)
     stats = {"method": args.method, "output_mean": model.output_mean,
              "output_std": model.output_std, "epochs": settings.epochs}
-    Path(args.weights).with_suffix(".json").write_text(json.dumps(stats, indent=2))
-    print(f"weights saved to {args.weights}")
+    weights.with_suffix(".json").write_text(json.dumps(stats, indent=2))
+    manifest = save_checkpoint(model, weights, method=args.method,
+                               grid=settings.config.grid,
+                               extra={"epochs": settings.epochs})
+    print(f"weights saved to {weights} "
+          f"(manifest {manifest.content_hash[:19]}..., "
+          f"{manifest.param_count} params)")
     return 0
 
 
 def _load_model(args, grid: GridConfig):
+    weights = _weights_or_cli_error(args.weights)
+    sidecar = weights.with_suffix(".json")
+    if not sidecar.exists():
+        raise CLIError(
+            f"no metadata sidecar at {sidecar}\n"
+            "  (written by `train` next to the weights; re-train or restore it)")
+    try:
+        meta = json.loads(sidecar.read_text())
+    except json.JSONDecodeError as error:
+        raise CLIError(f"metadata sidecar {sidecar} is not valid JSON: {error}") from error
     nn.init.seed(args.seed)
-    meta = json.loads(Path(args.weights).with_suffix(".json").read_text())
     model, _ = build_method(meta["method"], grid)
-    model.load(args.weights)
+    model.load(weights)
     model.set_output_stats(meta["output_mean"], meta["output_std"])
     return model, meta
 
@@ -148,6 +191,63 @@ def cmd_reproduce(args) -> int:
     settings = ExperimentSettings.quick() if args.quick else ExperimentSettings.full()
     settings.workers = args.workers
     run_all(settings, Path(args.out))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.serve import (
+        BatchPolicy, ModelRegistry, PredictServer, RegistryError, ServeConfig,
+        ServedModel, import_legacy_sidecar, load_checkpoint, manifest_path_for,
+    )
+
+    policy = BatchPolicy(max_batch_size=args.max_batch, max_wait_ms=args.max_wait_ms,
+                         max_queue=args.queue_size, cache_entries=args.cache_size)
+    try:
+        if args.registry:
+            registry = ModelRegistry(args.registry)
+            names = [args.model] if args.model else registry.names()
+            if not names:
+                raise CLIError(f"registry {args.registry} has no published models")
+            loaded = [registry.load(name, args.model_version) for name in names]
+        else:
+            weights = _weights_or_cli_error(args.ckpt)
+            if not manifest_path_for(weights).exists():
+                # pre-registry checkpoint: synthesize a manifest from the
+                # legacy train sidecar + the grid flags
+                grid = GridConfig(size_um=args.clip_um, nx=args.nx, ny=args.nx,
+                                  nz=args.nz)
+                import_legacy_sidecar(weights, grid)
+                print(f"synthesized manifest for legacy checkpoint {weights}")
+            loaded = [load_checkpoint(weights)]
+    except RegistryError as error:
+        raise CLIError(str(error)) from error
+    served = [ServedModel(model, manifest, policy) for model, manifest in loaded]
+    config = ServeConfig(host=args.host, port=args.port, policy=policy)
+    server = PredictServer(served, config, verbose=args.verbose)
+    host, port = server.address
+    for entry in served:
+        m = entry.manifest
+        print(f"serving {m.name} v{m.version} ({m.model_class}, "
+              f"{m.param_count} params, grid {tuple(m.grid_config().shape)})")
+    print(f"listening on http://{host}:{port}  "
+          f"(POST /v1/predict, GET /v1/models /healthz /metrics; ctrl-c to stop)")
+
+    stop = threading.Event()
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous[signum] = signal.signal(signum, lambda *_: stop.set())
+    server.start()
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        print("draining in-flight requests...")
+        server.shutdown(drain=True)
+        print("shutdown complete")
     return 0
 
 
@@ -217,6 +317,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record observation-only spans to this JSONL file")
     p.set_defaults(func=cmd_reproduce)
 
+    p = sub.add_parser("serve", help="batched inference HTTP service over a checkpoint")
+    p.add_argument("--ckpt", "--weights", dest="ckpt", default="model.npz",
+                   help="weights npz (with manifest or legacy train sidecar)")
+    p.add_argument("--registry", default=None,
+                   help="serve published models from this registry directory "
+                        "instead of --ckpt")
+    p.add_argument("--model", default=None,
+                   help="with --registry: serve only this model name")
+    p.add_argument("--model-version", type=int, default=None,
+                   help="with --registry: serve this version (default: latest)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port (0 = ephemeral, printed at startup)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="largest coalesced forward-pass batch")
+    p.add_argument("--max-wait-ms", type=float, default=5.0,
+                   help="how long to hold an open batch for stragglers")
+    p.add_argument("--queue-size", type=int, default=64,
+                   help="bounded request queue; overflow is rejected with 503")
+    p.add_argument("--cache-size", type=int, default=128,
+                   help="LRU response-cache entries (0 disables)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request to stderr")
+    # grid fallback used only when synthesizing a manifest for a legacy
+    # checkpoint that predates the registry
+    p.add_argument("--nx", type=int, default=32, help="x/y grid points (legacy ckpt)")
+    p.add_argument("--nz", type=int, default=4, help="depth grid points (legacy ckpt)")
+    p.add_argument("--clip-um", type=float, default=1.0, help="clip size in um (legacy ckpt)")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="record serving spans to this JSONL file")
+    p.set_defaults(func=cmd_serve)
+
     p = sub.add_parser("report", help="summarize a trace JSONL into a per-span table")
     p.add_argument("trace_file", help="trace file written via --trace / REPRO_TRACE")
     p.add_argument("--limit", type=int, default=None,
@@ -243,12 +375,18 @@ def main(argv=None) -> int:
         from repro.obs import enable_tracing
 
         enable_tracing(args.trace)
-    if getattr(args, "sanitize", False):
-        from repro.tensor import sanitize
+    try:
+        if getattr(args, "sanitize", False):
+            from repro.tensor import sanitize
 
-        with sanitize(True):
-            return args.func(args)
-    return args.func(args)
+            with sanitize(True):
+                return args.func(args)
+        return args.func(args)
+    except CLIError as error:
+        import sys
+
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

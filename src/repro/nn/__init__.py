@@ -1,6 +1,6 @@
 """Neural-network library built on :mod:`repro.tensor`."""
 
-from .module import Module, Parameter, Sequential, ModuleList, Identity
+from .module import Module, Parameter, Sequential, ModuleList, Identity, normalize_weights_path
 from .linear import Linear, MLP
 from .conv import Conv1d, Conv3d, ConvTranspose3d, DepthwiseConv3d
 from .norm import LayerNorm, ChannelLayerNorm
@@ -11,6 +11,7 @@ from . import init
 
 __all__ = [
     "Module", "Parameter", "Sequential", "ModuleList", "Identity",
+    "normalize_weights_path",
     "Linear", "MLP",
     "Conv1d", "Conv3d", "ConvTranspose3d", "DepthwiseConv3d",
     "LayerNorm", "ChannelLayerNorm",

@@ -3,11 +3,24 @@
 from __future__ import annotations
 
 from collections import OrderedDict
+from pathlib import Path
 from typing import Iterator
 
 import numpy as np
 
 from repro.tensor import Tensor
+
+
+def normalize_weights_path(path: str | Path) -> Path:
+    """Canonical on-disk path for a weights file.
+
+    ``np.savez`` silently appends ``.npz`` to extension-less paths, so
+    ``save("w")`` used to write ``w.npz`` while ``load("w")`` looked for
+    ``w``.  Both directions now agree on ``<path>.npz`` whenever the
+    suffix is missing.
+    """
+    path = Path(path)
+    return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
 
 
 class Parameter(Tensor):
@@ -82,27 +95,49 @@ class Module:
         """Copy of every parameter's data keyed by dotted name."""
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Load parameter data in-place; shapes must match exactly."""
+    def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter data in-place.
+
+        Strict mode (the default) requires the key sets to match exactly
+        and raises one ``KeyError`` listing every missing and unexpected
+        dotted name.  ``strict=False`` loads the intersection and
+        silently skips the rest (partial restores, transfer between
+        architecture variants).  Shape mismatches on keys that *are*
+        loaded always raise a ``ValueError`` listing every offender.
+        """
         own = dict(self.named_parameters())
-        missing = set(own) - set(state)
-        unexpected = set(state) - set(own)
-        if missing or unexpected:
-            raise KeyError(f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
-        for name, param in own.items():
-            value = np.asarray(state[name])
-            if value.shape != param.shape:
-                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.shape}")
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
+        if strict and (missing or unexpected):
+            lines = [f"load_state_dict: state does not match module "
+                     f"({len(missing)} missing, {len(unexpected)} unexpected)"]
+            if missing:
+                lines.append("  missing from state: " + ", ".join(missing))
+            if unexpected:
+                lines.append("  unexpected in state: " + ", ".join(unexpected))
+            lines.append("  (pass strict=False to load the matching subset)")
+            raise KeyError("\n".join(lines))
+        loadable = {name: np.asarray(state[name]) for name in own if name in state}
+        mismatched = [f"{name}: state {value.shape} vs parameter {own[name].shape}"
+                      for name, value in loadable.items() if value.shape != own[name].shape]
+        if mismatched:
+            raise ValueError("load_state_dict: shape mismatch for "
+                             f"{len(mismatched)} parameter(s)\n  " + "\n  ".join(mismatched))
+        for name, value in loadable.items():
+            param = own[name]
             param.data = value.astype(param.data.dtype).copy()
 
-    def save(self, path: str) -> None:
-        """Save parameters to an ``.npz`` file."""
-        np.savez(path, **self.state_dict())
+    def save(self, path: str | Path) -> Path:
+        """Save parameters to an ``.npz`` file; returns the actual path."""
+        target = normalize_weights_path(path)
+        np.savez(str(target), **self.state_dict())
+        return target
 
-    def load(self, path: str) -> None:
-        """Load parameters from an ``.npz`` file."""
-        with np.load(path) as archive:
-            self.load_state_dict({k: archive[k] for k in archive.files})
+    def load(self, path: str | Path, strict: bool = True) -> None:
+        """Load parameters from an ``.npz`` file (extension optional)."""
+        target = normalize_weights_path(path)
+        with np.load(str(target)) as archive:
+            self.load_state_dict({k: archive[k] for k in archive.files}, strict=strict)
 
     # ------------------------------------------------------------------
     # Call protocol

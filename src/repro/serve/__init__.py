@@ -1,0 +1,41 @@
+"""Batched inference serving: model registry, micro-batcher, HTTP front end.
+
+``repro.serve`` is the deployment shape the paper's pitch implies: a
+learned PEB surrogate answering many clip-sized requests in
+milliseconds each, instead of the rigorous solver's minutes.  The
+subsystem is stdlib + numpy only:
+
+* :mod:`repro.serve.registry` — versioned checkpoint manifests (model
+  class, grid, dtype, param count, SHA-256 content hash) wrapping
+  ``Module.save/load``, with integrity verification on load;
+* :mod:`repro.serve.batcher` — a bounded queue coalescing concurrent
+  single-clip requests into batched forward passes under a
+  max-batch/max-wait policy, with deadlines, backpressure and an LRU
+  response cache;
+* :mod:`repro.serve.server` — ``POST /v1/predict``, ``GET /v1/models``,
+  ``GET /healthz`` and ``GET /metrics`` on a threading HTTP server with
+  graceful draining shutdown.
+
+Entry point: ``python -m repro.cli serve --ckpt model.npz``; load-test
+with ``benchmarks/run_serve_bench.py``.  See ``docs/serving.md``.
+"""
+
+from .batcher import (
+    BatcherClosedError, BatchPolicy, DeadlineExceededError, MicroBatcher,
+    QueueFullError, ServeError, content_hash,
+)
+from .registry import (
+    IntegrityError, ModelManifest, ModelRegistry, RegistryError,
+    import_legacy_sidecar, load_checkpoint, manifest_path_for, read_manifest,
+    save_checkpoint, verify_checkpoint,
+)
+from .server import PredictServer, ServeConfig, ServedModel, render_prometheus
+
+__all__ = [
+    "BatchPolicy", "MicroBatcher", "ServeError", "QueueFullError",
+    "DeadlineExceededError", "BatcherClosedError", "content_hash",
+    "ModelManifest", "ModelRegistry", "RegistryError", "IntegrityError",
+    "save_checkpoint", "load_checkpoint", "read_manifest", "verify_checkpoint",
+    "manifest_path_for", "import_legacy_sidecar",
+    "PredictServer", "ServeConfig", "ServedModel", "render_prometheus",
+]

@@ -1,0 +1,313 @@
+"""Versioned checkpoint manifests and the on-disk model registry.
+
+A bare ``Module.save`` archive is just a pile of arrays: nothing records
+which architecture produced it, which grid it was trained on, or whether
+the bytes on disk are the bytes that were written.  The registry wraps
+``save``/``load`` with a JSON **manifest** sidecar carrying exactly that
+metadata plus a SHA-256 content hash, verified on every load.
+
+Two layers:
+
+* standalone checkpoints — ``save_checkpoint``/``load_checkpoint`` pair
+  a weights file ``model.npz`` with ``model.manifest.json`` next to it;
+* :class:`ModelRegistry` — a directory tree ``root/<name>/v<version>/``
+  of published checkpoints with monotonically increasing versions,
+  ``latest`` resolution and enumeration for the serving front end's
+  ``GET /v1/models``.
+
+Both layers rebuild the architecture from the manifest alone (method
+name + grid), so a consumer needs no out-of-band knowledge to serve a
+checkpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+
+import numpy as np
+
+from repro import nn
+from repro.config import GridConfig
+from repro.nn.module import normalize_weights_path
+
+#: bump when the manifest layout changes incompatibly
+MANIFEST_SCHEMA_VERSION = 1
+
+#: weight-initialization seed used when rebuilding an architecture; the
+#: loaded state overwrites every parameter, so this only pins any
+#: non-parameter construction-time randomness
+REBUILD_SEED = 0
+
+
+class RegistryError(Exception):
+    """A checkpoint or registry operation failed."""
+
+
+class IntegrityError(RegistryError):
+    """The weights on disk do not match the manifest's content hash."""
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return f"sha256:{digest.hexdigest()}"
+
+
+def manifest_path_for(weights_path: str | Path) -> Path:
+    """Sidecar manifest path for a standalone weights file."""
+    weights = normalize_weights_path(weights_path)
+    return weights.with_name(weights.stem + ".manifest.json")
+
+
+@dataclass(frozen=True)
+class ModelManifest:
+    """Everything needed to rebuild, verify and describe one checkpoint."""
+
+    name: str
+    version: int
+    #: Table II method name understood by ``experiments.build_method``
+    model_class: str
+    #: GridConfig fields the architecture was sized for
+    grid: dict
+    dtype: str
+    param_count: int
+    #: ``sha256:<hex>`` over the weights archive bytes
+    content_hash: str
+    output_mean: float
+    output_std: float
+    created_unix_s: float
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+    #: free-form extras (training epochs, dataset notes, ...)
+    extra: dict = field(default_factory=dict)
+
+    def grid_config(self) -> GridConfig:
+        return GridConfig(**self.grid)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str, source: str = "<manifest>") -> "ModelManifest":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise RegistryError(f"{source}: not valid JSON ({error})") from error
+        if not isinstance(payload, dict):
+            raise RegistryError(f"{source}: manifest must be a JSON object")
+        missing = [f.name for f in _MANIFEST_FIELDS
+                   if f.name not in payload and f.name not in ("schema_version", "extra")]
+        if missing:
+            raise RegistryError(f"{source}: manifest missing fields {missing}")
+        schema = payload.get("schema_version", MANIFEST_SCHEMA_VERSION)
+        if schema > MANIFEST_SCHEMA_VERSION:
+            raise RegistryError(f"{source}: manifest schema v{schema} is newer than "
+                                f"supported v{MANIFEST_SCHEMA_VERSION}")
+        known = {f.name for f in _MANIFEST_FIELDS}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    def summary(self) -> dict:
+        """Compact dict for listings (``GET /v1/models``)."""
+        return {
+            "name": self.name, "version": self.version,
+            "model_class": self.model_class, "grid": dict(self.grid),
+            "dtype": self.dtype, "param_count": self.param_count,
+            "content_hash": self.content_hash,
+        }
+
+
+_MANIFEST_FIELDS = fields(ModelManifest)
+
+
+def _build_model(manifest: ModelManifest):
+    from repro.experiments import build_method
+
+    nn.init.seed(REBUILD_SEED)
+    model, _ = build_method(manifest.model_class, manifest.grid_config())
+    return model
+
+
+def save_checkpoint(model, path: str | Path, method: str, grid: GridConfig,
+                    name: str | None = None, version: int = 1,
+                    extra: dict | None = None) -> ModelManifest:
+    """Write ``model``'s weights plus a manifest sidecar; returns the manifest."""
+    weights = model.save(path)
+    state = model.state_dict()
+    dtypes = sorted({str(v.dtype) for v in state.values()})
+    manifest = ModelManifest(
+        name=name if name is not None else weights.stem,
+        version=int(version),
+        model_class=method,
+        grid=asdict(grid),
+        dtype=dtypes[0] if len(dtypes) == 1 else "mixed",
+        param_count=int(sum(v.size for v in state.values())),
+        content_hash=_sha256_file(weights),
+        output_mean=float(getattr(model, "output_mean", 0.0)),
+        output_std=float(getattr(model, "output_std", 1.0)),
+        created_unix_s=round(time.time(), 3),
+        extra=dict(extra or {}),
+    )
+    manifest_path_for(weights).write_text(manifest.to_json())
+    return manifest
+
+
+def read_manifest(weights_path: str | Path) -> ModelManifest:
+    """Parse the manifest sidecar of a standalone checkpoint."""
+    path = manifest_path_for(weights_path)
+    if not path.exists():
+        raise RegistryError(f"no manifest at {path}; publish the checkpoint with "
+                            "save_checkpoint() or a ModelRegistry")
+    return ModelManifest.from_json(path.read_text(), source=str(path))
+
+
+def verify_checkpoint(weights_path: str | Path,
+                      manifest: ModelManifest | None = None) -> ModelManifest:
+    """Check the weights bytes against the manifest hash; returns the manifest."""
+    weights = normalize_weights_path(weights_path)
+    if manifest is None:
+        manifest = read_manifest(weights)
+    if not weights.exists():
+        raise RegistryError(f"weights file missing: {weights}")
+    actual = _sha256_file(weights)
+    if actual != manifest.content_hash:
+        raise IntegrityError(
+            f"checkpoint {weights} fails integrity verification: "
+            f"manifest says {manifest.content_hash}, file hashes to {actual} "
+            "(corrupted or tampered weights)")
+    return manifest
+
+
+def load_checkpoint(weights_path: str | Path, verify: bool = True):
+    """Rebuild the architecture from the manifest and load verified weights.
+
+    Returns ``(model, manifest)``.  ``verify=False`` skips the content
+    hash (loading a checkpoint you just wrote yourself).
+    """
+    weights = normalize_weights_path(weights_path)
+    manifest = read_manifest(weights)
+    if verify:
+        verify_checkpoint(weights, manifest)
+    model = _build_model(manifest)
+    model.load(weights)
+    model.set_output_stats(manifest.output_mean, manifest.output_std)
+    return model, manifest
+
+
+class ModelRegistry:
+    """Directory-backed registry of versioned checkpoints.
+
+    Layout::
+
+        root/
+          <name>/
+            v1/ weights.npz  weights.manifest.json
+            v2/ ...
+
+    Versions are positive integers; ``publish`` defaults to
+    ``latest + 1``.  The directory is the source of truth — no extra
+    index file to go stale.
+    """
+
+    WEIGHTS_FILENAME = "weights.npz"
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- resolution ----------------------------------------------------
+    def names(self) -> list[str]:
+        return sorted(p.name for p in self.root.iterdir()
+                      if p.is_dir() and self.versions(p.name))
+
+    def versions(self, name: str) -> list[int]:
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            return []
+        found = []
+        for entry in model_dir.iterdir():
+            if (entry.is_dir() and entry.name.startswith("v")
+                    and entry.name[1:].isdigit()
+                    and (entry / self.WEIGHTS_FILENAME).exists()):
+                found.append(int(entry.name[1:]))
+        return sorted(found)
+
+    def latest(self, name: str) -> int:
+        versions = self.versions(name)
+        if not versions:
+            raise RegistryError(f"registry {self.root} has no model named {name!r} "
+                                f"(available: {self.names() or 'none'})")
+        return versions[-1]
+
+    def weights_path(self, name: str, version: int | None = None) -> Path:
+        version = self.latest(name) if version is None else int(version)
+        path = self.root / name / f"v{version}" / self.WEIGHTS_FILENAME
+        if not path.exists():
+            raise RegistryError(f"no checkpoint for {name!r} v{version} under {self.root}")
+        return path
+
+    # -- publish / load ------------------------------------------------
+    def publish(self, model, method: str, grid: GridConfig, name: str,
+                version: int | None = None, extra: dict | None = None) -> ModelManifest:
+        if version is None:
+            existing = self.versions(name)
+            version = (existing[-1] + 1) if existing else 1
+        elif version in self.versions(name):
+            raise RegistryError(f"{name!r} v{version} already published; "
+                                "versions are immutable")
+        target_dir = self.root / name / f"v{version}"
+        target_dir.mkdir(parents=True, exist_ok=True)
+        return save_checkpoint(model, target_dir / self.WEIGHTS_FILENAME,
+                               method=method, grid=grid, name=name,
+                               version=version, extra=extra)
+
+    def manifest(self, name: str, version: int | None = None) -> ModelManifest:
+        return read_manifest(self.weights_path(name, version))
+
+    def load(self, name: str, version: int | None = None, verify: bool = True):
+        """``(model, manifest)`` for a published checkpoint."""
+        return load_checkpoint(self.weights_path(name, version), verify=verify)
+
+    def models(self) -> list[dict]:
+        """Manifest summaries for every published (name, version)."""
+        out = []
+        for name in self.names():
+            latest = self.latest(name)
+            for version in self.versions(name):
+                summary = self.manifest(name, version).summary()
+                summary["latest"] = version == latest
+                out.append(summary)
+        return out
+
+
+def import_legacy_sidecar(weights_path: str | Path, grid: GridConfig) -> ModelManifest:
+    """Synthesize a manifest for a pre-registry ``cli train`` checkpoint.
+
+    ``cli train`` historically wrote ``<weights>.json`` holding only the
+    method name and output stats; the grid must be supplied by the
+    caller (the CLI's ``--nx/--nz/--clip-um`` flags).  The synthesized
+    manifest is written as a proper sidecar so subsequent loads verify.
+    """
+    weights = normalize_weights_path(weights_path)
+    legacy = weights.with_suffix(".json")
+    if not legacy.exists():
+        raise RegistryError(f"no legacy sidecar at {legacy}")
+    meta = json.loads(legacy.read_text())
+    state_sizes: int
+    with np.load(str(weights)) as archive:
+        state_sizes = int(sum(archive[k].size for k in archive.files))
+        dtypes = sorted({str(archive[k].dtype) for k in archive.files})
+    manifest = ModelManifest(
+        name=weights.stem, version=1, model_class=meta["method"],
+        grid=asdict(grid), dtype=dtypes[0] if len(dtypes) == 1 else "mixed",
+        param_count=state_sizes, content_hash=_sha256_file(weights),
+        output_mean=float(meta["output_mean"]), output_std=float(meta["output_std"]),
+        created_unix_s=round(time.time(), 3),
+        extra={"imported_from": legacy.name, "epochs": meta.get("epochs")},
+    )
+    manifest_path_for(weights).write_text(manifest.to_json())
+    return manifest

@@ -1,0 +1,409 @@
+"""HTTP front end for the batched inference service.
+
+Stdlib-only (``http.server.ThreadingHTTPServer``) so the serving path
+carries zero dependencies beyond what the substrate already needs.
+Routes:
+
+* ``POST /v1/predict`` — one photoacid clip in, one label-space
+  prediction out.  Payloads are either a JSON object
+  ``{"acid": [[[...]]]}`` or an ``.npz`` archive with an ``acid`` array
+  (``Content-Type: application/octet-stream``); the response mirrors
+  the request format.  ``?model=NAME`` and ``?version=N`` select a
+  served checkpoint; ``?deadline_ms=`` bounds queue wait.
+* ``GET /v1/models`` — manifest summaries of every served checkpoint.
+* ``GET /healthz`` — liveness plus queue depth / in-flight counts.
+* ``GET /metrics`` — the :mod:`repro.obs` registry rendered in the
+  Prometheus text exposition format.
+
+Failure mapping: malformed payloads are 400, unknown models 404,
+oversized bodies 413, queue backpressure 503 (with ``Retry-After``),
+queue-deadline expiry 504.  Shutdown is graceful: the listener stops,
+in-flight handler threads finish (``block_on_close``), and each
+batcher drains its queue before the process exits.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+import zipfile
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+import numpy as np
+
+from repro.obs import counter, metrics_snapshot, span, timer
+from repro.tensor import Tensor, no_grad
+
+from .batcher import (
+    BatcherClosedError, BatchPolicy, DeadlineExceededError, MicroBatcher,
+    QueueFullError, ServeError,
+)
+from .registry import ModelManifest
+
+__all__ = ["ServeConfig", "ServedModel", "PredictServer", "render_prometheus"]
+
+NPZ_CONTENT_TYPES = ("application/octet-stream", "application/x-npz", "application/zip")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Front-end configuration (batching policy lives in BatchPolicy)."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (tests, benches)
+    port: int = 8080
+    policy: BatchPolicy = field(default_factory=BatchPolicy)
+    #: request bodies above this many bytes are rejected with 413
+    max_body_bytes: int = 64 * 1024 * 1024
+    #: per-request wall-clock cap while waiting for a result
+    request_timeout_s: float = 120.0
+
+
+class ServedModel:
+    """One checkpoint behind its own micro-batcher."""
+
+    def __init__(self, model, manifest: ModelManifest, policy: BatchPolicy):
+        self.model = model
+        self.manifest = manifest
+        self.model.eval()
+        self.batcher = MicroBatcher(self._predict_batch, policy,
+                                    name=f"{manifest.name}-v{manifest.version}")
+        self.clip_shape = tuple(manifest.grid_config().shape)
+
+    def _predict_batch(self, batch: np.ndarray) -> np.ndarray:
+        # Mirrors Trainer.predict exactly (float64 cast, eval, no_grad)
+        # so a served prediction is bitwise identical to the offline path.
+        with no_grad():
+            return self.model(Tensor(np.asarray(batch, dtype=np.float64))).numpy()
+
+    def validate_input(self, acid: np.ndarray) -> np.ndarray:
+        acid = np.asarray(acid, dtype=np.float64)
+        if acid.shape == (1,) + self.clip_shape:
+            acid = acid[0]
+        if acid.shape != self.clip_shape:
+            raise ValueError(
+                f"expected one clip of shape {self.clip_shape} (nz, ny, nx), "
+                f"got {acid.shape}")
+        if not np.all(np.isfinite(acid)):
+            raise ValueError("input contains NaN/Inf")
+        return acid
+
+
+class _HTTPError(Exception):
+    def __init__(self, status: int, message: str, retry_after_s: int | None = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+
+def render_prometheus(snapshot: dict | None = None) -> str:
+    """Render a :func:`repro.obs.metrics_snapshot` in Prometheus text format."""
+    snapshot = metrics_snapshot() if snapshot is None else snapshot
+    lines: list[str] = []
+    for name, metric in sorted(snapshot.items()):
+        flat = "repro_" + name.replace(".", "_").replace("-", "_")
+        kind = metric.get("type")
+        if kind == "counter":
+            lines.append(f"# TYPE {flat} counter")
+            lines.append(f"{flat}_total {metric['value']}")
+        elif kind == "timer":
+            lines.append(f"# TYPE {flat}_seconds summary")
+            lines.append(f"{flat}_seconds_count {metric['count']}")
+            lines.append(f"{flat}_seconds_sum {metric['total_s']:.9f}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {flat} histogram")
+            cumulative = 0
+            for bound, bucket in zip(metric["bounds"], metric["bucket_counts"]):
+                cumulative += bucket
+                lines.append(f'{flat}_bucket{{le="{bound:g}"}} {cumulative}')
+            lines.append(f'{flat}_bucket{{le="+Inf"}} {metric["count"]}')
+            lines.append(f"{flat}_count {metric['count']}")
+            lines.append(f"{flat}_sum {metric['total']:.9f}")
+    return "\n".join(lines) + "\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+    #: idle keep-alive connections are dropped after this many seconds so
+    #: abandoned clients cannot pin handler threads forever
+    timeout = 30
+
+    # the PredictServer that owns this handler's ThreadingHTTPServer
+    @property
+    def app(self) -> "PredictServer":
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.app.config_verbose:
+            super().log_message(format, *args)
+
+    # -- plumbing ------------------------------------------------------
+    def _send(self, status: int, body: bytes, content_type: str,
+              extra_headers: dict | None = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (extra_headers or {}).items():
+            self.send_header(key, str(value))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict,
+                   extra_headers: dict | None = None) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self._send(status, body, "application/json", extra_headers)
+
+    def _send_error_json(self, error: _HTTPError) -> None:
+        headers = {}
+        if error.retry_after_s is not None:
+            headers["Retry-After"] = error.retry_after_s
+        self._send_json(error.status, {"error": error.message}, headers)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _HTTPError(400, "empty request body")
+        if length > self.app.config.max_body_bytes:
+            raise _HTTPError(413, f"request body of {length} bytes exceeds "
+                                  f"limit {self.app.config.max_body_bytes}")
+        return self.rfile.read(length)
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path == "/healthz":
+                self._send_json(200, self.app.health())
+            elif parsed.path == "/metrics":
+                self._send(200, render_prometheus().encode(),
+                           "text/plain; version=0.0.4")
+            elif parsed.path == "/v1/models":
+                self._send_json(200, {"models": self.app.list_models()})
+            else:
+                raise _HTTPError(404, f"no route {parsed.path}")
+        except _HTTPError as error:
+            self._send_error_json(error)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path != "/v1/predict":
+                raise _HTTPError(404, f"no route {parsed.path}")
+            self._predict(parse_qs(parsed.query))
+        except _HTTPError as error:
+            self._send_error_json(error)
+
+    def _predict(self, query: dict) -> None:
+        app = self.app
+        app.inflight_inc()
+        counter("serve.http.predict").inc()
+        try:
+            with span("serve.request", route="/v1/predict"), \
+                    timer("serve.request").time():
+                served = app.resolve_model(query.get("model", [None])[0],
+                                           query.get("version", [None])[0])
+                body = self._read_body()
+                content_type = (self.headers.get("Content-Type") or "").split(";")[0].strip()
+                as_json = content_type == "application/json"
+                acid, deadline_ms = _parse_predict_payload(body, as_json, query)
+                try:
+                    acid = served.validate_input(acid)
+                except ValueError as error:
+                    raise _HTTPError(400, str(error)) from error
+                try:
+                    prediction = served.batcher.submit(
+                        acid, deadline_ms=deadline_ms,
+                        timeout_s=app.config.request_timeout_s)
+                except QueueFullError as error:
+                    raise _HTTPError(503, str(error), retry_after_s=1) from error
+                except BatcherClosedError as error:
+                    raise _HTTPError(503, str(error)) from error
+                except DeadlineExceededError as error:
+                    raise _HTTPError(504, str(error)) from error
+                except ServeError as error:
+                    raise _HTTPError(500, str(error)) from error
+                headers = {
+                    "X-Repro-Model": served.manifest.name,
+                    "X-Repro-Model-Version": served.manifest.version,
+                }
+                if as_json:
+                    self._send_json(200, {
+                        "model": served.manifest.name,
+                        "version": served.manifest.version,
+                        "shape": list(prediction.shape),
+                        "prediction": prediction.tolist(),
+                    }, headers)
+                else:
+                    buffer = io.BytesIO()
+                    np.savez_compressed(buffer, prediction=prediction)
+                    self._send(200, buffer.getvalue(), "application/octet-stream",
+                               headers)
+        finally:
+            app.inflight_dec()
+
+
+def _parse_predict_payload(body: bytes, as_json: bool,
+                           query: dict) -> tuple[np.ndarray, float | None]:
+    deadline_ms: float | None = None
+    if "deadline_ms" in query:
+        try:
+            deadline_ms = float(query["deadline_ms"][0])
+        except ValueError as error:
+            raise _HTTPError(400, "deadline_ms must be a number") from error
+    if as_json:
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as error:
+            raise _HTTPError(400, f"invalid JSON body: {error}") from error
+        if not isinstance(payload, dict) or "acid" not in payload:
+            raise _HTTPError(400, 'JSON body must be an object with an "acid" array')
+        if deadline_ms is None and "deadline_ms" in payload:
+            deadline_ms = float(payload["deadline_ms"])
+        try:
+            acid = np.asarray(payload["acid"], dtype=np.float64)
+        except (TypeError, ValueError) as error:
+            raise _HTTPError(400, f'"acid" is not a numeric array: {error}') from error
+        return acid, deadline_ms
+    try:
+        with np.load(io.BytesIO(body)) as archive:
+            if "acid" not in archive.files:
+                raise _HTTPError(400, 'npz payload must contain an "acid" array '
+                                      f"(found {archive.files})")
+            return np.asarray(archive["acid"], dtype=np.float64), deadline_ms
+    except (zipfile.BadZipFile, ValueError, OSError) as error:
+        if isinstance(error, _HTTPError):
+            raise
+        raise _HTTPError(400, f"body is not a readable npz archive: {error}") from error
+
+
+class _Server(ThreadingHTTPServer):
+    # Handler threads are daemons and server_close does not join them:
+    # idle keep-alive connections would otherwise block shutdown
+    # indefinitely.  Graceful drain is done explicitly by
+    # PredictServer.shutdown, which waits for the *in-flight request*
+    # count (not connection count) to reach zero.
+    daemon_threads = True
+    block_on_close = False
+    allow_reuse_address = True
+
+
+class PredictServer:
+    """Owns the HTTP listener and one :class:`ServedModel` per checkpoint."""
+
+    def __init__(self, served: list[ServedModel] | ServedModel,
+                 config: ServeConfig | None = None, verbose: bool = False):
+        self.config = config if config is not None else ServeConfig()
+        self.config_verbose = verbose
+        served = [served] if isinstance(served, ServedModel) else list(served)
+        if not served:
+            raise ValueError("PredictServer needs at least one ServedModel")
+        self._models: dict[str, dict[int, ServedModel]] = {}
+        for entry in served:
+            versions = self._models.setdefault(entry.manifest.name, {})
+            versions[entry.manifest.version] = entry
+        self.default_name = served[0].manifest.name
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._http = _Server((self.config.host, self.config.port), _Handler)
+        self._http.app = self
+        self._thread: threading.Thread | None = None
+        self._stopped = threading.Event()
+
+    # -- model resolution ---------------------------------------------
+    def resolve_model(self, name: str | None, version: str | None) -> ServedModel:
+        name = name or self.default_name
+        versions = self._models.get(name)
+        if not versions:
+            raise _HTTPError(404, f"no served model named {name!r} "
+                                  f"(serving: {sorted(self._models)})")
+        if version is None:
+            return versions[max(versions)]
+        try:
+            numeric = int(version)
+        except ValueError as error:
+            raise _HTTPError(400, "version must be an integer") from error
+        if numeric not in versions:
+            raise _HTTPError(404, f"model {name!r} has no served version {numeric} "
+                                  f"(serving: {sorted(versions)})")
+        return versions[numeric]
+
+    def list_models(self) -> list[dict]:
+        out = []
+        for name in sorted(self._models):
+            latest = max(self._models[name])
+            for version in sorted(self._models[name]):
+                entry = self._models[name][version]
+                summary = entry.manifest.summary()
+                summary["latest"] = version == latest
+                summary["default"] = name == self.default_name
+                out.append(summary)
+        return out
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "models": sorted(self._models),
+            "inflight": self.inflight,
+            "queues": {
+                f"{name}:v{version}": entry.batcher.stats()
+                for name, versions in self._models.items()
+                for version, entry in versions.items()
+            },
+        }
+
+    # -- in-flight accounting -----------------------------------------
+    def inflight_inc(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+
+    def inflight_dec(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound (host, port) — resolves port 0 to the real ephemeral port."""
+        return self._http.server_address[:2]
+
+    def serve_forever(self) -> None:
+        """Blocking accept loop; returns after :meth:`shutdown`."""
+        try:
+            self._http.serve_forever(poll_interval=0.1)
+        finally:
+            self._stopped.set()
+
+    def start(self) -> "PredictServer":
+        """Run the accept loop on a background thread (tests, benches)."""
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True,
+                                        name="repro-serve-http")
+        self._thread.start()
+        return self
+
+    def shutdown(self, drain: bool = True, timeout_s: float | None = None) -> None:
+        """Stop accepting, finish in-flight requests, drain the batchers."""
+        timeout_s = self.config.request_timeout_s if timeout_s is None else timeout_s
+        with span("serve.shutdown", drain=drain):
+            self._http.shutdown()          # stops the accept loop
+            if drain:
+                deadline = time.monotonic() + timeout_s
+                while self.inflight > 0 and time.monotonic() < deadline:
+                    time.sleep(0.01)
+            self._http.server_close()
+            for versions in self._models.values():
+                for entry in versions.values():
+                    entry.batcher.close(drain=drain)
+            if self._thread is not None:
+                self._thread.join(timeout=10.0)
+        self._stopped.set()

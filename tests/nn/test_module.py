@@ -94,6 +94,68 @@ class TestStateDict:
         x = Tensor(np.ones((1, 4)))
         assert np.allclose(a(x).data, b(x).data)
 
+    def test_save_load_without_extension_round_trips(self, tmp_path):
+        # np.savez appends .npz silently; save/load must agree on the path
+        a, b = Toy(), Toy()
+        saved = a.save(str(tmp_path / "w"))
+        assert saved == tmp_path / "w.npz"
+        b.load(str(tmp_path / "w"))
+        x = Tensor(np.ones((1, 4)))
+        assert np.allclose(a(x).data, b(x).data)
+
+    def test_save_load_mixed_extension_spelling(self, tmp_path):
+        a, b = Toy(), Toy()
+        a.save(str(tmp_path / "w.npz"))
+        b.load(str(tmp_path / "w"))
+        assert np.allclose(a.state_dict()["fc1.weight"], b.state_dict()["fc1.weight"])
+
+    def test_normalize_weights_path(self):
+        assert nn.normalize_weights_path("m").name == "m.npz"
+        assert nn.normalize_weights_path("m.npz").name == "m.npz"
+        assert nn.normalize_weights_path("a.b/m").name == "m.npz"
+
+
+class TestStrictLoading:
+    def test_error_lists_missing_and_unexpected(self):
+        model = Toy()
+        state = model.state_dict()
+        del state["fc1.bias"]
+        state["extra.weight"] = np.zeros((1,))
+        with pytest.raises(KeyError) as excinfo:
+            model.load_state_dict(state)
+        message = str(excinfo.value)
+        assert "fc1.bias" in message and "extra.weight" in message
+        assert "missing" in message and "unexpected" in message
+        assert "strict=False" in message
+
+    def test_non_strict_loads_intersection(self):
+        a, b = Toy(), Toy()
+        state = a.state_dict()
+        del state["fc2.weight"]
+        state["bogus.param"] = np.ones((3,))
+        before = b.state_dict()["fc2.weight"]
+        b.load_state_dict(state, strict=False)
+        assert np.allclose(b.state_dict()["fc1.weight"], a.state_dict()["fc1.weight"])
+        assert np.allclose(b.state_dict()["fc2.weight"], before)  # untouched
+
+    def test_shape_mismatch_lists_every_offender(self):
+        model = Toy()
+        state = model.state_dict()
+        state["fc1.weight"] = np.zeros((1, 1))
+        state["fc2.bias"] = np.zeros((7,))
+        with pytest.raises(ValueError) as excinfo:
+            model.load_state_dict(state)
+        message = str(excinfo.value)
+        assert "fc1.weight" in message and "fc2.bias" in message
+        assert "(1, 1)" in message
+
+    def test_shape_mismatch_raises_even_non_strict(self):
+        model = Toy()
+        state = model.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state, strict=False)
+
 
 class TestContainers:
     def test_sequential_applies_in_order(self):

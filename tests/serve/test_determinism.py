@@ -1,0 +1,135 @@
+"""Serving must not perturb numerics: a clip served through the batcher and
+the HTTP stack is bitwise identical to ``Trainer.predict`` offline.
+
+One caveat the tests encode deliberately: BLAS picks its GEMM blocking by
+matrix shape, so a forward at batch size 1 and a forward at batch size 4
+can differ in the last ulp (measured ~3e-15 absolute).  Identity is
+therefore asserted between *matching batch compositions* — the serving
+path must add exactly nothing on top of the model's own numerics.
+"""
+
+import io
+import threading
+from http.client import HTTPConnection
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.config import GridConfig
+from repro.core import TrainConfig, Trainer
+from repro.experiments import build_method
+from repro.serve import (
+    BatchPolicy, PredictServer, ServeConfig, ServedModel, load_checkpoint,
+    save_checkpoint,
+)
+
+GRID = GridConfig(size_um=0.8, nx=16, ny=16, nz=2)
+
+
+@pytest.fixture(scope="module", params=["DeepCNN", "SDM-PEB"])
+def checkpoint(request, tmp_path_factory):
+    """A saved checkpoint plus the Trainer wrapping the original model."""
+    method = request.param
+    nn.init.seed(0)
+    model, _ = build_method(method, GRID)
+    rng = np.random.default_rng(0)
+    inputs = rng.random((4,) + GRID.shape)
+    targets = 2.0 * inputs + rng.normal(0.0, 0.05, size=inputs.shape)
+    trainer = Trainer(model, inputs, targets, TrainConfig(epochs=1, batch_size=2))
+    path = tmp_path_factory.mktemp(f"det-{method}") / "model.npz"
+    save_checkpoint(model, path, method=method, grid=GRID)
+    clips = rng.random((4,) + GRID.shape)
+    return trainer, path, clips
+
+
+def serve_model(path, **policy_kwargs) -> ServedModel:
+    loaded, manifest = load_checkpoint(path)
+    return ServedModel(loaded, manifest, BatchPolicy(**policy_kwargs))
+
+
+class TestBatchedVsSingle:
+    def test_full_batch_bitwise_identical_to_trainer_predict(self, checkpoint):
+        trainer, path, clips = checkpoint
+        expected = trainer.predict(clips, batch_size=len(clips))
+        served = serve_model(path)
+        got = served._predict_batch(clips)
+        assert np.array_equal(got, expected)
+        served.batcher.close()
+
+    def test_coalesced_batch_bitwise_identical(self, checkpoint):
+        """Force a known batch split (1 then 3) through the real batcher and
+        compare each against Trainer.predict at the matching batch size."""
+        trainer, path, clips = checkpoint
+        served = serve_model(path, max_batch_size=len(clips), max_wait_ms=500.0,
+                             cache_entries=0)
+        gate = threading.Event()
+        started = threading.Event()
+        inner = served.batcher._predict_fn
+
+        def gated(batch):
+            started.set()
+            assert gate.wait(30.0)
+            return inner(batch)
+
+        served.batcher._predict_fn = gated
+        results = [None] * len(clips)
+
+        def run(index, payload):
+            results[index] = served.batcher.submit(payload)
+
+        threads = [threading.Thread(target=run, args=(0, clips[0]), daemon=True)]
+        threads[0].start()
+        assert started.wait(10.0)          # worker holds clips[0] alone
+        for i in range(1, len(clips)):
+            thread = threading.Thread(target=run, args=(i, clips[i]), daemon=True)
+            thread.start()
+            threads.append(thread)
+        deadline = 500
+        while served.batcher.queue_depth() < len(clips) - 1 and deadline:
+            threading.Event().wait(0.01)
+            deadline -= 1
+        assert served.batcher.queue_depth() == len(clips) - 1
+        gate.set()                          # release: batch [clip0], then [1..3]
+        for thread in threads:
+            thread.join(30.0)
+        assert served.batcher.stats()["batches_run"] == 2
+        expected_head = trainer.predict(clips[:1], batch_size=1)
+        expected_tail = trainer.predict(clips[1:], batch_size=len(clips) - 1)
+        assert np.array_equal(np.stack([results[0]]), expected_head)
+        assert np.array_equal(np.stack(results[1:]), expected_tail)
+        served.batcher.close()
+
+    def test_single_requests_bitwise_identical_to_trainer_predict(self, checkpoint):
+        trainer, path, clips = checkpoint
+        expected = trainer.predict(clips, batch_size=1)
+        served = serve_model(path, max_batch_size=1, max_wait_ms=0.0, cache_entries=0)
+        singles = np.stack([served.batcher.submit(clip) for clip in clips])
+        assert np.array_equal(singles, expected)
+        served.batcher.close()
+
+
+class TestEndToEndHTTP:
+    def test_http_npz_prediction_bitwise_identical(self, checkpoint):
+        trainer, path, clips = checkpoint
+        # a sequential client yields batches of one; compare at batch size 1
+        expected = trainer.predict(clips, batch_size=1)
+        served = serve_model(path, max_wait_ms=2.0)
+        server = PredictServer(served, ServeConfig(port=0)).start()
+        try:
+            host, port = server.address
+            connection = HTTPConnection(host, port, timeout=60)
+            for clip, want in zip(clips, expected):
+                buffer = io.BytesIO()
+                np.savez(buffer, acid=clip)
+                connection.request("POST", "/v1/predict", body=buffer.getvalue(),
+                                   headers={"Content-Type": "application/octet-stream"})
+                response = connection.getresponse()
+                assert response.status == 200
+                with np.load(io.BytesIO(response.read())) as archive:
+                    got = archive["prediction"]
+                # npz transport is lossless: bitwise equality end to end
+                assert np.array_equal(got, want)
+            connection.close()
+        finally:
+            server.shutdown()

@@ -76,3 +76,51 @@ class TestEvaluate:
         assert code == 0
         output = capsys.readouterr().out
         assert "NRMSE(I)" in output and "CD error" in output
+
+
+class TestFriendlyErrors:
+    """Missing/broken weights must produce a short message, not a traceback."""
+
+    def test_predict_missing_weights(self, workspace, capsys):
+        base, cache, _ = workspace
+        code = run_cli(["predict", *COMMON, "--cache", cache,
+                        "--weights", str(base / "nope.npz"),
+                        "--out", str(base / "p.npz")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "nope.npz" in err
+        assert "Traceback" not in err
+        assert "train" in err  # points at the command that produces weights
+
+    def test_evaluate_missing_weights(self, workspace, capsys):
+        base, cache, _ = workspace
+        code = run_cli(["evaluate", *COMMON, "--cache", cache,
+                        "--weights", str(base / "missing" / "w.npz")])
+        assert code == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_corrupt_weights_file(self, workspace, capsys):
+        base, cache, _ = workspace
+        bad = base / "corrupt.npz"
+        bad.write_bytes(b"definitely not a zip archive")
+        code = run_cli(["evaluate", *COMMON, "--cache", cache,
+                        "--weights", str(bad)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "Traceback" not in err
+
+    def test_serve_missing_checkpoint(self, capsys):
+        code = run_cli(["serve", "--ckpt", "/nonexistent/model.npz"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "Traceback" not in err
+
+
+class TestTrainManifest:
+    def test_train_writes_manifest_sidecar(self, workspace):
+        _, _, weights = workspace
+        manifest_file = Path(weights).with_suffix("").with_name("model.manifest.json")
+        assert manifest_file.exists()
+        manifest = json.loads(manifest_file.read_text())
+        assert manifest["model_class"] == "DeepCNN"
+        assert manifest["content_hash"].startswith("sha256:")
