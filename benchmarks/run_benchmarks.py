@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Perf regression harness: time the hot paths, record ``BENCH_perf.json``.
 
-Five sections, each a dict of timings/counters:
+Seven sections, each a dict of timings/counters:
 
 * ``scan``     — forward and forward+backward wall time of the two scan
   kernels at a training-typical (B, L, C, N);
@@ -17,7 +17,10 @@ Five sections, each a dict of timings/counters:
   cost of a disabled (no-op) span;
 * ``serving``  — p50/p95/p99 request latency, throughput and overload
   rejection of the ``repro.serve`` HTTP service under 8 concurrent
-  clients (delegates to ``run_serve_bench.bench_serving``).
+  clients (delegates to ``run_serve_bench.bench_serving``);
+* ``obs_overhead`` — served-request p50/p95 with request tracing and
+  physics health monitors enabled vs the bare serving path (delegates
+  to ``run_serve_bench.bench_obs_overhead``; both p95s are gated).
 
 ``--smoke`` shrinks every section to CI-runner size (seconds, not
 minutes).  ``--check`` compares the fresh timings against
@@ -283,12 +286,13 @@ def main(argv=None) -> int:
                         help="output JSON path (default: repo-root BENCH_perf.json)")
     args = parser.parse_args(argv)
 
-    from run_serve_bench import bench_serving
+    from run_serve_bench import bench_obs_overhead, bench_serving
 
     sections = {}
     for name, fn in (("scan", bench_scan), ("solver", bench_solver),
                      ("backward", bench_backward), ("epoch", bench_epoch),
-                     ("stages", bench_stages), ("serving", bench_serving)):
+                     ("stages", bench_stages), ("serving", bench_serving),
+                     ("obs_overhead", bench_obs_overhead)):
         print(f"[{name}] ...", flush=True)
         sections[name] = fn(args.smoke)
         for key, value in sections[name].items():

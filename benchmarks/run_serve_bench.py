@@ -46,7 +46,10 @@ import numpy as np
 from repro import nn
 from repro.config import GridConfig
 from repro.experiments import build_method
-from repro.obs import metrics_snapshot, reset_metrics
+from repro.obs import (
+    HealthConfig, disable_tracing, enable_tracing, metrics_snapshot,
+    reset_metrics,
+)
 from repro.serve import (
     BatchPolicy, PredictServer, ServeConfig, ServedModel, load_checkpoint,
     save_checkpoint,
@@ -57,7 +60,8 @@ BENCH_GRID = GridConfig(size_um=1.0, nx=16, ny=16, nz=2)
 BENCH_METHOD = "DeepCNN"
 
 
-def _bench_server(tmp_dir: Path, policy: BatchPolicy) -> PredictServer:
+def _bench_server(tmp_dir: Path, policy: BatchPolicy,
+                  health: HealthConfig | None = None) -> PredictServer:
     """A server over a freshly published tiny checkpoint (untrained weights —
     serving latency does not depend on what the parameters converged to)."""
     tmp_dir.mkdir(parents=True, exist_ok=True)
@@ -67,7 +71,7 @@ def _bench_server(tmp_dir: Path, policy: BatchPolicy) -> PredictServer:
     save_checkpoint(model, tmp_dir / "bench.npz", method=BENCH_METHOD,
                     grid=BENCH_GRID, name="bench")
     loaded, manifest = load_checkpoint(tmp_dir / "bench.npz")
-    served = ServedModel(loaded, manifest, policy)
+    served = ServedModel(loaded, manifest, policy, health=health)
     return PredictServer(served, ServeConfig(port=0, policy=policy)).start()
 
 
@@ -205,16 +209,80 @@ def bench_serving(smoke: bool) -> dict:
     }
 
 
-def merge_into_bench_json(section: dict, out_path: Path) -> dict:
-    """Insert/replace the ``serving`` section, preserving other sections."""
+def _obs_session(tmp_dir: Path, policy: BatchPolicy,
+                 health: HealthConfig | None, trace_path: Path | None,
+                 num_clients: int, requests_per_client: int) -> dict:
+    """One warmed measurement session with the given observability setup."""
+    if trace_path is not None:
+        enable_tracing(trace_path)
+    try:
+        server = _bench_server(tmp_dir, policy, health=health)
+        try:
+            _drive(server, 2, 2, repeat_fraction=0.0, seed=1)   # warm-up
+            return _drive(server, num_clients, requests_per_client,
+                          repeat_fraction=0.0, seed=11)
+        finally:
+            server.shutdown()
+    finally:
+        if trace_path is not None:
+            disable_tracing()
+
+
+def bench_obs_overhead(smoke: bool) -> dict:
+    """The ``obs_overhead`` section: served-request latency with tracing +
+    physics health monitors enabled vs the bare serving path.
+
+    The cache is disabled so the monitor sees every request, and shadow
+    audits stay off (they run off-thread by design; this measures the
+    hot-path cost of span recording plus inline invariant checks).
+    """
+    import tempfile
+
+    num_clients = 4
+    requests_per_client = 6 if smoke else 25
+    policy = BatchPolicy(max_batch_size=8, max_wait_ms=4.0, max_queue=64,
+                         cache_entries=0)
+    reset_metrics()
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = _obs_session(Path(tmp) / "off", policy, None, None,
+                                num_clients, requests_per_client)
+        trace_path = Path(tmp) / "trace.jsonl"
+        monitored = _obs_session(Path(tmp) / "on", policy, HealthConfig(),
+                                 trace_path, num_clients, requests_per_client)
+        trace_events = sum(1 for line in trace_path.read_text().splitlines()
+                           if line.strip())
+    reset_metrics()
+    p95_off = _percentile(baseline["latencies_s"], 95)
+    p95_on = _percentile(monitored["latencies_s"], 95)
+    return {
+        "clients": num_clients,
+        "requests_per_client": requests_per_client,
+        "grid": list(BENCH_GRID.shape),
+        "completed_baseline": len(baseline["latencies_s"]),
+        "completed_monitored": len(monitored["latencies_s"]),
+        "baseline_p50_s": _percentile(baseline["latencies_s"], 50),
+        "monitored_p50_s": _percentile(monitored["latencies_s"], 50),
+        "baseline_p95_s": p95_off,
+        "monitored_p95_s": p95_on,
+        "overhead_p95_pct": (100.0 * (p95_on - p95_off) / p95_off
+                             if p95_off > 0 else 0.0),
+        "trace_events": trace_events,
+    }
+
+
+def merge_into_bench_json(section: dict, out_path: Path,
+                          name: str = "serving") -> dict:
+    """Insert/replace one section, preserving the others."""
     if out_path.exists():
         payload = json.loads(out_path.read_text())
     else:
         payload = {"meta": {}, "sections": {}, "timings": {}}
-    payload.setdefault("sections", {})["serving"] = section
+    payload.setdefault("sections", {})[name] = section
     timings = payload.setdefault("timings", {})
-    for key in ("latency_p50_s", "latency_p95_s", "latency_p99_s"):
-        timings[f"serving.{key}"] = section[key]
+    keys = {"serving": ("latency_p50_s", "latency_p95_s", "latency_p99_s"),
+            "obs_overhead": ("baseline_p95_s", "monitored_p95_s")}[name]
+    for key in keys:
+        timings[f"{name}.{key}"] = section[key]
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
 
@@ -238,14 +306,23 @@ def main(argv=None) -> int:
     payload = merge_into_bench_json(section, Path(args.out))
     print(f"wrote serving section to {args.out}")
 
+    if args.clients is None:
+        overhead = bench_obs_overhead(args.smoke)
+        for key, value in overhead.items():
+            print(f"    {key}: {value}")
+        payload = merge_into_bench_json(overhead, Path(args.out),
+                                        name="obs_overhead")
+        print(f"wrote obs_overhead section to {args.out}")
+
     if args.check:
         from run_benchmarks import check_regressions
 
         print("checking serving timings against reference:")
         failures = check_regressions(payload["timings"], REFERENCE_PATH)
-        serving_failures = [f for f in failures if f.startswith("serving.")]
-        if serving_failures:
-            print(f"SERVING PERF REGRESSION: {', '.join(serving_failures)}")
+        gated = [f for f in failures
+                 if f.startswith(("serving.", "obs_overhead."))]
+        if gated:
+            print(f"SERVING PERF REGRESSION: {', '.join(gated)}")
             return 1
         print("no serving regressions")
     return 0

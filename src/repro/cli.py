@@ -198,13 +198,27 @@ def cmd_serve(args) -> int:
     import signal
     import threading
 
+    from repro.obs import HealthConfig
     from repro.serve import (
-        BatchPolicy, ModelRegistry, PredictServer, RegistryError, ServeConfig,
-        ServedModel, import_legacy_sidecar, load_checkpoint, manifest_path_for,
+        DEFAULT_LATENCY_BUCKETS, BatchPolicy, ModelRegistry, PredictServer,
+        RegistryError, ServeConfig, ServedModel, import_legacy_sidecar,
+        load_checkpoint, manifest_path_for,
     )
 
     policy = BatchPolicy(max_batch_size=args.max_batch, max_wait_ms=args.max_wait_ms,
                          max_queue=args.queue_size, cache_entries=args.cache_size)
+    health = None
+    if not args.no_health_checks or args.shadow_audit > 0:
+        health = HealthConfig(check_invariants=not args.no_health_checks,
+                              shadow_every=args.shadow_audit)
+    if args.latency_buckets:
+        try:
+            buckets = tuple(sorted(float(b) for b in args.latency_buckets.split(",")))
+        except ValueError as error:
+            raise CLIError(f"--latency-buckets must be comma-separated numbers: "
+                           f"{error}") from error
+    else:
+        buckets = DEFAULT_LATENCY_BUCKETS
     try:
         if args.registry:
             registry = ModelRegistry(args.registry)
@@ -224,8 +238,10 @@ def cmd_serve(args) -> int:
             loaded = [load_checkpoint(weights)]
     except RegistryError as error:
         raise CLIError(str(error)) from error
-    served = [ServedModel(model, manifest, policy) for model, manifest in loaded]
-    config = ServeConfig(host=args.host, port=args.port, policy=policy)
+    served = [ServedModel(model, manifest, policy, health=health)
+              for model, manifest in loaded]
+    config = ServeConfig(host=args.host, port=args.port, policy=policy,
+                         latency_buckets=buckets)
     server = PredictServer(served, config, verbose=args.verbose)
     host, port = server.address
     for entry in served:
@@ -252,13 +268,36 @@ def cmd_serve(args) -> int:
 
 
 def cmd_report(args) -> int:
+    from repro.obs.export import (
+        build_span_forest, format_critical_path, format_requests,
+        request_summaries, write_chrome_trace,
+    )
     from repro.obs.report import format_report, load_events, summarize_spans
 
     path = Path(args.trace_file)
     if not path.exists():
-        print(f"no trace file at {path}")
+        print(f"no trace file at {path} — record one with --trace PATH or "
+              f"REPRO_TRACE=PATH")
         return 1
-    events = load_events(path)
+    try:
+        events = load_events(path)
+    except OSError as error:
+        raise CLIError(f"cannot read trace file {path}: {error}") from error
+    if not events:
+        print(f"{path} contains no trace events (empty or fully corrupt file)")
+        return 0
+    if args.export_chrome:
+        written = write_chrome_trace(events, args.export_chrome)
+        print(f"wrote {written} Chrome trace event(s) to {args.export_chrome} "
+              f"(open in Perfetto or chrome://tracing)")
+    if args.requests:
+        print(format_requests(request_summaries(events), limit=args.limit))
+        return 0
+    if args.critical_path:
+        print(format_critical_path(build_span_forest(events)))
+        return 0
+    if args.export_chrome:
+        return 0
     summaries = summarize_spans(events)
     print(format_report(summaries, limit=args.limit,
                         title=f"{path} — {len(events)} event(s)"))
@@ -347,12 +386,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clip-um", type=float, default=1.0, help="clip size in um (legacy ckpt)")
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="record serving spans to this JSONL file")
+    p.add_argument("--no-health-checks", action="store_true",
+                   help="disable per-prediction physics invariant checks")
+    p.add_argument("--shadow-audit", type=int, default=0, metavar="N",
+                   help="re-run the rigorous solver on 1-in-N served "
+                        "predictions and record surrogate error histograms "
+                        "(0 disables)")
+    p.add_argument("--latency-buckets", default=None, metavar="S,S,...",
+                   help="comma-separated request-latency histogram bucket "
+                        "bounds in seconds (default: 1ms..10s log-ish ladder)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("report", help="summarize a trace JSONL into a per-span table")
     p.add_argument("trace_file", help="trace file written via --trace / REPRO_TRACE")
     p.add_argument("--limit", type=int, default=None,
                    help="show only the top N span names by total time")
+    p.add_argument("--export-chrome", metavar="PATH", default=None,
+                   help="also write the trace in Chrome trace-event JSON "
+                        "(loadable in Perfetto / chrome://tracing)")
+    p.add_argument("--critical-path", action="store_true",
+                   help="show the largest root span's critical path with "
+                        "per-span self time instead of the summary table")
+    p.add_argument("--requests", action="store_true",
+                   help="per-request latency breakdown (one line per "
+                        "X-Request-Id seen in the trace)")
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("lint", help="static analysis (REP rules) and gradcheck sweep")

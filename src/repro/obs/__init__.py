@@ -1,25 +1,33 @@
-"""Observability layer: metrics, span tracing, and profiling hooks.
+"""Observability layer: metrics, tracing, health monitors, analytics.
 
 ``repro.obs`` is strictly *observation-only* infrastructure.  Nothing in
-this package touches a numpy array that belongs to the simulation or the
-training loop; enabling or disabling it cannot change a single bit of
-any numerical output (the determinism matrix in ``tests/runtime/``
-asserts exactly that).  It is disabled by default and its disabled fast
-path is a single boolean check, so instrumented hot loops pay
-effectively nothing when nobody is watching.
+this package touches a numpy array that belongs to the simulation, the
+training loop or a served response; enabling or disabling it cannot
+change a single bit of any numerical output (the determinism matrices
+in ``tests/runtime/`` and ``tests/serve/`` assert exactly that).  It is
+disabled by default and its disabled fast path is a single boolean
+check, so instrumented hot loops pay effectively nothing when nobody is
+watching.
 
-Three sub-modules:
+Sub-modules:
 
 * :mod:`repro.obs.metrics` — process-local counters, timers and
   histograms in a named registry (``counter("pool.tasks").inc()``);
 * :mod:`repro.obs.trace` — nested span tracing with a JSONL event sink,
   switched on by ``REPRO_TRACE=path`` or the CLI ``--trace`` flag;
+* :mod:`repro.obs.context` — ``contextvars``-based request/trace
+  identity that survives thread hand-offs and ``fork``;
+* :mod:`repro.obs.health` — physics health monitors for served
+  predictions (Eq. 1–4 invariants plus sampled rigorous shadow audits);
+* :mod:`repro.obs.export` — trace analytics: Chrome/Perfetto export,
+  span-tree reconstruction, critical path, per-request breakdowns;
 * :mod:`repro.obs.profile` — wall-time/tracemalloc profiling contexts
   and propagator-cache hit-rate collection.
 
 ``python -m repro.cli report <trace.jsonl>`` summarizes a recorded
-trace into a per-span table; see ``docs/observability.md`` for the
-event schema and the span/metric catalog.
+trace (``--export-chrome``, ``--critical-path``, ``--requests`` for the
+analytics); see ``docs/observability.md`` for the event schema and the
+span/metric catalog.
 """
 
 from .metrics import (
@@ -29,6 +37,15 @@ from .metrics import (
 from .trace import (
     span, trace_event, set_span_attrs, trace_enabled, enable_tracing,
     disable_tracing, current_trace_path, configure_from_env,
+    capture_context, current_span_uid,
+)
+from .context import (
+    TraceContext, current_context, use_context, new_request_id,
+    new_request_context, sanitize_request_id,
+)
+from .health import (
+    HealthConfig, HealthMonitor, ShadowAuditor, check_prediction,
+    threshold_cd_nm,
 )
 from .profile import profiled, propagator_cache_stats
 
@@ -37,6 +54,10 @@ __all__ = [
     "counter", "timer", "histogram", "metrics_snapshot", "reset_metrics",
     "span", "trace_event", "set_span_attrs", "trace_enabled",
     "enable_tracing", "disable_tracing", "current_trace_path",
-    "configure_from_env",
+    "configure_from_env", "capture_context", "current_span_uid",
+    "TraceContext", "current_context", "use_context", "new_request_id",
+    "new_request_context", "sanitize_request_id",
+    "HealthConfig", "HealthMonitor", "ShadowAuditor", "check_prediction",
+    "threshold_cd_nm",
     "profiled", "propagator_cache_stats",
 ]

@@ -1,0 +1,111 @@
+"""Request-scoped trace context: the identity a request keeps across hops.
+
+A served prediction crosses at least two threads (the HTTP handler and
+the MicroBatcher worker) and — for rigorous work — ``fork``ed pool
+processes.  Span ``parent`` pointers alone cannot connect those pieces,
+because each thread keeps its own span stack.  The
+:class:`TraceContext` is the piece that travels: an immutable
+``(trace_id, request_id, parent_uid)`` triple stored in a
+:mod:`contextvars` ``ContextVar``, captured explicitly where a request
+leaves one execution lane (:func:`repro.obs.trace.capture_context` on
+enqueue) and re-activated where it lands (:func:`use_context` in the
+worker).
+
+``contextvars`` gives exactly the right inheritance semantics for free:
+each thread starts from an empty context (no accidental bleed between
+concurrent HTTP handlers), while ``fork``ed children inherit the forking
+thread's values (pool workers keep the dispatching request's identity
+without any plumbing).
+
+Everything here is observation-only metadata — activating or clearing a
+context cannot affect any numerical output.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import re
+import uuid
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "TraceContext", "current_context", "use_context", "new_request_id",
+    "new_request_context", "sanitize_request_id",
+]
+
+#: request ids accepted from the outside world (X-Request-Id header)
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._:-]{1,64}$")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Immutable identity of one traced request.
+
+    ``trace_id`` keys every span the request produces (across threads
+    and pids); ``request_id`` is the externally visible name (the
+    ``X-Request-Id`` response header); ``parent_uid`` is the span uid
+    the next span opened under this context should attach to when the
+    local span stack is empty — i.e. the cross-thread/process link.
+    """
+
+    trace_id: str
+    request_id: str
+    parent_uid: str | None = None
+
+    def rebased(self, parent_uid: str | None) -> "TraceContext":
+        """The same identity attached under a different parent span."""
+        return replace(self, parent_uid=parent_uid)
+
+
+_CONTEXT: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "repro_trace_context", default=None)
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex-char request id (random, never numerics-relevant)."""
+    return uuid.uuid4().hex[:16]
+
+
+def sanitize_request_id(candidate: str | None) -> str | None:
+    """A client-supplied request id, or None when unusable.
+
+    Accepting arbitrary header bytes into log lines and JSONL traces
+    invites injection; anything outside a conservative charset/length is
+    discarded (the caller then generates a fresh id).
+    """
+    if candidate and _REQUEST_ID_RE.match(candidate):
+        return candidate
+    return None
+
+
+def new_request_context(request_id: str | None = None) -> TraceContext:
+    """A root context for one incoming request.
+
+    ``trace_id`` equals ``request_id`` so the span tree is keyed by the
+    exact value returned to the client in ``X-Request-Id``.
+    """
+    rid = sanitize_request_id(request_id) or new_request_id()
+    return TraceContext(trace_id=rid, request_id=rid, parent_uid=None)
+
+
+def current_context() -> TraceContext | None:
+    """The active request context in this thread, or None."""
+    return _CONTEXT.get()
+
+
+@contextlib.contextmanager
+def use_context(ctx: TraceContext | None):
+    """Activate ``ctx`` for the duration of the block (None = no-op).
+
+    Accepting None keeps call sites branch-free: a worker restoring a
+    context that was captured outside any request simply runs bare.
+    """
+    if ctx is None:
+        yield None
+        return
+    token = _CONTEXT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CONTEXT.reset(token)

@@ -1,0 +1,267 @@
+"""Trace analytics: Chrome export, span trees, critical path, requests.
+
+The JSONL sink (:mod:`repro.obs.trace`) is cheap to write but raw to
+read.  This module is the analysis side:
+
+* :func:`to_chrome_trace` — convert events to the Chrome trace-event
+  JSON format (``{"traceEvents": [...]}``, ``ph: "X"`` complete events
+  in microseconds), loadable in Perfetto / ``chrome://tracing``;
+* :func:`build_span_forest` — reconstruct the span tree from ``id`` /
+  ``parent`` uids, tolerant of multi-pid traces, orphaned parents
+  (a parent span that never closed because its process was killed) and
+  legacy integer span ids from older trace files;
+* :func:`critical_path` — the chain of largest-duration children from a
+  root, with per-hop self time: where a slow request actually spent it;
+* :func:`self_times` — per-span-name exclusive time (duration minus
+  child durations), the honest version of an inclusive-total table;
+* :func:`request_summaries` — per-``trace`` (i.e. per request id)
+  latency breakdown for served traffic.
+
+All functions are pure over already-loaded event dicts; pair them with
+:func:`repro.obs.report.load_events`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SpanNode", "to_chrome_trace", "write_chrome_trace", "build_span_forest",
+    "critical_path", "format_critical_path", "self_times",
+    "request_summaries", "format_requests",
+]
+
+
+def _uid(event: dict, key: str) -> str | None:
+    """Normalized span uid: new traces carry ``"<pid>-<seq>"`` strings,
+    pre-v2 traces bare ints unique only within one pid."""
+    value = event.get(key)
+    if value is None:
+        return None
+    if isinstance(value, int):
+        return f"{event.get('pid', 0)}-{value}"
+    return str(value)
+
+
+@dataclass
+class SpanNode:
+    """One span plus its resolved children (sorted by start time)."""
+
+    event: dict
+    children: list["SpanNode"] = field(default_factory=list)
+    #: True when the recorded parent id never appeared in the trace
+    orphaned: bool = False
+
+    @property
+    def uid(self) -> str:
+        return _uid(self.event, "id") or ""
+
+    @property
+    def name(self) -> str:
+        return str(self.event.get("name", "<unnamed>"))
+
+    @property
+    def dur_s(self) -> float:
+        return float(self.event.get("dur_s", 0.0))
+
+    @property
+    def child_dur_s(self) -> float:
+        return sum(child.dur_s for child in self.children)
+
+    @property
+    def self_s(self) -> float:
+        """Exclusive time; clamped at zero because concurrent children
+        (pool workers under one dispatch) can sum past the parent."""
+        return max(0.0, self.dur_s - self.child_dur_s)
+
+
+def to_chrome_trace(events: list[dict]) -> dict:
+    """Events as a Chrome trace-event JSON object.
+
+    Spans become ``ph: "X"`` complete events and point events become
+    ``ph: "i"`` instants, both stamped with the original pid/tid so
+    Perfetto lays the HTTP threads, the batcher worker and forked pool
+    workers out as separate tracks.  ``ts`` is wall-clock microseconds
+    (span ``t_wall_s`` is captured at open), comparable across
+    processes on one machine.
+    """
+    out: list[dict] = []
+    for event in events:
+        kind = event.get("type")
+        if kind not in ("span", "event"):
+            continue
+        ts_us = float(event.get("t_wall_s", 0.0)) * 1e6
+        name = str(event.get("name", "<unnamed>"))
+        args = dict(event.get("attrs") or {})
+        for key in ("id", "parent", "trace"):
+            if event.get(key) is not None:
+                args[key] = event[key]
+        record = {
+            "name": name,
+            "cat": name.split(".", 1)[0],
+            "pid": int(event.get("pid", 0)),
+            "tid": int(event.get("tid", event.get("pid", 0))),
+            "ts": ts_us,
+            "args": args,
+        }
+        if kind == "span":
+            record["ph"] = "X"
+            record["dur"] = float(event.get("dur_s", 0.0)) * 1e6
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"  # thread-scoped instant
+        out.append(record)
+    out.sort(key=lambda r: r["ts"])
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: list[dict], path) -> int:
+    """Serialize :func:`to_chrome_trace` to ``path``; returns event count."""
+    payload = to_chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, separators=(",", ":"))
+        handle.write("\n")
+    return len(payload["traceEvents"])
+
+
+def build_span_forest(events: list[dict]) -> list[SpanNode]:
+    """Roots of the reconstructed span forest, across all pids.
+
+    A span whose ``parent`` uid is absent from the trace (killed
+    process, rotated file) is kept as an *orphan root* with
+    ``orphaned=True`` rather than dropped — partial traces still
+    render.  Children are ordered by wall-clock start.
+    """
+    nodes: dict[str, SpanNode] = {}
+    spans: list[SpanNode] = []
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        node = SpanNode(event=event)
+        spans.append(node)
+        uid = node.uid
+        if uid:
+            nodes[uid] = node
+    roots: list[SpanNode] = []
+    for node in spans:
+        parent_uid = _uid(node.event, "parent")
+        if parent_uid is None:
+            roots.append(node)
+        elif parent_uid in nodes and nodes[parent_uid] is not node:
+            nodes[parent_uid].children.append(node)
+        else:
+            node.orphaned = True
+            roots.append(node)
+
+    def start(node: SpanNode) -> float:
+        return float(node.event.get("t_wall_s", 0.0))
+
+    for node in spans:
+        node.children.sort(key=start)
+    roots.sort(key=start)
+    return roots
+
+
+def critical_path(root: SpanNode) -> list[SpanNode]:
+    """Longest-child chain from ``root``: the spans that bound latency.
+
+    At each level the child with the largest duration is followed; the
+    remainder of the parent's time is its self time (visible on each
+    returned node via ``self_s``).
+    """
+    path = [root]
+    node = root
+    while node.children:
+        node = max(node.children, key=lambda child: child.dur_s)
+        path.append(node)
+    return path
+
+
+def format_critical_path(roots: list[SpanNode]) -> str:
+    """Text rendering of the critical path of the largest root span."""
+    if not roots:
+        return "(no span events)"
+    root = max(roots, key=lambda node: node.dur_s)
+    lines = [f"critical path from {root.name!r} "
+             f"({root.dur_s * 1e3:.2f} ms total):"]
+    for depth, node in enumerate(critical_path(root)):
+        trace = node.event.get("trace")
+        suffix = f"  trace={trace}" if trace and depth == 0 else ""
+        lines.append(
+            f"  {'  ' * depth}{node.name:<24} total {node.dur_s * 1e3:>9.3f} ms  "
+            f"self {node.self_s * 1e3:>9.3f} ms  pid {node.event.get('pid')}"
+            f"{suffix}")
+    return "\n".join(lines)
+
+
+def self_times(events: list[dict]) -> dict[str, float]:
+    """Per-span-name exclusive seconds across the whole trace."""
+    totals: dict[str, float] = {}
+    stack = list(build_span_forest(events))
+    while stack:
+        node = stack.pop()
+        totals[node.name] = totals.get(node.name, 0.0) + node.self_s
+        stack.extend(node.children)
+    return totals
+
+
+def request_summaries(events: list[dict]) -> list[dict]:
+    """Per-request latency breakdown for served traffic.
+
+    Groups spans by their ``trace`` id and reports, per request: the
+    root span (normally ``serve.request``) duration, time spent in the
+    coalesced batch (``serve.batch``), the model forward
+    (``serve.forward``) and health checks, plus how many spans/pids the
+    request touched.  Requests are ordered by start time.
+    """
+    by_trace: dict[str, list[dict]] = {}
+    for event in events:
+        trace = event.get("trace")
+        if trace is None or event.get("type") != "span":
+            continue
+        by_trace.setdefault(str(trace), []).append(event)
+    summaries = []
+    for trace, spans in by_trace.items():
+        spans.sort(key=lambda e: float(e.get("t_wall_s", 0.0)))
+        durations: dict[str, float] = {}
+        for event in spans:
+            name = str(event.get("name", ""))
+            durations[name] = durations.get(name, 0.0) + float(event.get("dur_s", 0.0))
+        roots = [e for e in spans
+                 if _uid(e, "parent") is None
+                 or not any(_uid(o, "id") == _uid(e, "parent") for o in spans)]
+        root = roots[0] if roots else spans[0]
+        summaries.append({
+            "trace": trace,
+            "request_id": (root.get("attrs") or {}).get("request_id", trace),
+            "root": str(root.get("name", "")),
+            "t_wall_s": float(root.get("t_wall_s", 0.0)),
+            "total_s": float(root.get("dur_s", 0.0)),
+            "batch_s": durations.get("serve.batch", 0.0),
+            "forward_s": durations.get("serve.forward", 0.0),
+            "health_s": durations.get("serve.health", 0.0),
+            "spans": len(spans),
+            "pids": len({e.get("pid") for e in spans}),
+        })
+    summaries.sort(key=lambda s: s["t_wall_s"])
+    return summaries
+
+
+def format_requests(summaries: list[dict], limit: int | None = None) -> str:
+    """Text table over :func:`request_summaries` output."""
+    header = (f"{'request':<18} {'root':<16} {'total_ms':>9} {'batch_ms':>9} "
+              f"{'fwd_ms':>8} {'health_ms':>9} {'spans':>6} {'pids':>5}")
+    lines = [header, "-" * len(header)]
+    if not summaries:
+        lines.append("(no request-scoped spans — was the server traced?)")
+        return "\n".join(lines)
+    shown = summaries if limit is None else summaries[:limit]
+    for s in shown:
+        lines.append(
+            f"{s['request_id']:<18} {s['root']:<16} {s['total_s'] * 1e3:>9.3f} "
+            f"{s['batch_s'] * 1e3:>9.3f} {s['forward_s'] * 1e3:>8.3f} "
+            f"{s['health_s'] * 1e3:>9.3f} {s['spans']:>6d} {s['pids']:>5d}")
+    if limit is not None and len(summaries) > limit:
+        lines.append(f"... {len(summaries) - limit} more request(s)")
+    return "\n".join(lines)

@@ -1,0 +1,361 @@
+"""Physics health monitors for served predictions.
+
+The serving stack answers with a *surrogate's* idea of the inhibitor
+field; nothing in the HTTP path knows whether that answer is still
+physical.  This module watches two layers of sanity, both strictly
+observation-only (inputs and outputs are only ever read — bitwise
+identity of served predictions with monitoring on vs off is pinned by
+``tests/serve/test_determinism.py``):
+
+* **Invariant checks** (:func:`check_prediction`, cheap, run inline in
+  the batcher worker): every value finite; the implied inhibitor
+  concentration inside ``[0, 1]`` (Eq. 1 keeps ``[I] = I0·exp(-k∫A)``
+  in that interval for any non-negative acid); and deprotection
+  monotone — binned by input-acid level, mean predicted inhibitor must
+  be non-increasing as acid grows, because more acid can only deprotect
+  more.  Violations increment ``health.violations.*`` counters, feed
+  magnitude histograms and emit ``health.violation`` trace events; they
+  never block or mutate the response.
+
+* **Shadow audits** (:class:`ShadowAuditor`, sampled, off-thread): every
+  Nth served request is re-solved with the rigorous
+  ``RigorousPEBSolver`` on a background daemon thread and the
+  surrogate-vs-rigorous inhibitor RMSE and center-row CD error land in
+  ``health.shadow.*`` histograms — the online analog of the offline
+  Table II evaluation, surfacing input-distribution drift the
+  invariants cannot see.
+
+Wire-up: :meth:`HealthMonitor.observe_batch` from the model's batched
+forward; everything it produces is visible through ``/metrics`` and the
+trace sink.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import GridConfig, PEBConfig
+
+from .context import TraceContext, use_context
+from .metrics import counter, histogram, timer
+from .trace import span, trace_event
+
+__all__ = [
+    "HealthConfig", "HealthMonitor", "ShadowAuditor", "check_prediction",
+    "threshold_cd_nm",
+]
+
+#: bucket bounds for error-magnitude histograms (dimensionless fractions)
+_ERROR_BOUNDS = (1e-6, 1e-5, 1e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0)
+#: bucket bounds for CD-error histograms (nm)
+_CD_BOUNDS = (0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Knobs for the invariant checks and the sampled shadow audit."""
+
+    #: run the cheap per-prediction invariant checks
+    check_invariants: bool = True
+    #: tolerance on the [0, 1] range check (numerical slack, not physics)
+    range_tolerance: float = 1e-9
+    #: acid-level bins for the monotonicity check (0 disables it)
+    monotonicity_bins: int = 8
+    #: slack allowed on binned-mean increases (surrogate noise floor)
+    monotonicity_tolerance: float = 0.02
+    #: audit every Nth served request against the rigorous solver
+    #: (0 disables shadow auditing entirely)
+    shadow_every: int = 0
+    #: pending shadow audits beyond this are dropped, never queued —
+    #: the audit thread must not become a hidden backlog
+    shadow_backlog: int = 4
+    #: rigorous-solver step for audits; coarser than Table I's baseline
+    #: because audits are drift detectors, not ground-truth regeneration
+    shadow_time_step_s: float = 1.0
+
+
+def threshold_cd_nm(inhibitor: np.ndarray, grid: GridConfig,
+                    threshold: float = 0.5) -> float:
+    """Critical dimension of the center row of the top slice, in nm.
+
+    Width of the region where the inhibitor falls below ``threshold``
+    (deprotected resist), with linear interpolation at the crossings —
+    a deliberately cheap stand-in for full metrology, good enough to
+    see the surrogate's printed feature drifting from the rigorous one.
+    Returns 0.0 when nothing crosses the threshold.
+    """
+    row = np.asarray(inhibitor, dtype=np.float64)[0, inhibitor.shape[1] // 2, :]
+    below = row < threshold
+    if not below.any():
+        return 0.0
+    dx = grid.dx_nm
+    indices = np.flatnonzero(below)
+    left, right = indices[0], indices[-1]
+    left_edge = float(left)
+    if left > 0:
+        span_v = row[left - 1] - row[left]
+        if span_v > 0:
+            left_edge = left - 1 + (row[left - 1] - threshold) / span_v
+    right_edge = float(right)
+    if right < row.size - 1:
+        span_v = row[right + 1] - row[right]
+        if span_v > 0:
+            right_edge = right + 1 - (row[right + 1] - threshold) / span_v
+    return float((right_edge - left_edge) * dx)
+
+
+def check_prediction(acid: np.ndarray, inhibitor: np.ndarray,
+                     config: HealthConfig) -> dict:
+    """Invariant verdicts for one served prediction (pure, read-only).
+
+    ``inhibitor`` is the prediction already mapped to concentration
+    space.  Returns ``{"finite": bool, "range": bool, "monotone": bool,
+    "range_excess": float, "monotone_excess": float}`` where True means
+    the invariant *holds*.
+    """
+    inhibitor = np.asarray(inhibitor)
+    finite = bool(np.isfinite(inhibitor).all())
+    verdict = {"finite": finite, "range": True, "monotone": True,
+               "range_excess": 0.0, "monotone_excess": 0.0}
+    if not finite:
+        # range/monotonicity are meaningless over NaN/Inf
+        verdict["range"] = verdict["monotone"] = False
+        return verdict
+    low = float(inhibitor.min())
+    high = float(inhibitor.max())
+    excess = max(0.0 - low, high - 1.0, 0.0)
+    if excess > config.range_tolerance:
+        verdict["range"] = False
+        verdict["range_excess"] = excess
+    bins = config.monotonicity_bins
+    if bins > 1:
+        acid_flat = np.asarray(acid, dtype=np.float64).ravel()
+        inh_flat = inhibitor.astype(np.float64, copy=False).ravel()
+        lo, hi = float(acid_flat.min()), float(acid_flat.max())
+        if hi > lo:
+            edges = np.linspace(lo, hi, bins + 1, dtype=np.float64)
+            which = np.clip(np.digitize(acid_flat, edges[1:-1]), 0, bins - 1)
+            sums = np.bincount(which, weights=inh_flat, minlength=bins)
+            counts = np.bincount(which, minlength=bins)
+            present = counts > 0
+            means = sums[present] / counts[present]
+            rises = np.diff(means)
+            worst = float(rises.max()) if rises.size else 0.0
+            if worst > config.monotonicity_tolerance:
+                verdict["monotone"] = False
+                verdict["monotone_excess"] = worst
+    return verdict
+
+
+@dataclass
+class _AuditItem:
+    acid: np.ndarray
+    inhibitor: np.ndarray
+    request_id: str | None
+    ctx: TraceContext | None
+
+
+class ShadowAuditor:
+    """Background re-solver: rigorous PEB on a sample of served inputs.
+
+    Audits are fire-and-forget: :meth:`offer` copies the arrays, drops
+    the item when the backlog is full (``health.shadow.dropped``) and
+    returns immediately — the serving hot path never waits on a
+    rigorous solve.  Results are recorded as histograms only; nothing
+    flows back into responses.
+    """
+
+    def __init__(self, grid: GridConfig, peb: PEBConfig | None = None,
+                 config: HealthConfig | None = None):
+        self.grid = grid
+        self.peb = peb if peb is not None else PEBConfig()
+        self.config = config if config is not None else HealthConfig()
+        self._items: deque[_AuditItem] = deque()
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        #: queued plus in-flight audits; drives :meth:`drain`
+        self._pending = 0
+        self._closed = False
+        self._solver = None
+        self._audits_done = 0
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-shadow-audit")
+        self._thread.start()
+
+    def offer(self, acid: np.ndarray, inhibitor: np.ndarray,
+              request_id: str | None = None,
+              ctx: TraceContext | None = None) -> bool:
+        """Queue one audit; False when dropped (backlog full / closed)."""
+        with self._ready:
+            if self._closed or len(self._items) >= self.config.shadow_backlog:
+                counter("health.shadow.dropped").inc()
+                return False
+            self._items.append(_AuditItem(
+                acid=np.array(acid, dtype=np.float64),
+                inhibitor=np.array(inhibitor, dtype=np.float64),
+                request_id=request_id, ctx=ctx))
+            self._pending += 1
+            self._ready.notify()
+        return True
+
+    def _get_solver(self):
+        if self._solver is None:
+            from repro.litho.peb import RigorousPEBSolver
+
+            self._solver = RigorousPEBSolver(
+                self.grid, self.peb,
+                time_step_s=self.config.shadow_time_step_s)
+        return self._solver
+
+    def _run(self) -> None:
+        while True:
+            with self._ready:
+                while not self._items and not self._closed:
+                    self._ready.wait()
+                if not self._items:
+                    return
+                item = self._items.popleft()
+            try:
+                self._audit(item)
+            except Exception as error:  # noqa: BLE001 - audits must never kill serving
+                counter("health.shadow.errors").inc()
+                trace_event("health.shadow_error", error=type(error).__name__)
+            finally:
+                with self._ready:
+                    self._pending -= 1
+                    self._ready.notify_all()
+
+    def _audit(self, item: _AuditItem) -> None:
+        with use_context(item.ctx):
+            with span("health.shadow_audit", request_id=item.request_id), \
+                    timer("health.shadow.audit").time():
+                rigorous = self._get_solver().solve(item.acid).inhibitor
+                diff = item.inhibitor - rigorous
+                rmse = float(np.sqrt(np.mean(diff * diff)))
+                cd_surrogate = threshold_cd_nm(item.inhibitor, self.grid)
+                cd_rigorous = threshold_cd_nm(rigorous, self.grid)
+                cd_error = abs(cd_surrogate - cd_rigorous)
+                histogram("health.shadow.rmse", bounds=_ERROR_BOUNDS).observe(rmse)
+                histogram("health.shadow.cd_error_nm", bounds=_CD_BOUNDS).observe(cd_error)
+                counter("health.shadow.audits").inc()
+                self._audits_done += 1
+                trace_event("health.shadow", request_id=item.request_id,
+                            rmse=rmse, cd_error_nm=cd_error)
+
+    @property
+    def audits_done(self) -> int:
+        return self._audits_done
+
+    def drain(self, timeout_s: float = 30.0) -> bool:
+        """Wait for queued and in-flight audits to finish; True when drained."""
+        deadline = time.monotonic() + timeout_s
+        with self._ready:
+            while self._pending > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._ready.wait(remaining)
+        return True
+
+    def close(self, timeout_s: float = 30.0) -> None:
+        with self._ready:
+            if self._closed:
+                return
+            self._closed = True
+            self._ready.notify_all()
+        self._thread.join(timeout_s)
+
+
+class HealthMonitor:
+    """Per-model sentinel combining invariant checks and shadow audits.
+
+    One instance per :class:`~repro.serve.ServedModel`; ``observe_batch``
+    runs on the batcher worker thread after each batched forward.  The
+    label→inhibitor mapping is recomputed here on copies — the served
+    response arrays are never touched.
+    """
+
+    def __init__(self, grid: GridConfig, catalysis_rate: float,
+                 config: HealthConfig | None = None,
+                 peb: PEBConfig | None = None, name: str = "default"):
+        self.grid = grid
+        self.catalysis_rate = float(catalysis_rate)
+        self.config = config if config is not None else HealthConfig()
+        self.name = name
+        self._seen = 0
+        self._violations = 0
+        self._count_lock = threading.Lock()
+        self.auditor = (ShadowAuditor(grid, peb=peb, config=self.config)
+                        if self.config.shadow_every > 0 else None)
+
+    def _implied_inhibitor(self, label: np.ndarray) -> np.ndarray:
+        from repro.core.label import label_to_inhibitor
+
+        return label_to_inhibitor(label, self.catalysis_rate)
+
+    def observe_batch(self, acids: np.ndarray, labels: np.ndarray,
+                      request_ids: list[str | None] | None = None,
+                      ctxs: list[TraceContext | None] | None = None) -> None:
+        """Check every (acid, prediction) pair of one batched forward.
+
+        Never raises and never mutates its arguments; serving-visible
+        side effects are limited to metrics, trace events and (sampled)
+        audit enqueues.
+        """
+        try:
+            with span("serve.health", size=len(labels)):
+                for index in range(len(labels)):
+                    rid = request_ids[index] if request_ids else None
+                    ctx = ctxs[index] if ctxs else None
+                    self._observe_one(acids[index], labels[index], rid, ctx)
+        except Exception as error:  # noqa: BLE001 - monitors must never break serving
+            counter("health.monitor_errors").inc()
+            trace_event("health.monitor_error", error=type(error).__name__)
+
+    def _observe_one(self, acid: np.ndarray, label: np.ndarray,
+                     request_id: str | None, ctx: TraceContext | None) -> None:
+        with self._count_lock:
+            self._seen += 1
+            seen = self._seen
+        counter("health.checks").inc()
+        if self.config.check_invariants:
+            inhibitor = self._implied_inhibitor(label)
+            verdict = check_prediction(acid, inhibitor, self.config)
+            failed = [k for k in ("finite", "range", "monotone") if not verdict[k]]
+            for kind in failed:
+                counter(f"health.violations.{kind}").inc()
+            if failed:
+                with self._count_lock:
+                    self._violations += 1
+                histogram("health.range_excess", bounds=_ERROR_BOUNDS).observe(
+                    verdict["range_excess"])
+                trace_event("health.violation", request_id=request_id,
+                            kinds=failed,
+                            range_excess=verdict["range_excess"],
+                            monotone_excess=verdict["monotone_excess"])
+        else:
+            inhibitor = None
+        if self.auditor is not None and (seen - 1) % self.config.shadow_every == 0:
+            if inhibitor is None:
+                inhibitor = self._implied_inhibitor(label)
+            self.auditor.offer(acid, inhibitor, request_id=request_id, ctx=ctx)
+
+    def stats(self) -> dict:
+        """Operational snapshot for ``/healthz``."""
+        with self._count_lock:
+            seen, violations = self._seen, self._violations
+        return {
+            "checked": seen,
+            "violations": violations,
+            "shadow_audits": self.auditor.audits_done if self.auditor else 0,
+            "shadow_every": self.config.shadow_every,
+        }
+
+    def close(self) -> None:
+        if self.auditor is not None:
+            self.auditor.close()

@@ -11,35 +11,62 @@ Enabling: set ``REPRO_TRACE=/path/to/trace.jsonl`` in the environment
 (what the CLI ``--trace`` flag does).  Every finished span appends one
 JSON line::
 
-    {"type": "span", "name": "peb.lateral", "pid": 1234, "id": 7,
-     "parent": 6, "depth": 2, "t_wall_s": 1722970000.123,
-     "dur_s": 0.0042, "attrs": {...}}
+    {"type": "span", "name": "peb.lateral", "pid": 1234, "tid": 98,
+     "id": "1234-7", "parent": "1234-6", "depth": 2, "trace": "ab12...",
+     "t_wall_s": 1722970000.123, "dur_s": 0.0042, "attrs": {...}}
+
+Span ``id``s are ``"<pid>-<seq>"`` strings, globally unique across the
+process tree, so a ``parent`` pointer can cross a ``fork`` boundary and
+the whole request still reconstructs as one connected tree.  The active
+span stack is **per thread** (concurrent HTTP handler threads never
+see each other's spans as parents); crossing a thread or process on
+purpose goes through :func:`capture_context` /
+:func:`repro.obs.context.use_context`, which carries the
+``trace``/``request`` identity and the parent span uid explicitly.
 
 Events are written with ``O_APPEND`` so forked pool workers — which
 inherit the enabled flag and the file descriptor — interleave whole
-lines into the same file instead of corrupting each other; the ``pid``
-field keeps their spans attributable.  Span ``id``/``parent`` pairs are
-only meaningful within one ``pid``.
+lines into the same file instead of corrupting each other.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import threading
 import time
+
+from .context import TraceContext, current_context, new_request_id
 
 __all__ = [
     "span", "trace_event", "set_span_attrs", "trace_enabled",
     "enable_tracing", "disable_tracing", "current_trace_path",
-    "configure_from_env",
+    "configure_from_env", "capture_context", "current_span_uid",
 ]
 
 _ENABLED = False
 _CONFIGURED = False          # whether REPRO_TRACE has been consulted
 _PATH: str | None = None
 _FD: int | None = None
-_NEXT_ID = 1
-_STACK: list["_Span"] = []   # active spans, innermost last (per process)
+#: per-process span sequence; itertools.count.__next__ is atomic under
+#: the GIL, so concurrent handler threads never share a sequence number
+_NEXT_SEQ = itertools.count(1)
+
+
+class _StackLocal(threading.local):
+    """Per-thread active-span stack, innermost last.
+
+    A forked child's main thread is the forking thread, so pool workers
+    inherit the dispatching thread's open spans (e.g. ``pool.dispatch``)
+    exactly as intended, while sibling threads stay isolated.
+    """
+
+    def __init__(self):
+        self.stack: list["_Span"] = []
+
+
+_LOCAL = _StackLocal()
 
 
 class _NoopSpan:
@@ -109,7 +136,7 @@ def disable_tracing() -> None:
         except OSError:
             pass
         _FD = None
-    _STACK.clear()
+    _LOCAL.stack.clear()
 
 
 def trace_enabled() -> bool:
@@ -124,39 +151,76 @@ def current_trace_path() -> str | None:
     return _PATH if _ENABLED else None
 
 
+def current_span_uid() -> str | None:
+    """Uid of this thread's innermost active span, or None."""
+    stack = _LOCAL.stack
+    return stack[-1].uid if stack else None
+
+
+def capture_context() -> TraceContext | None:
+    """Snapshot the active request identity for another thread/process.
+
+    The returned context is rebased onto this thread's innermost open
+    span, so spans opened under it elsewhere (``use_context``) attach
+    to *this* point of the tree.  Outside any request context, an
+    anonymous context is still minted when a span is open — a plain
+    cross-thread hand-off stays connected even without a request id.
+    Returns None when there is nothing to carry.
+    """
+    ctx = current_context()
+    uid = current_span_uid()
+    if ctx is not None:
+        return ctx.rebased(uid if uid is not None else ctx.parent_uid)
+    if uid is not None and _ENABLED:
+        anonymous = new_request_id()
+        return TraceContext(trace_id=anonymous, request_id=anonymous,
+                            parent_uid=uid)
+    return None
+
+
 class _Span:
     """A live span; emits its JSONL record when the scope exits."""
 
-    __slots__ = ("name", "attrs", "id", "parent", "depth", "_start", "_wall")
+    __slots__ = ("name", "attrs", "uid", "parent", "depth", "trace",
+                 "_start", "_wall")
 
     def __init__(self, name: str, attrs: dict):
         self.name = name
         self.attrs = attrs
 
     def __enter__(self) -> "_Span":
-        global _NEXT_ID
-        self.id = _NEXT_ID
-        _NEXT_ID += 1
-        self.parent = _STACK[-1].id if _STACK else None
-        self.depth = len(_STACK)
-        _STACK.append(self)
+        stack = _LOCAL.stack
+        self.uid = f"{os.getpid()}-{next(_NEXT_SEQ)}"
+        ctx = current_context()
+        if stack:
+            self.parent = stack[-1].uid
+        else:
+            self.parent = ctx.parent_uid if ctx is not None else None
+        self.trace = ctx.trace_id if ctx is not None else None
+        self.depth = len(stack)
+        stack.append(self)
         self._wall = time.time()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         duration = time.perf_counter() - self._start
-        if _STACK and _STACK[-1] is self:
-            _STACK.pop()
+        stack = _LOCAL.stack
+        if stack and stack[-1] is self:
+            stack.pop()
         if exc_type is not None:
             self.attrs["error"] = exc_type.__name__
         if _ENABLED:
-            _emit({
+            payload = {
                 "type": "span", "name": self.name, "pid": os.getpid(),
-                "id": self.id, "parent": self.parent, "depth": self.depth,
+                "tid": threading.get_native_id(),
+                "id": self.uid, "parent": self.parent, "depth": self.depth,
                 "t_wall_s": round(self._wall, 6), "dur_s": duration,
                 "attrs": self.attrs,
-            })
+            }
+            if self.trace is not None:
+                payload["trace"] = self.trace
+            _emit(payload)
 
 
 def span(name: str, **attrs) -> "_Span | _NoopSpan":
@@ -176,15 +240,20 @@ def trace_event(name: str, **attrs) -> None:
     if not _ENABLED:
         if _CONFIGURED or not configure_from_env():
             return
-    _emit({
+    ctx = current_context()
+    payload = {
         "type": "event", "name": name, "pid": os.getpid(),
-        "parent": _STACK[-1].id if _STACK else None,
+        "tid": threading.get_native_id(),
+        "parent": current_span_uid() or (ctx.parent_uid if ctx else None),
         "t_wall_s": round(time.time(), 6), "attrs": attrs,
-    })
+    }
+    if ctx is not None:
+        payload["trace"] = ctx.trace_id
+    _emit(payload)
 
 
 def set_span_attrs(**attrs) -> None:
     """Attach attributes to the innermost active span (no-op when disabled
     or outside any span)."""
-    if _ENABLED and _STACK:
-        _STACK[-1].attrs.update(attrs)
+    if _ENABLED and _LOCAL.stack:
+        _LOCAL.stack[-1].attrs.update(attrs)

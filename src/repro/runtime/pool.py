@@ -16,7 +16,7 @@ import multiprocessing
 import os
 from typing import Callable, Iterable, Sequence
 
-from repro.obs import counter, span, trace_enabled
+from repro.obs import capture_context, counter, span, trace_enabled, use_context
 
 __all__ = ["resolve_workers", "fork_available", "parallel_map"]
 
@@ -64,16 +64,21 @@ class _TracedTask:
     Only substituted for the raw ``fn`` when tracing is already enabled
     in the parent (forked children inherit the enabled flag and the
     ``O_APPEND`` sink descriptor), so untraced runs dispatch the exact
-    historical callable.
+    historical callable.  The constructor snapshots the dispatching
+    thread's trace context (request id + the enclosing span's uid), so
+    worker-side spans attach to the dispatch point of the request's
+    span tree — span ids are ``pid``-qualified, making the cross-process
+    ``parent`` pointer unambiguous.
     """
 
-    __slots__ = ("fn",)
+    __slots__ = ("fn", "ctx")
 
     def __init__(self, fn: Callable):
         self.fn = fn
+        self.ctx = capture_context()
 
     def __call__(self, task):
-        with span("pool.worker_task"):
+        with use_context(self.ctx), span("pool.worker_task"):
             return self.fn(task)
 
 
@@ -97,11 +102,13 @@ def parallel_map(fn: Callable, items: Iterable, workers: int | None = None) -> l
         counter("pool.serial_runs").inc()
         with span("pool.dispatch", mode="serial", workers=1, tasks=len(tasks)):
             return [fn(task) for task in tasks]
-    task_fn = _TracedTask(fn) if trace_enabled() else fn
     context = multiprocessing.get_context("fork")
     try:
         with span("pool.dispatch", mode="fork",
                   workers=min(workers, len(tasks)), tasks=len(tasks)):
+            # capture inside the dispatch span so worker-side spans hang
+            # off it (and inherit the request context, if any)
+            task_fn = _TracedTask(fn) if trace_enabled() else fn
             with context.Pool(processes=min(workers, len(tasks)),
                               initializer=_limit_worker_threads) as pool:
                 return pool.map(task_fn, tasks)

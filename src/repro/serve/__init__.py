@@ -29,7 +29,10 @@ from .registry import (
     import_legacy_sidecar, load_checkpoint, manifest_path_for, read_manifest,
     save_checkpoint, verify_checkpoint,
 )
-from .server import PredictServer, ServeConfig, ServedModel, render_prometheus
+from .server import (
+    DEFAULT_LATENCY_BUCKETS, PredictServer, ServeConfig, ServedModel,
+    render_prometheus,
+)
 
 __all__ = [
     "BatchPolicy", "MicroBatcher", "ServeError", "QueueFullError",
@@ -38,4 +41,5 @@ __all__ = [
     "save_checkpoint", "load_checkpoint", "read_manifest", "verify_checkpoint",
     "manifest_path_for", "import_legacy_sidecar",
     "PredictServer", "ServeConfig", "ServedModel", "render_prometheus",
+    "DEFAULT_LATENCY_BUCKETS",
 ]

@@ -27,7 +27,14 @@ Invariants the tests pin down:
 
 Everything is observable through :mod:`repro.obs`: queue-wait timer,
 batch-size histogram, cache hit/miss/rejection counters, and a
-``serve.batch`` span around every model call.
+``serve.batch`` span around every model call.  Request identity crosses
+the thread hop explicitly: :meth:`MicroBatcher.submit` captures the
+caller's :class:`~repro.obs.TraceContext` (HTTP handler thread) on
+enqueue and the worker re-activates the first coalesced request's
+context around the batch, so ``serve.batch`` (and everything under it,
+including the model forward) attaches to that request's span tree; the
+other coalesced request ids ride along in the span's ``request_ids``
+attribute.
 """
 
 from __future__ import annotations
@@ -40,7 +47,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.obs import counter, histogram, span, timer
+from repro.obs import (
+    capture_context, counter, histogram, set_span_attrs, span, timer,
+    use_context,
+)
 
 __all__ = [
     "BatchPolicy", "MicroBatcher", "ServeError", "QueueFullError",
@@ -128,7 +138,8 @@ class _ResponseCache:
 
 
 class _Request:
-    __slots__ = ("input", "key", "enqueued_s", "deadline_s", "event", "result", "error")
+    __slots__ = ("input", "key", "enqueued_s", "deadline_s", "event", "result",
+                 "error", "ctx")
 
     def __init__(self, input_array: np.ndarray, key: str, deadline_s: float):
         self.input = input_array
@@ -138,6 +149,12 @@ class _Request:
         self.event = threading.Event()
         self.result: np.ndarray | None = None
         self.error: Exception | None = None
+        # the submitting thread's trace identity, restored by the worker
+        self.ctx = capture_context()
+
+    @property
+    def request_id(self) -> str | None:
+        return self.ctx.request_id if self.ctx is not None else None
 
     def finish(self, result: np.ndarray | None = None,
                error: Exception | None = None) -> None:
@@ -152,14 +169,23 @@ class MicroBatcher:
     ``predict_fn`` maps a stacked ``(B, ...)`` array to a ``(B, ...)``
     output array; it runs only on the single worker thread, so the
     wrapped model needs no internal locking.
+
+    ``observer``, when given, is called on the worker thread after each
+    successful batch as ``observer(stacked, outputs, request_ids, ctxs)``
+    — the hook the physics health monitor hangs off.  It must be
+    observation-only; any exception it raises is swallowed and counted
+    (``serve.observer_errors``) rather than failing the batch.
     """
 
     def __init__(self, predict_fn, policy: BatchPolicy | None = None,
-                 name: str = "default"):
+                 name: str = "default", observer=None):
         self.policy = policy if policy is not None else BatchPolicy()
         self.policy.validate()
         self.name = name
         self._predict_fn = predict_fn
+        self._observer = observer
+        self._cache_hits = 0
+        self._cache_misses = 0
         self._cache = _ResponseCache(self.policy.cache_entries)
         self._queue: deque[_Request] = deque()
         self._lock = threading.Lock()
@@ -187,8 +213,13 @@ class MicroBatcher:
         cached = self._cache.get(key)
         if cached is not None:
             counter("serve.cache.hits").inc()
+            with self._lock:
+                self._cache_hits += 1
+            set_span_attrs(cache="hit")
             return cached
         counter("serve.cache.misses").inc()
+        with self._lock:
+            self._cache_misses += 1
         deadline_ms = self.policy.default_deadline_ms if deadline_ms is None else deadline_ms
         request = _Request(input_array, key,
                            deadline_s=time.monotonic() + deadline_ms / 1000.0)
@@ -259,14 +290,26 @@ class MicroBatcher:
             histogram("serve.batch_size",
                       bounds=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)).observe(len(live))
             stacked = np.stack([r.input for r in live])
+            # the batch span joins the first coalesced request's trace;
+            # the other request ids are linked through the span attrs
+            batch_ctx = next((r.ctx for r in live if r.ctx is not None), None)
+            request_ids = [r.request_id for r in live]
             try:
-                with span("serve.batch", size=len(live), batcher=self.name), \
+                with use_context(batch_ctx), \
+                        span("serve.batch", size=len(live), batcher=self.name,
+                             request_ids=[rid for rid in request_ids if rid]), \
                         timer("serve.batch_compute").time():
                     outputs = np.asarray(self._predict_fn(stacked))
-                if len(outputs) != len(live):
-                    raise ServeError(
-                        f"predict_fn returned {len(outputs)} outputs for a "
-                        f"batch of {len(live)}")
+                    if len(outputs) != len(live):
+                        raise ServeError(
+                            f"predict_fn returned {len(outputs)} outputs for a "
+                            f"batch of {len(live)}")
+                    if self._observer is not None:
+                        try:
+                            self._observer(stacked, outputs, request_ids,
+                                           [r.ctx for r in live])
+                        except Exception:  # noqa: BLE001 - observers are best-effort
+                            counter("serve.observer_errors").inc()
             except Exception as error:  # noqa: BLE001 - forwarded to callers
                 counter("serve.batch_errors").inc()
                 for request in live:
@@ -301,13 +344,24 @@ class MicroBatcher:
         with self._lock:
             return len(self._queue)
 
+    def cache_hit_rate(self) -> float:
+        """Fraction of submits answered from the response cache."""
+        with self._lock:
+            total = self._cache_hits + self._cache_misses
+            return self._cache_hits / total if total else 0.0
+
     def stats(self) -> dict:
         """Operational snapshot for ``/healthz`` and the bench harness."""
+        with self._lock:
+            cache_hits, cache_misses = self._cache_hits, self._cache_misses
         return {
             "queue_depth": self.queue_depth(),
             "batches_run": self._batches_run,
             "requests_done": self._requests_done,
             "cache_entries": len(self._cache),
+            "cache_hits": cache_hits,
+            "cache_misses": cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate(), 6),
             "closed": self._closed,
             "policy": {
                 "max_batch_size": self.policy.max_batch_size,

@@ -11,9 +11,21 @@ Routes:
   the request format.  ``?model=NAME`` and ``?version=N`` select a
   served checkpoint; ``?deadline_ms=`` bounds queue wait.
 * ``GET /v1/models`` — manifest summaries of every served checkpoint.
-* ``GET /healthz`` — liveness plus queue depth / in-flight counts.
+* ``GET /healthz`` — liveness plus queue depth, cache hit rate and
+  in-flight counts (what a load balancer sheds on).
 * ``GET /metrics`` — the :mod:`repro.obs` registry rendered in the
-  Prometheus text exposition format.
+  Prometheus text exposition format, including cumulative
+  ``_bucket``/``_sum``/``_count`` histogram series.
+
+Every request gets a request-scoped trace identity: the handler mints
+(or adopts, from a well-formed ``X-Request-Id`` request header) a
+request id, returns it in the ``X-Request-Id`` response header, and —
+when tracing is enabled — opens a ``serve.request`` root span whose
+context follows the request across the micro-batcher's worker thread
+and any forked solver workers, so one request reads back from the
+trace as one connected span tree.  Each response also produces a
+structured JSON access-log line on stderr (info lines only with
+``verbose``; 503/504 warning lines always).
 
 Failure mapping: malformed payloads are 400, unknown models 404,
 oversized bodies 413, queue backpressure 503 (with ``Retry-After``),
@@ -26,6 +38,7 @@ from __future__ import annotations
 
 import io
 import json
+import sys
 import threading
 import time
 import zipfile
@@ -35,7 +48,11 @@ from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
-from repro.obs import counter, metrics_snapshot, span, timer
+from repro.config import PEBConfig
+from repro.obs import (
+    HealthConfig, HealthMonitor, TraceContext, counter, histogram,
+    metrics_snapshot, new_request_context, span, timer, use_context,
+)
 from repro.tensor import Tensor, no_grad
 
 from .batcher import (
@@ -47,6 +64,10 @@ from .registry import ModelManifest
 __all__ = ["ServeConfig", "ServedModel", "PredictServer", "render_prometheus"]
 
 NPZ_CONTENT_TYPES = ("application/octet-stream", "application/x-npz", "application/zip")
+
+#: default latency-histogram bucket bounds in seconds (Prometheus `le`)
+DEFAULT_LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                           0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
 
 
 @dataclass(frozen=True)
@@ -61,24 +82,52 @@ class ServeConfig:
     max_body_bytes: int = 64 * 1024 * 1024
     #: per-request wall-clock cap while waiting for a result
     request_timeout_s: float = 120.0
+    #: `serve.request_latency_s` histogram bucket bounds, seconds
+    latency_buckets: tuple = DEFAULT_LATENCY_BUCKETS
 
 
 class ServedModel:
-    """One checkpoint behind its own micro-batcher."""
+    """One checkpoint behind its own micro-batcher.
 
-    def __init__(self, model, manifest: ModelManifest, policy: BatchPolicy):
+    ``health`` attaches a physics :class:`~repro.obs.HealthMonitor` as
+    the batcher's post-forward observer: invariant checks run inline on
+    the worker thread, sampled shadow audits on their own daemon
+    thread.  The monitor only ever reads the batch — served outputs are
+    bitwise identical with and without it.
+    """
+
+    def __init__(self, model, manifest: ModelManifest, policy: BatchPolicy,
+                 health: HealthConfig | None = None,
+                 peb: PEBConfig | None = None):
         self.model = model
         self.manifest = manifest
         self.model.eval()
+        peb = peb if peb is not None else PEBConfig()
+        self.monitor = None
+        if health is not None:
+            self.monitor = HealthMonitor(
+                manifest.grid_config(), peb.catalysis_rate, config=health,
+                peb=peb, name=f"{manifest.name}-v{manifest.version}")
         self.batcher = MicroBatcher(self._predict_batch, policy,
-                                    name=f"{manifest.name}-v{manifest.version}")
+                                    name=f"{manifest.name}-v{manifest.version}",
+                                    observer=self._observe_batch)
         self.clip_shape = tuple(manifest.grid_config().shape)
 
     def _predict_batch(self, batch: np.ndarray) -> np.ndarray:
         # Mirrors Trainer.predict exactly (float64 cast, eval, no_grad)
         # so a served prediction is bitwise identical to the offline path.
-        with no_grad():
+        with span("serve.forward", size=len(batch)), no_grad():
             return self.model(Tensor(np.asarray(batch, dtype=np.float64))).numpy()
+
+    def _observe_batch(self, batch, outputs, request_ids, ctxs) -> None:
+        if self.monitor is not None:
+            self.monitor.observe_batch(batch, outputs,
+                                       request_ids=request_ids, ctxs=ctxs)
+
+    def close(self, drain: bool = True) -> None:
+        self.batcher.close(drain=drain)
+        if self.monitor is not None:
+            self.monitor.close()
 
     def validate_input(self, acid: np.ndarray) -> np.ndarray:
         acid = np.asarray(acid, dtype=np.float64)
@@ -144,11 +193,37 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     # -- plumbing ------------------------------------------------------
+    def _begin_request(self) -> TraceContext:
+        """Per-request setup: trace identity + timing for the access log."""
+        self._started_s = time.perf_counter()
+        self._status = None
+        ctx = new_request_context(self.headers.get("X-Request-Id"))
+        self._request_id = ctx.request_id
+        return ctx
+
+    def _finish_request(self, path: str) -> None:
+        """Emit the structured access-log line for the completed exchange."""
+        elapsed = time.perf_counter() - getattr(self, "_started_s", time.perf_counter())
+        status = getattr(self, "_status", None) or 0
+        counter(f"serve.http.status.{status}").inc()
+        self.app.access_log({
+            "method": self.command,
+            "path": path,
+            "status": status,
+            "dur_ms": round(elapsed * 1e3, 3),
+            "request_id": getattr(self, "_request_id", None),
+            "client": self.client_address[0] if self.client_address else None,
+        }, warn=status in (503, 504))
+
     def _send(self, status: int, body: bytes, content_type: str,
               extra_headers: dict | None = None) -> None:
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "_request_id", None)
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
         for key, value in (extra_headers or {}).items():
             self.send_header(key, str(value))
         self.end_headers()
@@ -177,34 +252,44 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         parsed = urlparse(self.path)
+        ctx = self._begin_request()
         try:
-            if parsed.path == "/healthz":
-                self._send_json(200, self.app.health())
-            elif parsed.path == "/metrics":
-                self._send(200, render_prometheus().encode(),
-                           "text/plain; version=0.0.4")
-            elif parsed.path == "/v1/models":
-                self._send_json(200, {"models": self.app.list_models()})
-            else:
-                raise _HTTPError(404, f"no route {parsed.path}")
+            with use_context(ctx):
+                if parsed.path == "/healthz":
+                    self._send_json(200, self.app.health())
+                elif parsed.path == "/metrics":
+                    self._send(200, render_prometheus().encode(),
+                               "text/plain; version=0.0.4")
+                elif parsed.path == "/v1/models":
+                    self._send_json(200, {"models": self.app.list_models()})
+                else:
+                    raise _HTTPError(404, f"no route {parsed.path}")
         except _HTTPError as error:
             self._send_error_json(error)
+        finally:
+            self._finish_request(parsed.path)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
         parsed = urlparse(self.path)
+        ctx = self._begin_request()
         try:
-            if parsed.path != "/v1/predict":
-                raise _HTTPError(404, f"no route {parsed.path}")
-            self._predict(parse_qs(parsed.query))
+            with use_context(ctx):
+                if parsed.path != "/v1/predict":
+                    raise _HTTPError(404, f"no route {parsed.path}")
+                self._predict(parse_qs(parsed.query))
         except _HTTPError as error:
             self._send_error_json(error)
+        finally:
+            self._finish_request(parsed.path)
 
     def _predict(self, query: dict) -> None:
         app = self.app
         app.inflight_inc()
         counter("serve.http.predict").inc()
+        started = time.perf_counter()
         try:
-            with span("serve.request", route="/v1/predict"), \
+            with span("serve.request", route="/v1/predict",
+                      request_id=self._request_id), \
                     timer("serve.request").time():
                 served = app.resolve_model(query.get("model", [None])[0],
                                            query.get("version", [None])[0])
@@ -236,6 +321,7 @@ class _Handler(BaseHTTPRequestHandler):
                     self._send_json(200, {
                         "model": served.manifest.name,
                         "version": served.manifest.version,
+                        "request_id": self._request_id,
                         "shape": list(prediction.shape),
                         "prediction": prediction.tolist(),
                     }, headers)
@@ -245,6 +331,9 @@ class _Handler(BaseHTTPRequestHandler):
                     self._send(200, buffer.getvalue(), "application/octet-stream",
                                headers)
         finally:
+            histogram("serve.request_latency_s",
+                      bounds=app.config.latency_buckets).observe(
+                time.perf_counter() - started)
             app.inflight_dec()
 
 
@@ -346,16 +435,45 @@ class PredictServer:
         return out
 
     def health(self) -> dict:
-        return {
+        queues = {
+            f"{name}:v{version}": entry.batcher.stats()
+            for name, versions in self._models.items()
+            for version, entry in versions.items()
+        }
+        monitors = {
+            f"{name}:v{version}": entry.monitor.stats()
+            for name, versions in self._models.items()
+            for version, entry in versions.items()
+            if entry.monitor is not None
+        }
+        total_depth = sum(stats["queue_depth"] for stats in queues.values())
+        hits = sum(stats["cache_hits"] for stats in queues.values())
+        lookups = hits + sum(stats["cache_misses"] for stats in queues.values())
+        payload = {
             "status": "ok",
             "models": sorted(self._models),
             "inflight": self.inflight,
-            "queues": {
-                f"{name}:v{version}": entry.batcher.stats()
-                for name, versions in self._models.items()
-                for version, entry in versions.items()
-            },
+            # top-level shed signals for load balancers: total queued
+            # requests and the combined batcher cache hit rate
+            "queue_depth": total_depth,
+            "cache_hit_rate": round(hits / lookups, 6) if lookups else 0.0,
+            "queues": queues,
         }
+        if monitors:
+            payload["health_monitors"] = monitors
+        return payload
+
+    def access_log(self, record: dict, warn: bool = False) -> None:
+        """One structured JSON access-log line on stderr.
+
+        Warning lines (503/504 — the load-shedding outcomes an operator
+        must see) are always emitted; info lines only with ``verbose``.
+        """
+        if not warn and not self.config_verbose:
+            return
+        record = {"kind": "access", "level": "warning" if warn else "info",
+                  "ts_unix_s": round(time.time(), 6), **record}
+        print(json.dumps(record, sort_keys=True), file=sys.stderr, flush=True)
 
     # -- in-flight accounting -----------------------------------------
     def inflight_inc(self) -> None:
@@ -403,7 +521,7 @@ class PredictServer:
             self._http.server_close()
             for versions in self._models.values():
                 for entry in versions.values():
-                    entry.batcher.close(drain=drain)
+                    entry.close(drain=drain)
             if self._thread is not None:
                 self._thread.join(timeout=10.0)
         self._stopped.set()

@@ -1,0 +1,186 @@
+"""Request-scoped trace context: capture, restore, thread and fork hops."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs import (
+    TraceContext, capture_context, current_context, current_span_uid,
+    disable_tracing, enable_tracing, new_request_context, new_request_id,
+    reset_metrics, sanitize_request_id, span, use_context,
+)
+from repro.runtime import parallel_map
+from repro.runtime.pool import fork_available
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off_after():
+    yield
+    disable_tracing()
+    reset_metrics()
+
+
+def read_events(path):
+    return [json.loads(line) for line in path.read_text().splitlines() if line.strip()]
+
+
+class TestTraceContext:
+    def test_frozen(self):
+        ctx = TraceContext(trace_id="t", request_id="r")
+        with pytest.raises(AttributeError):
+            ctx.trace_id = "other"
+
+    def test_rebased_keeps_identity(self):
+        ctx = TraceContext(trace_id="t", request_id="r", parent_uid="1-1")
+        moved = ctx.rebased("1-9")
+        assert (moved.trace_id, moved.request_id) == ("t", "r")
+        assert moved.parent_uid == "1-9"
+        assert ctx.parent_uid == "1-1"  # original untouched
+
+    def test_new_request_id_shape(self):
+        rid = new_request_id()
+        assert len(rid) == 16
+        assert sanitize_request_id(rid) == rid
+
+
+class TestSanitize:
+    @pytest.mark.parametrize("good", ["abc", "a-b_c.d:e", "A" * 64, "42"])
+    def test_accepts_conservative_ids(self, good):
+        assert sanitize_request_id(good) == good
+
+    @pytest.mark.parametrize("bad", [None, "", "a" * 65, "has space",
+                                     "new\nline", "quote\"", "emoji☃"])
+    def test_rejects_everything_else(self, bad):
+        assert sanitize_request_id(bad) is None
+
+    def test_new_request_context_honors_good_id(self):
+        ctx = new_request_context("client-id-1")
+        assert ctx.request_id == "client-id-1"
+        assert ctx.trace_id == "client-id-1"  # tree keyed by X-Request-Id
+
+    def test_new_request_context_replaces_bad_id(self):
+        ctx = new_request_context("not ok\n")
+        assert ctx.request_id != "not ok\n"
+        assert len(ctx.request_id) == 16
+
+
+class TestUseContext:
+    def test_activate_and_restore(self):
+        assert current_context() is None
+        ctx = new_request_context()
+        with use_context(ctx):
+            assert current_context() is ctx
+        assert current_context() is None
+
+    def test_none_is_noop(self):
+        outer = new_request_context()
+        with use_context(outer):
+            with use_context(None):
+                assert current_context() is outer
+
+    def test_nesting_restores_outer(self):
+        outer, inner = new_request_context(), new_request_context()
+        with use_context(outer):
+            with use_context(inner):
+                assert current_context() is inner
+            assert current_context() is outer
+
+
+class TestCapture:
+    def test_nothing_to_carry(self):
+        assert capture_context() is None
+
+    def test_rebases_onto_innermost_span(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        enable_tracing(path)
+        ctx = new_request_context("req1")
+        with use_context(ctx):
+            with span("outer"):
+                captured = capture_context()
+                open_uid = current_span_uid()
+        assert captured.trace_id == "req1"
+        assert captured.parent_uid == open_uid
+        assert captured.parent_uid == read_events(path)[0]["id"]
+
+    def test_anonymous_context_when_span_open_without_request(self, tmp_path):
+        enable_tracing(tmp_path / "t.jsonl")
+        with span("outer"):
+            captured = capture_context()
+            assert captured is not None
+            assert captured.parent_uid == current_span_uid()
+            assert captured.trace_id == captured.request_id
+
+    def test_context_without_span_carries_parent_uid(self):
+        ctx = TraceContext(trace_id="t", request_id="r", parent_uid="9-9")
+        with use_context(ctx):
+            assert capture_context().parent_uid == "9-9"
+
+
+class TestCrossThread:
+    def test_worker_span_parents_to_captured_point(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        enable_tracing(path)
+        with use_context(new_request_context("req-x")):
+            with span("serve.request"):
+                captured = capture_context()
+
+                def worker():
+                    with use_context(captured), span("serve.batch"):
+                        pass
+
+                thread = threading.Thread(target=worker)
+                thread.start()
+                thread.join(10.0)
+        events = {e["name"]: e for e in read_events(path)}
+        batch, request = events["serve.batch"], events["serve.request"]
+        assert batch["parent"] == request["id"]
+        assert batch["trace"] == request["trace"] == "req-x"
+        assert batch["tid"] != request["tid"]
+
+    def test_sibling_threads_do_not_share_span_stacks(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        enable_tracing(path)
+        barrier = threading.Barrier(2, timeout=10.0)
+
+        def worker(name):
+            with span(name):
+                barrier.wait()  # both spans open concurrently
+                barrier.wait()
+
+        threads = [threading.Thread(target=worker, args=(f"lane{i}",))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        events = read_events(path)
+        # neither span may have adopted the other as parent
+        assert all(e["parent"] is None and e["depth"] == 0 for e in events)
+
+
+def _square(x):
+    """Module-level so it pickles into pool workers."""
+    return x * x
+
+
+class TestForkPropagation:
+    @pytest.mark.skipif(not fork_available(), reason="no fork start method")
+    def test_pool_workers_join_the_request_tree(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        enable_tracing(path)
+        with use_context(new_request_context("req-fork")):
+            assert parallel_map(_square, [1, 2, 3, 4], workers=2) == [1, 4, 9, 16]
+        events = read_events(path)
+        dispatch = next(e for e in events if e["name"] == "pool.dispatch")
+        if dispatch["attrs"]["mode"] != "fork":
+            pytest.skip("process pools unavailable in this environment")
+        workers = [e for e in events if e["name"] == "pool.worker_task"]
+        assert len(workers) == 4
+        assert {e["trace"] for e in workers} == {"req-fork"}
+        assert {e["parent"] for e in workers} == {dispatch["id"]}
+        # ran in forked children, and ids stay unique across pids
+        assert all(e["pid"] != os.getpid() for e in workers)
+        uids = [e["id"] for e in events]
+        assert len(uids) == len(set(uids))

@@ -1,0 +1,162 @@
+"""Trace analytics: Chrome export, span forests, critical path, requests."""
+
+import json
+
+from repro.obs.export import (
+    build_span_forest, critical_path, format_critical_path, format_requests,
+    request_summaries, self_times, to_chrome_trace, write_chrome_trace,
+)
+
+
+def ev(name, uid, parent=None, trace=None, t=0.0, dur=1.0, pid=1, tid=1,
+       attrs=None, type="span"):
+    event = {"type": type, "name": name, "pid": pid, "tid": tid, "id": uid,
+             "parent": parent, "t_wall_s": t, "dur_s": dur, "attrs": attrs or {}}
+    if trace is not None:
+        event["trace"] = trace
+    return event
+
+
+class TestChromeExport:
+    def test_span_becomes_complete_event(self):
+        out = to_chrome_trace([ev("peb.solve", "1-1", t=2.5, dur=0.004,
+                                  trace="abc", attrs={"steps": 9})])
+        (record,) = out["traceEvents"]
+        assert record["ph"] == "X"
+        assert record["ts"] == 2.5e6 and record["dur"] == 4000.0
+        assert record["cat"] == "peb"
+        assert record["args"]["steps"] == 9
+        assert record["args"]["id"] == "1-1" and record["args"]["trace"] == "abc"
+
+    def test_point_event_becomes_instant(self):
+        out = to_chrome_trace([{"type": "event", "name": "cache.hit",
+                                "pid": 7, "tid": 9, "t_wall_s": 1.0,
+                                "attrs": {"hits": 3}}])
+        (record,) = out["traceEvents"]
+        assert record["ph"] == "i" and record["s"] == "t"
+        assert record["pid"] == 7 and record["tid"] == 9
+
+    def test_unknown_lines_skipped_and_output_sorted(self):
+        out = to_chrome_trace([
+            ev("late", "1-2", t=5.0), {"type": "metrics", "noise": True},
+            ev("early", "1-1", t=1.0),
+        ])
+        assert [r["name"] for r in out["traceEvents"]] == ["early", "late"]
+
+    def test_write_parses_as_json(self, tmp_path):
+        path = tmp_path / "chrome.json"
+        count = write_chrome_trace([ev("a", "1-1"), ev("b", "1-2")], path)
+        assert count == 2
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == 2
+        assert payload["displayTimeUnit"] == "ms"
+
+
+class TestSpanForest:
+    def test_connected_tree(self):
+        roots = build_span_forest([
+            ev("root", "1-1", t=0.0, dur=3.0),
+            ev("childB", "1-3", parent="1-1", t=2.0, dur=1.0),
+            ev("childA", "1-2", parent="1-1", t=1.0, dur=1.0),
+        ])
+        (root,) = roots
+        assert root.name == "root" and not root.orphaned
+        assert [c.name for c in root.children] == ["childA", "childB"]  # by start
+
+    def test_orphan_parent_kept_as_root(self):
+        roots = build_span_forest([ev("lost", "1-5", parent="1-404")])
+        (lost,) = roots
+        assert lost.orphaned and lost.name == "lost"
+
+    def test_cross_pid_parent_link(self):
+        roots = build_span_forest([
+            ev("dispatch", "10-1", pid=10, t=0.0, dur=2.0),
+            ev("worker", "11-1", pid=11, parent="10-1", t=0.5, dur=1.0),
+        ])
+        (root,) = roots
+        assert root.children[0].name == "worker"
+
+    def test_legacy_int_ids_normalized_per_pid(self):
+        roots = build_span_forest([
+            {"type": "span", "name": "old_root", "pid": 4, "id": 1,
+             "parent": None, "t_wall_s": 0.0, "dur_s": 1.0, "attrs": {}},
+            {"type": "span", "name": "old_child", "pid": 4, "id": 2,
+             "parent": 1, "t_wall_s": 0.1, "dur_s": 0.5, "attrs": {}},
+        ])
+        (root,) = roots
+        assert root.uid == "4-1"
+        assert root.children[0].name == "old_child"
+
+
+class TestCriticalPath:
+    def test_follows_largest_child(self):
+        (root,) = build_span_forest([
+            ev("root", "1-1", dur=10.0),
+            ev("small", "1-2", parent="1-1", dur=2.0),
+            ev("big", "1-3", parent="1-1", dur=7.0),
+            ev("leaf", "1-4", parent="1-3", dur=6.0),
+        ])
+        assert [n.name for n in critical_path(root)] == ["root", "big", "leaf"]
+
+    def test_format_picks_largest_root(self):
+        roots = build_span_forest([ev("minor", "1-1", dur=1.0),
+                                   ev("major", "1-2", dur=5.0)])
+        text = format_critical_path(roots)
+        assert text.splitlines()[0].startswith("critical path from 'major'")
+
+    def test_format_empty(self):
+        assert "no span events" in format_critical_path([])
+
+
+class TestSelfTimes:
+    def test_excludes_child_time(self):
+        totals = self_times([
+            ev("root", "1-1", dur=10.0),
+            ev("child", "1-2", parent="1-1", dur=4.0),
+        ])
+        assert totals["root"] == 6.0 and totals["child"] == 4.0
+
+    def test_concurrent_children_clamp_to_zero(self):
+        # two pool workers overlapping in wall time sum past the dispatch
+        totals = self_times([
+            ev("dispatch", "1-1", dur=5.0),
+            ev("task", "2-1", parent="1-1", pid=2, dur=4.0),
+            ev("task", "3-1", parent="1-1", pid=3, dur=4.0),
+        ])
+        assert totals["dispatch"] == 0.0
+        assert totals["task"] == 8.0
+
+
+class TestRequestSummaries:
+    def _request(self, rid, t0):
+        return [
+            ev("serve.request", f"1-{t0}", trace=rid, t=t0, dur=0.05,
+               attrs={"request_id": rid}),
+            ev("serve.batch", f"2-{t0}", parent=f"1-{t0}", trace=rid,
+               pid=2, t=t0 + 0.01, dur=0.03),
+            ev("serve.forward", f"2-{t0 + 1}", parent=f"2-{t0}", trace=rid,
+               pid=2, t=t0 + 0.015, dur=0.02),
+        ]
+
+    def test_groups_by_trace_and_orders_by_start(self):
+        events = self._request("req-b", 100) + self._request("req-a", 50)
+        summaries = request_summaries(events)
+        assert [s["request_id"] for s in summaries] == ["req-a", "req-b"]
+        first = summaries[0]
+        assert first["root"] == "serve.request"
+        assert first["total_s"] == 0.05
+        assert first["batch_s"] == 0.03 and first["forward_s"] == 0.02
+        assert first["spans"] == 3 and first["pids"] == 2
+
+    def test_untraced_spans_ignored(self):
+        assert request_summaries([ev("solo", "1-1")]) == []
+
+    def test_format_limit(self):
+        summaries = request_summaries(
+            self._request("r1", 1) + self._request("r2", 2))
+        text = format_requests(summaries, limit=1)
+        assert "r1" in text and "r2" not in text
+        assert "1 more request(s)" in text
+
+    def test_format_empty(self):
+        assert "no request-scoped spans" in format_requests([])

@@ -1,0 +1,201 @@
+"""Physics health monitors: invariants, CD metrology, shadow audits."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridConfig, PEBConfig
+from repro.core.label import inhibitor_to_label
+from repro.litho.peb import RigorousPEBSolver
+from repro.obs import (
+    HealthConfig, HealthMonitor, ShadowAuditor, check_prediction, counter,
+    disable_tracing, metrics_snapshot, reset_metrics, threshold_cd_nm,
+)
+
+GRID = GridConfig(size_um=0.8, nx=16, ny=16, nz=2)
+#: short bake so shadow audits stay test-fast
+PEB = PEBConfig(duration_s=3.0, time_step_s=1.0)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    reset_metrics()
+    yield
+    disable_tracing()
+    reset_metrics()
+
+
+def physical_pair(seed=0):
+    """A (acid, inhibitor) pair that satisfies every invariant by
+    construction: Eq. 1's closed form over a smooth acid field."""
+    rng = np.random.default_rng(seed)
+    acid = rng.random(GRID.shape)
+    inhibitor = np.exp(-0.9 * acid * 3.0)
+    return acid, inhibitor
+
+
+class TestThresholdCD:
+    def test_no_crossing_is_zero(self):
+        assert threshold_cd_nm(np.ones(GRID.shape), GRID) == 0.0
+
+    def test_known_width(self):
+        # deprotect exactly 4 interior columns of the center row: the
+        # sharp-edge CD spans from mid-transition to mid-transition
+        inhibitor = np.ones(GRID.shape)
+        inhibitor[0, GRID.ny // 2, 6:10] = 0.0
+        cd = threshold_cd_nm(inhibitor, GRID, threshold=0.5)
+        assert cd == pytest.approx(4.0 * GRID.dx_nm, rel=1e-12)
+
+    def test_wider_feature_wider_cd(self):
+        narrow, wide = np.ones(GRID.shape), np.ones(GRID.shape)
+        narrow[0, GRID.ny // 2, 7:9] = 0.0
+        wide[0, GRID.ny // 2, 5:11] = 0.0
+        assert threshold_cd_nm(wide, GRID) > threshold_cd_nm(narrow, GRID)
+
+
+class TestCheckPrediction:
+    def test_physical_prediction_passes(self):
+        acid, inhibitor = physical_pair()
+        verdict = check_prediction(acid, inhibitor, HealthConfig())
+        assert verdict["finite"] and verdict["range"] and verdict["monotone"]
+        assert verdict["range_excess"] == 0.0
+
+    def test_nan_fails_everything(self):
+        acid, inhibitor = physical_pair()
+        inhibitor[0, 0, 0] = np.nan
+        verdict = check_prediction(acid, inhibitor, HealthConfig())
+        assert not verdict["finite"]
+        assert not verdict["range"] and not verdict["monotone"]
+
+    def test_out_of_range_reports_excess(self):
+        acid, inhibitor = physical_pair()
+        inhibitor[0, 0, 0] = 1.25
+        verdict = check_prediction(acid, inhibitor, HealthConfig())
+        assert verdict["finite"] and not verdict["range"]
+        assert verdict["range_excess"] == pytest.approx(0.25)
+
+    def test_tolerance_absorbs_float_noise(self):
+        acid, inhibitor = physical_pair()
+        inhibitor[0, 0, 0] = 1.0 + 1e-12
+        assert check_prediction(acid, inhibitor, HealthConfig())["range"]
+
+    def test_anti_monotone_prediction_fails(self):
+        # inhibitor *rising* with acid inverts Eq. 1's deprotection
+        acid, _ = physical_pair()
+        rising = 1.0 - np.exp(-3.0 * acid)
+        verdict = check_prediction(acid, rising, HealthConfig())
+        assert not verdict["monotone"]
+        assert verdict["monotone_excess"] > 0.0
+
+    def test_monotonicity_check_disabled_by_zero_bins(self):
+        acid, _ = physical_pair()
+        rising = 1.0 - np.exp(-3.0 * acid)
+        config = HealthConfig(monotonicity_bins=0)
+        assert check_prediction(acid, rising, config)["monotone"]
+
+    def test_pure_and_read_only(self):
+        acid, inhibitor = physical_pair()
+        acid_before, inh_before = acid.copy(), inhibitor.copy()
+        check_prediction(acid, inhibitor, HealthConfig())
+        assert np.array_equal(acid, acid_before)
+        assert np.array_equal(inhibitor, inh_before)
+
+
+class TestShadowAuditor:
+    def test_audit_of_rigorous_output_has_zero_rmse(self):
+        rng = np.random.default_rng(1)
+        acid = rng.random(GRID.shape)
+        rigorous = RigorousPEBSolver(GRID, PEB, time_step_s=1.0).solve(acid)
+        config = HealthConfig(shadow_every=1, shadow_time_step_s=1.0)
+        auditor = ShadowAuditor(GRID, peb=PEB, config=config)
+        try:
+            assert auditor.offer(acid, rigorous.inhibitor, request_id="r1")
+            assert auditor.drain(timeout_s=60.0)
+            assert auditor.audits_done == 1
+            snapshot = metrics_snapshot()
+            rmse = snapshot["health.shadow.rmse"]
+            assert rmse["count"] == 1 and rmse["max"] == 0.0
+            assert snapshot["health.shadow.cd_error_nm"]["count"] == 1
+        finally:
+            auditor.close()
+
+    def test_full_backlog_drops_instead_of_queueing(self):
+        config = HealthConfig(shadow_every=1, shadow_backlog=0)
+        auditor = ShadowAuditor(GRID, peb=PEB, config=config)
+        try:
+            acid, inhibitor = physical_pair()
+            assert not auditor.offer(acid, inhibitor)
+            assert counter("health.shadow.dropped").value == 1
+        finally:
+            auditor.close()
+
+    def test_closed_auditor_rejects(self):
+        auditor = ShadowAuditor(GRID, peb=PEB, config=HealthConfig(shadow_every=1))
+        auditor.close()
+        acid, inhibitor = physical_pair()
+        assert not auditor.offer(acid, inhibitor)
+
+
+class TestHealthMonitor:
+    def make_monitor(self, **kwargs):
+        config = HealthConfig(**kwargs)
+        return HealthMonitor(GRID, PEB.catalysis_rate, config=config, peb=PEB)
+
+    def batch_from_inhibitor(self, inhibitor):
+        """Label-space model outputs whose implied concentration is
+        exactly ``inhibitor`` (up to the transform's clipping)."""
+        return inhibitor_to_label(inhibitor, PEB.catalysis_rate)
+
+    def test_healthy_batch_counts_no_violations(self):
+        monitor = self.make_monitor()
+        acid, inhibitor = physical_pair()
+        monitor.observe_batch(acid[None], self.batch_from_inhibitor(inhibitor)[None])
+        stats = monitor.stats()
+        assert stats["checked"] == 1 and stats["violations"] == 0
+        monitor.close()
+
+    def test_nonfinite_prediction_counted(self):
+        monitor = self.make_monitor()
+        acid, _ = physical_pair()
+        labels = np.full((1,) + GRID.shape, np.nan)
+        monitor.observe_batch(acid[None], labels)
+        assert monitor.stats()["violations"] == 1
+        assert counter("health.violations.finite").value == 1
+        monitor.close()
+
+    def test_never_mutates_the_batch(self):
+        monitor = self.make_monitor()
+        acid, inhibitor = physical_pair()
+        acids = acid[None].copy()
+        labels = self.batch_from_inhibitor(inhibitor)[None].copy()
+        acids_before, labels_before = acids.copy(), labels.copy()
+        monitor.observe_batch(acids, labels, request_ids=["r1"], ctxs=[None])
+        assert np.array_equal(acids, acids_before)
+        assert np.array_equal(labels, labels_before)
+        monitor.close()
+
+    def test_never_raises_on_garbage(self):
+        monitor = self.make_monitor()
+        monitor.observe_batch(np.ones((2, 3)), None)  # not even an array
+        assert counter("health.monitor_errors").value == 1
+        monitor.close()
+
+    def test_shadow_sampling_every_n(self):
+        monitor = self.make_monitor(shadow_every=2, shadow_time_step_s=1.0)
+        acid, inhibitor = physical_pair()
+        labels = self.batch_from_inhibitor(inhibitor)
+        for _ in range(4):
+            monitor.observe_batch(acid[None], labels[None])
+        assert monitor.auditor is not None
+        assert monitor.auditor.drain(timeout_s=60.0)
+        # requests 1 and 3 of 4 sampled at shadow_every=2
+        assert monitor.auditor.audits_done == 2
+        assert monitor.stats()["shadow_audits"] == 2
+        monitor.close()
+
+    def test_invariants_off_still_counts_checks(self):
+        monitor = self.make_monitor(check_invariants=False)
+        acid, _ = physical_pair()
+        monitor.observe_batch(acid[None], np.full((1,) + GRID.shape, np.nan))
+        stats = monitor.stats()
+        assert stats["checked"] == 1 and stats["violations"] == 0
+        monitor.close()

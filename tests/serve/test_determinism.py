@@ -109,6 +109,37 @@ class TestBatchedVsSingle:
         served.batcher.close()
 
 
+class TestObservationOnly:
+    def test_monitors_and_tracing_do_not_perturb_predictions(
+            self, checkpoint, tmp_path_factory):
+        """Health monitors + tracing enabled must serve bitwise-identical
+        predictions: everything in repro.obs only ever *reads* the batch."""
+        from repro.obs import (
+            HealthConfig, disable_tracing, enable_tracing, reset_metrics,
+        )
+
+        trainer, path, clips = checkpoint
+        expected = trainer.predict(clips, batch_size=1)
+        trace_path = tmp_path_factory.mktemp("obs-det") / "trace.jsonl"
+        enable_tracing(trace_path)
+        try:
+            loaded, manifest = load_checkpoint(path)
+            served = ServedModel(
+                loaded, manifest,
+                BatchPolicy(max_batch_size=1, max_wait_ms=0.0, cache_entries=0),
+                health=HealthConfig(shadow_every=2, shadow_time_step_s=30.0))
+            got = np.stack([served.batcher.submit(clip) for clip in clips])
+            served.close()
+        finally:
+            disable_tracing()
+            reset_metrics()
+        assert np.array_equal(got, expected)
+        # and the monitors actually ran: the trace shows health spans
+        names = {line.split('"name":"')[1].split('"')[0]
+                 for line in trace_path.read_text().splitlines() if line}
+        assert "serve.health" in names
+
+
 class TestEndToEndHTTP:
     def test_http_npz_prediction_bitwise_identical(self, checkpoint):
         trainer, path, clips = checkpoint

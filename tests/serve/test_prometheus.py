@@ -1,0 +1,85 @@
+"""Prometheus text exposition: cumulative histograms must be well-formed.
+
+Prometheus semantics the renderer must honor: ``_bucket`` series are
+*cumulative* (each ``le`` bound counts everything at or below it, so
+counts are monotone non-decreasing in ``le``), the ``+Inf`` bucket
+equals ``_count``, and ``_sum`` is the running total of observed values.
+"""
+
+import re
+
+import pytest
+
+from repro.obs import counter, histogram, reset_metrics, timer
+from repro.serve import render_prometheus
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    reset_metrics()
+    yield
+    reset_metrics()
+
+
+def bucket_series(text, name):
+    """[(le, count)] for one histogram family, in emission order."""
+    pattern = re.compile(rf'^{name}_bucket{{le="([^"]+)"}} (\d+)$', re.M)
+    return [(le, int(count)) for le, count in pattern.findall(text)]
+
+
+class TestHistogramFormat:
+    BOUNDS = (0.1, 0.5, 1.0, 5.0)
+    VALUES = (0.05, 0.3, 0.3, 0.7, 2.0, 100.0)
+
+    def render(self):
+        h = histogram("serve.request_latency_s", bounds=self.BOUNDS)
+        for value in self.VALUES:
+            h.observe(value)
+        return render_prometheus()
+
+    def test_buckets_are_cumulative_and_monotone(self):
+        series = bucket_series(self.render(), "repro_serve_request_latency_s")
+        counts = [count for _, count in series]
+        assert counts == sorted(counts)
+        # cumulative, not per-bucket: le=0.5 includes the le=0.1 value
+        assert dict(series)["0.1"] == 1
+        assert dict(series)["0.5"] == 3
+        assert dict(series)["1"] == 4
+        assert dict(series)["5"] == 5
+
+    def test_inf_bucket_equals_count(self):
+        text = self.render()
+        series = dict(bucket_series(text, "repro_serve_request_latency_s"))
+        assert series["+Inf"] == len(self.VALUES)
+        assert f"repro_serve_request_latency_s_count {len(self.VALUES)}" in text
+
+    def test_sum_matches_observations(self):
+        text = self.render()
+        match = re.search(r"^repro_serve_request_latency_s_sum (\S+)$", text, re.M)
+        assert float(match.group(1)) == pytest.approx(sum(self.VALUES))
+
+    def test_type_line_present(self):
+        assert "# TYPE repro_serve_request_latency_s histogram" in self.render()
+
+    def test_every_configured_bound_emitted(self):
+        series = bucket_series(self.render(), "repro_serve_request_latency_s")
+        assert [le for le, _ in series] == ["0.1", "0.5", "1", "5", "+Inf"]
+
+
+class TestOtherFamilies:
+    def test_counter_rendering(self):
+        counter("serve.http.predict").inc(3)
+        text = render_prometheus()
+        assert "# TYPE repro_serve_http_predict counter" in text
+        assert "repro_serve_http_predict_total 3" in text
+
+    def test_timer_rendering(self):
+        timer("serve.batch_compute").observe(0.25)
+        text = render_prometheus()
+        assert "# TYPE repro_serve_batch_compute_seconds summary" in text
+        assert "repro_serve_batch_compute_seconds_count 1" in text
+
+    def test_metric_names_flattened(self):
+        histogram("health.shadow.cd_error_nm", bounds=(1.0,)).observe(0.5)
+        text = render_prometheus()
+        assert 'repro_health_shadow_cd_error_nm_bucket{le="1"} 1' in text

@@ -1,0 +1,239 @@
+"""End-to-end request tracing and health plumbing over the HTTP stack.
+
+One served prediction must read back from the trace file as a single
+connected span tree — ``serve.request`` (HTTP handler thread) →
+``serve.batch`` (micro-batcher worker thread) → ``serve.forward`` —
+keyed by the exact ``X-Request-Id`` value returned to the client.
+"""
+
+import io
+import json
+import threading
+from contextlib import contextmanager
+from http.client import HTTPConnection
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.config import GridConfig
+from repro.experiments import build_method
+from repro.obs import (
+    HealthConfig, disable_tracing, enable_tracing, reset_metrics,
+)
+from repro.obs.export import build_span_forest, request_summaries
+from repro.serve import (
+    BatchPolicy, PredictServer, ServeConfig, ServedModel, load_checkpoint,
+    save_checkpoint,
+)
+
+GRID = GridConfig(size_um=0.8, nx=16, ny=16, nz=2)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    reset_metrics()
+    yield
+    disable_tracing()
+    reset_metrics()
+
+
+@pytest.fixture(scope="module")
+def ckpt(tmp_path_factory):
+    nn.init.seed(0)
+    model, _ = build_method("DeepCNN", GRID)
+    model.set_output_stats(0.5, 1.0)
+    path = tmp_path_factory.mktemp("trace-ckpt") / "model.npz"
+    save_checkpoint(model, path, method="DeepCNN", grid=GRID)
+    return path
+
+
+@contextmanager
+def serving(ckpt, health=None, policy=None):
+    loaded, manifest = load_checkpoint(ckpt)
+    served = ServedModel(loaded, manifest,
+                         policy if policy is not None
+                         else BatchPolicy(max_wait_ms=2.0),
+                         health=health)
+    server = PredictServer(served, ServeConfig(port=0)).start()
+    try:
+        yield server, served
+    finally:
+        server.shutdown()
+
+
+def post_npz(connection, acid, headers=None):
+    buffer = io.BytesIO()
+    np.savez(buffer, acid=acid)
+    request_headers = {"Content-Type": "application/octet-stream"}
+    request_headers.update(headers or {})
+    connection.request("POST", "/v1/predict", body=buffer.getvalue(),
+                       headers=request_headers)
+    return connection.getresponse()
+
+
+def read_events(path):
+    return [json.loads(line) for line in path.read_text().splitlines() if line.strip()]
+
+
+class TestRequestId:
+    def test_client_id_echoed_and_generated_otherwise(self, ckpt):
+        acid = np.random.default_rng(0).random(GRID.shape)
+        with serving(ckpt) as (server, _):
+            host, port = server.address
+            conn = HTTPConnection(host, port, timeout=30)
+            response = post_npz(conn, acid, headers={"X-Request-Id": "client-7"})
+            assert response.status == 200
+            assert response.getheader("X-Request-Id") == "client-7"
+            response.read()
+            # no header: a fresh 16-hex id is minted and returned
+            response = post_npz(conn, acid)
+            minted = response.getheader("X-Request-Id")
+            assert minted and len(minted) == 16
+            response.read()
+            # hostile header: discarded, not echoed
+            response = post_npz(conn, acid, headers={"X-Request-Id": "bad id\t!"})
+            assert response.getheader("X-Request-Id") != "bad id\t!"
+            response.read()
+            conn.close()
+
+    def test_json_response_carries_request_id(self, ckpt):
+        acid = np.random.default_rng(1).random(GRID.shape)
+        with serving(ckpt) as (server, _):
+            host, port = server.address
+            conn = HTTPConnection(host, port, timeout=30)
+            conn.request("POST", "/v1/predict",
+                         body=json.dumps({"acid": acid.tolist()}),
+                         headers={"Content-Type": "application/json",
+                                  "X-Request-Id": "json-1"})
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            assert payload["request_id"] == "json-1"
+            conn.close()
+
+
+class TestConnectedTree:
+    def test_one_request_is_one_span_tree(self, ckpt, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        enable_tracing(trace_path)
+        acid = np.random.default_rng(2).random(GRID.shape)
+        with serving(ckpt, health=HealthConfig()) as (server, _):
+            host, port = server.address
+            conn = HTTPConnection(host, port, timeout=30)
+            response = post_npz(conn, acid, headers={"X-Request-Id": "trace-me-1"})
+            assert response.status == 200
+            response.read()
+            conn.close()
+        disable_tracing()
+
+        events = [e for e in read_events(trace_path)
+                  if e.get("trace") == "trace-me-1"]
+        spans = {e["name"]: e for e in events if e["type"] == "span"}
+        request = spans["serve.request"]
+        batch = spans["serve.batch"]
+        forward = spans["serve.forward"]
+        # the tree: request (HTTP thread) -> batch (worker) -> forward
+        assert request["parent"] is None
+        assert batch["parent"] == request["id"]
+        assert forward["parent"] == batch["id"]
+        assert spans["serve.health"]["parent"] == batch["id"]
+        # the hop crossed threads, not just call frames
+        assert batch["tid"] != request["tid"]
+        # the batch records which coalesced requests it served
+        assert "trace-me-1" in batch["attrs"]["request_ids"]
+        assert request["attrs"]["request_id"] == "trace-me-1"
+
+        (root,) = build_span_forest(events)
+        assert root.name == "serve.request" and not root.orphaned
+        names = {root.name} | {c.name for c in root.children} | \
+            {g.name for c in root.children for g in c.children}
+        assert {"serve.request", "serve.batch", "serve.forward"} <= names
+
+        (summary,) = request_summaries(events)
+        assert summary["request_id"] == "trace-me-1"
+        assert summary["total_s"] > 0.0 and summary["forward_s"] > 0.0
+        assert summary["spans"] >= 4
+
+    def test_tracing_off_serves_identically(self, ckpt):
+        acid = np.random.default_rng(3).random(GRID.shape)
+        with serving(ckpt, health=HealthConfig()) as (server, _):
+            host, port = server.address
+            conn = HTTPConnection(host, port, timeout=30)
+            response = post_npz(conn, acid)
+            assert response.status == 200
+            with np.load(io.BytesIO(response.read())) as archive:
+                assert np.isfinite(archive["prediction"]).all()
+            conn.close()
+
+
+class TestHealthz:
+    def test_exposes_shed_signals_and_monitors(self, ckpt):
+        acid = np.random.default_rng(4).random(GRID.shape)
+        # an untrained surrogate flunks monotonicity (correctly); this
+        # test is about the plumbing, so only the always-true checks run
+        health = HealthConfig(monotonicity_bins=0)
+        with serving(ckpt, health=health) as (server, served):
+            host, port = server.address
+            conn = HTTPConnection(host, port, timeout=30)
+            for _ in range(2):  # second hit is served from the LRU cache
+                post_npz(conn, acid).read()
+            conn.request("GET", "/healthz")
+            payload = json.loads(conn.getresponse().read())
+            conn.close()
+        assert payload["queue_depth"] == 0
+        assert payload["cache_hit_rate"] == pytest.approx(0.5)
+        key = f"{served.manifest.name}:v{served.manifest.version}"
+        queue = payload["queues"][key]
+        assert queue["cache_hits"] == 1 and queue["cache_misses"] == 1
+        monitor = payload["health_monitors"][key]
+        assert monitor["checked"] == 1  # the cache hit never reached the model
+        assert monitor["violations"] == 0
+
+
+class TestAccessLog:
+    def test_503_always_emits_warning_line(self, ckpt, capsys):
+        rng = np.random.default_rng(5)
+        clips = rng.random((3,) + GRID.shape)
+        policy = BatchPolicy(max_batch_size=1, max_wait_ms=0.0, max_queue=1,
+                             cache_entries=0)
+        with serving(ckpt, policy=policy) as (server, served):
+            gate, started = threading.Event(), threading.Event()
+            inner = served.batcher._predict_fn
+
+            def gated(batch):
+                started.set()
+                assert gate.wait(30.0)
+                return inner(batch)
+
+            served.batcher._predict_fn = gated
+            host, port = server.address
+            statuses = {}
+
+            def fire(index):
+                conn = HTTPConnection(host, port, timeout=60)
+                statuses[index] = post_npz(conn, clips[index]).status
+                conn.close()
+
+            first = threading.Thread(target=fire, args=(0,), daemon=True)
+            first.start()
+            assert started.wait(10.0)       # worker busy with clip 0
+            second = threading.Thread(target=fire, args=(1,), daemon=True)
+            second.start()
+            deadline = 500
+            while served.batcher.queue_depth() < 1 and deadline:
+                threading.Event().wait(0.01)
+                deadline -= 1
+            fire(2)                          # queue full -> 503
+            gate.set()
+            first.join(30.0)
+            second.join(30.0)
+        assert statuses[2] == 503
+        assert statuses[0] == statuses[1] == 200
+        err = capsys.readouterr().err
+        warnings = [json.loads(line) for line in err.splitlines()
+                    if line.startswith("{")]
+        shed = [w for w in warnings if w["status"] == 503]
+        assert shed and all(w["level"] == "warning" for w in shed)
+        assert all(w["kind"] == "access" for w in warnings)
+        # verbose=False: successful requests produce no info lines
+        assert not any(w["status"] == 200 for w in warnings)

@@ -116,6 +116,71 @@ class TestFriendlyErrors:
         assert "error:" in err and "Traceback" not in err
 
 
+class TestReport:
+    """Trace analytics CLI: friendly on broken input, Chrome export valid."""
+
+    def trace_lines(self):
+        return [
+            {"type": "span", "name": "serve.request", "pid": 1, "tid": 1,
+             "id": "1-1", "parent": None, "trace": "req-1", "t_wall_s": 10.0,
+             "dur_s": 0.05, "attrs": {"request_id": "req-1"}},
+            {"type": "span", "name": "serve.batch", "pid": 1, "tid": 2,
+             "id": "1-2", "parent": "1-1", "trace": "req-1", "t_wall_s": 10.01,
+             "dur_s": 0.03, "attrs": {}},
+            # multi-pid child and an orphan from a killed process
+            {"type": "span", "name": "pool.worker_task", "pid": 9, "tid": 9,
+             "id": "9-1", "parent": "1-2", "trace": "req-1", "t_wall_s": 10.02,
+             "dur_s": 0.01, "attrs": {}},
+            {"type": "span", "name": "lost.child", "pid": 3, "tid": 3,
+             "id": "3-1", "parent": "3-999", "t_wall_s": 11.0,
+             "dur_s": 0.002, "attrs": {}},
+        ]
+
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("".join(json.dumps(line) + "\n"
+                                for line in self.trace_lines()))
+        return path
+
+    def test_missing_file_is_friendly(self, tmp_path, capsys):
+        code = run_cli(["report", str(tmp_path / "nope.jsonl")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "no trace file" in out and "Traceback" not in out
+
+    def test_empty_file_exits_cleanly(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert run_cli(["report", str(empty)]) == 0
+        assert "no trace events" in capsys.readouterr().out
+
+    def test_summary_table(self, trace_file, capsys):
+        assert run_cli(["report", str(trace_file)]) == 0
+        assert "serve.request" in capsys.readouterr().out
+
+    def test_export_chrome_parses_as_json(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "chrome.json"
+        assert run_cli(["report", str(trace_file),
+                        "--export-chrome", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        assert len(events) == 4
+        assert all(e["ph"] == "X" for e in events)
+        assert {e["pid"] for e in events} == {1, 3, 9}
+
+    def test_critical_path_tolerates_orphans_and_pids(self, trace_file, capsys):
+        assert run_cli(["report", str(trace_file), "--critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path from 'serve.request'" in out
+        assert "pool.worker_task" in out  # followed across the pid hop
+
+    def test_requests_view(self, trace_file, capsys):
+        assert run_cli(["report", str(trace_file), "--requests"]) == 0
+        out = capsys.readouterr().out
+        assert "req-1" in out and "serve.request" in out
+
+
 class TestTrainManifest:
     def test_train_writes_manifest_sidecar(self, workspace):
         _, _, weights = workspace
