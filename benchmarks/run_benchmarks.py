@@ -20,7 +20,11 @@ Seven sections, each a dict of timings/counters:
   clients (delegates to ``run_serve_bench.bench_serving``);
 * ``obs_overhead`` — served-request p50/p95 with request tracing and
   physics health monitors enabled vs the bare serving path (delegates
-  to ``run_serve_bench.bench_obs_overhead``; both p95s are gated).
+  to ``run_serve_bench.bench_obs_overhead``; both p95s are gated);
+* ``sanitize_overhead`` — served-request p50/p95 with the runtime lock
+  sanitizer (``repro.runtime.sync``) instrumenting every serve/obs lock
+  vs off (delegates to ``run_serve_bench.bench_sanitize_overhead``;
+  both p50s are gated and the run must stay violation-free).
 
 ``--smoke`` shrinks every section to CI-runner size (seconds, not
 minutes).  ``--check`` compares the fresh timings against
@@ -286,13 +290,16 @@ def main(argv=None) -> int:
                         help="output JSON path (default: repo-root BENCH_perf.json)")
     args = parser.parse_args(argv)
 
-    from run_serve_bench import bench_obs_overhead, bench_serving
+    from run_serve_bench import (
+        bench_obs_overhead, bench_sanitize_overhead, bench_serving,
+    )
 
     sections = {}
     for name, fn in (("scan", bench_scan), ("solver", bench_solver),
                      ("backward", bench_backward), ("epoch", bench_epoch),
                      ("stages", bench_stages), ("serving", bench_serving),
-                     ("obs_overhead", bench_obs_overhead)):
+                     ("obs_overhead", bench_obs_overhead),
+                     ("sanitize_overhead", bench_sanitize_overhead)):
         print(f"[{name}] ...", flush=True)
         sections[name] = fn(args.smoke)
         for key, value in sections[name].items():

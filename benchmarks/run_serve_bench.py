@@ -270,6 +270,66 @@ def bench_obs_overhead(smoke: bool) -> dict:
     }
 
 
+def bench_sanitize_overhead(smoke: bool) -> dict:
+    """The ``sanitize_overhead`` section: served-request latency with the
+    runtime lock sanitizer instrumenting every serve/obs lock vs off.
+
+    The sanitizer is scoped around server construction so the batcher,
+    registry, response-cache and health locks are all the instrumented
+    wrappers — the exact configuration ``REPRO_SANITIZE=1`` produces.
+    The run double-checks that the serve path is violation-free while
+    measuring what the instrumentation costs on the request path.
+    """
+    import tempfile
+
+    from repro.runtime.sync import (
+        reset_sync_state, sanitize_locks, sync_violations,
+    )
+
+    num_clients = 4
+    requests_per_client = 6 if smoke else 25
+    policy = BatchPolicy(max_batch_size=8, max_wait_ms=4.0, max_queue=64,
+                         cache_entries=0)
+    reset_metrics()
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = _obs_session(Path(tmp) / "off", policy, None, None,
+                                num_clients, requests_per_client)
+        reset_sync_state()
+        with sanitize_locks(enabled=True, raise_on_violation=False):
+            sanitized = _obs_session(Path(tmp) / "on", policy, None, None,
+                                     num_clients, requests_per_client)
+        violations = [v.kind for v in sync_violations()]
+        snapshot = metrics_snapshot()
+        acquisitions = int(sum(m.get("value", 0) for name, m in snapshot.items()
+                               if name.startswith("sync.acquire.")))
+        contended = int(sum(m.get("value", 0) for name, m in snapshot.items()
+                            if name.startswith("sync.contention.")))
+        reset_sync_state()
+    reset_metrics()
+    p50_off = _percentile(baseline["latencies_s"], 50)
+    p50_on = _percentile(sanitized["latencies_s"], 50)
+    p95_off = _percentile(baseline["latencies_s"], 95)
+    p95_on = _percentile(sanitized["latencies_s"], 95)
+    return {
+        "clients": num_clients,
+        "requests_per_client": requests_per_client,
+        "grid": list(BENCH_GRID.shape),
+        "completed_baseline": len(baseline["latencies_s"]),
+        "completed_sanitized": len(sanitized["latencies_s"]),
+        "baseline_p50_s": p50_off,
+        "sanitized_p50_s": p50_on,
+        "baseline_p95_s": p95_off,
+        "sanitized_p95_s": p95_on,
+        "overhead_p50_pct": (100.0 * (p50_on - p50_off) / p50_off
+                             if p50_off > 0 else 0.0),
+        "overhead_p95_pct": (100.0 * (p95_on - p95_off) / p95_off
+                             if p95_off > 0 else 0.0),
+        "lock_acquisitions": acquisitions,
+        "contended_acquisitions": contended,
+        "violations": len(violations),
+    }
+
+
 def merge_into_bench_json(section: dict, out_path: Path,
                           name: str = "serving") -> dict:
     """Insert/replace one section, preserving the others."""
@@ -280,7 +340,8 @@ def merge_into_bench_json(section: dict, out_path: Path,
     payload.setdefault("sections", {})[name] = section
     timings = payload.setdefault("timings", {})
     keys = {"serving": ("latency_p50_s", "latency_p95_s", "latency_p99_s"),
-            "obs_overhead": ("baseline_p95_s", "monitored_p95_s")}[name]
+            "obs_overhead": ("baseline_p95_s", "monitored_p95_s"),
+            "sanitize_overhead": ("baseline_p50_s", "sanitized_p50_s")}[name]
     for key in keys:
         timings[f"{name}.{key}"] = section[key]
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -314,13 +375,21 @@ def main(argv=None) -> int:
                                         name="obs_overhead")
         print(f"wrote obs_overhead section to {args.out}")
 
+        sanitize = bench_sanitize_overhead(args.smoke)
+        for key, value in sanitize.items():
+            print(f"    {key}: {value}")
+        payload = merge_into_bench_json(sanitize, Path(args.out),
+                                        name="sanitize_overhead")
+        print(f"wrote sanitize_overhead section to {args.out}")
+
     if args.check:
         from run_benchmarks import check_regressions
 
         print("checking serving timings against reference:")
         failures = check_regressions(payload["timings"], REFERENCE_PATH)
         gated = [f for f in failures
-                 if f.startswith(("serving.", "obs_overhead."))]
+                 if f.startswith(("serving.", "obs_overhead.",
+                                  "sanitize_overhead."))]
         if gated:
             print(f"SERVING PERF REGRESSION: {', '.join(gated)}")
             return 1

@@ -88,7 +88,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "(default: REPRO_WORKERS env or all cores; 1 = serial)")
     parser.add_argument("--sanitize", action="store_true",
                         help="run under the autograd tape sanitizer (NaN/Inf and "
-                             "shape/dtype checks on every op)")
+                             "shape/dtype checks on every op) and the lock "
+                             "sanitizer (lock-order + fork-safety checks)")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="record observation-only spans to this JSONL file "
                              "(same as REPRO_TRACE=PATH; summarize with "
@@ -312,6 +313,8 @@ def cmd_lint(args) -> int:
         argv.append("--gradcheck")
     if args.select:
         argv.extend(["--select", args.select])
+    if args.jobs != 1:
+        argv.extend(["--jobs", str(args.jobs)])
     return lint_main(argv)
 
 
@@ -351,7 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="processes for rigorous dataset generation")
     p.add_argument("--sanitize", action="store_true",
-                   help="run under the autograd tape sanitizer")
+                   help="run under the autograd tape + lock sanitizers")
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="record observation-only spans to this JSONL file")
     p.set_defaults(func=cmd_reproduce)
@@ -417,6 +420,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gradcheck", action="store_true",
                    help="also run the finite-difference sweep over every op")
     p.add_argument("--select", help="comma-separated rule ids to run")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="lint files across N fork-pool workers")
     p.set_defaults(func=cmd_lint)
 
     return parser
@@ -434,9 +439,13 @@ def main(argv=None) -> int:
         enable_tracing(args.trace)
     try:
         if getattr(args, "sanitize", False):
+            from repro.runtime.sync import sanitize_locks
             from repro.tensor import sanitize
 
-            with sanitize(True):
+            # locks created by the command (batcher, registry, health)
+            # come out instrumented; violations are recorded + counted
+            # rather than raised so a serving process stays up
+            with sanitize(True), sanitize_locks(raise_on_violation=False):
                 return args.func(args)
         return args.func(args)
     except CLIError as error:

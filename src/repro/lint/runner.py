@@ -8,6 +8,7 @@ from pathlib import Path
 
 from .core import Diagnostic, LintFile, all_rules, run_rules
 from . import rules as _rules  # noqa: F401  (rule registration side effect)
+from . import concurrency as _concurrency  # noqa: F401  (REP10x registration)
 
 #: directories never worth descending into
 SKIP_DIRS = {".git", "__pycache__", ".repro_cache", "results", "build", "dist", ".github"}
@@ -46,12 +47,37 @@ def lint_source(source: str, relpath: str, select: set[str] | None = None) -> li
     return run_rules(file, select=select)
 
 
-def lint_paths(paths: list[str], select: set[str] | None = None) -> list[Diagnostic]:
-    """Lint every python file under ``paths`` and return all diagnostics."""
-    diagnostics: list[Diagnostic] = []
-    for path in iter_python_files(paths):
-        source = path.read_text(encoding="utf-8")
-        diagnostics.extend(lint_source(source, path.as_posix(), select=select))
+def _lint_one(path_str: str, select: frozenset | None = None) -> list[Diagnostic]:
+    """Lint a single file (module-level so fork-pool workers can pickle it)."""
+    source = Path(path_str).read_text(encoding="utf-8")
+    return lint_source(source, path_str, select=set(select) if select else None)
+
+
+def _diagnostic_order(diag: Diagnostic) -> tuple:
+    return (diag.path, diag.line, diag.col, diag.rule)
+
+
+def lint_paths(paths: list[str], select: set[str] | None = None,
+               jobs: int = 1) -> list[Diagnostic]:
+    """Lint every python file under ``paths`` and return all diagnostics.
+
+    ``jobs > 1`` fans files out across :func:`repro.runtime.parallel_map`
+    fork workers.  Output is sorted globally by (path, line, col, rule)
+    either way, so diagnostics are byte-identical across worker counts.
+    """
+    files = [path.as_posix() for path in iter_python_files(paths)]
+    frozen = frozenset(select) if select else None
+    if jobs > 1:
+        from functools import partial
+
+        from repro.runtime.pool import parallel_map
+
+        per_file = parallel_map(partial(_lint_one, select=frozen), files,
+                                workers=jobs)
+    else:
+        per_file = [_lint_one(path, select=frozen) for path in files]
+    diagnostics = [diag for file_diags in per_file for diag in file_diags]
+    diagnostics.sort(key=_diagnostic_order)
     return diagnostics
 
 
@@ -79,6 +105,8 @@ def main(argv: list[str] | None = None, stream=None) -> int:
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument("--select", help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="lint files across N fork-pool workers (default: 1)")
     parser.add_argument("--list-rules", action="store_true", help="print the rule catalog")
     parser.add_argument("--gradcheck", action="store_true",
                         help="run the finite-difference sweep over every registered op")
@@ -101,9 +129,12 @@ def main(argv: list[str] | None = None, stream=None) -> int:
                          f"(see --list-rules)")
     exit_code = 0
 
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
     if args.paths:
         try:
-            diagnostics = lint_paths(args.paths, select=select)
+            diagnostics = lint_paths(args.paths, select=select, jobs=args.jobs)
         except FileNotFoundError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import GridConfig, PEBConfig
+from repro.runtime.sync import make_condition, make_lock
 
 from .context import TraceContext, use_context
 from .metrics import counter, histogram, timer
@@ -176,8 +177,8 @@ class ShadowAuditor:
         self.peb = peb if peb is not None else PEBConfig()
         self.config = config if config is not None else HealthConfig()
         self._items: deque[_AuditItem] = deque()
-        self._lock = threading.Lock()
-        self._ready = threading.Condition(self._lock)
+        self._lock = make_lock("obs.shadow")
+        self._ready = make_condition("obs.shadow", lock=self._lock)
         #: queued plus in-flight audits; drives :meth:`drain`
         self._pending = 0
         self._closed = False
@@ -204,13 +205,17 @@ class ShadowAuditor:
         return True
 
     def _get_solver(self):
-        if self._solver is None:
+        solver = self._solver
+        if solver is None:
             from repro.litho.peb import RigorousPEBSolver
 
-            self._solver = RigorousPEBSolver(
-                self.grid, self.peb,
-                time_step_s=self.config.shadow_time_step_s)
-        return self._solver
+            with self._ready:
+                if self._solver is None:
+                    self._solver = RigorousPEBSolver(
+                        self.grid, self.peb,
+                        time_step_s=self.config.shadow_time_step_s)
+                solver = self._solver
+        return solver
 
     def _run(self) -> None:
         while True:
@@ -243,13 +248,15 @@ class ShadowAuditor:
                 histogram("health.shadow.rmse", bounds=_ERROR_BOUNDS).observe(rmse)
                 histogram("health.shadow.cd_error_nm", bounds=_CD_BOUNDS).observe(cd_error)
                 counter("health.shadow.audits").inc()
-                self._audits_done += 1
+                with self._ready:
+                    self._audits_done += 1
                 trace_event("health.shadow", request_id=item.request_id,
                             rmse=rmse, cd_error_nm=cd_error)
 
     @property
     def audits_done(self) -> int:
-        return self._audits_done
+        with self._ready:
+            return self._audits_done
 
     def drain(self, timeout_s: float = 30.0) -> bool:
         """Wait for queued and in-flight audits to finish; True when drained."""
@@ -262,13 +269,44 @@ class ShadowAuditor:
                 self._ready.wait(remaining)
         return True
 
-    def close(self, timeout_s: float = 30.0) -> None:
+    def _discard_backlog_locked(self) -> None:
+        """Drop queued (not in-flight) items; caller holds ``self._ready``."""
+        dropped = len(self._items)
+        if not dropped:
+            return
+        self._items.clear()
+        self._pending -= dropped  # repro-lint: disable=REP101 (caller holds self._ready)
+        counter("health.shadow.dropped").inc(dropped)
+        self._ready.notify_all()
+
+    def close(self, timeout_s: float = 5.0, drain: bool = True) -> bool:
+        """Stop the audit worker within ``timeout_s`` seconds.
+
+        With ``drain=True`` the backlog keeps being audited until the
+        deadline; whatever is still queued when it expires is dropped
+        (counted under ``health.shadow.dropped``) so the join is
+        bounded.  With ``drain=False`` the backlog is discarded up
+        front.  Returns True when the worker thread actually exited —
+        False only if it was still inside a rigorous solve at the
+        deadline (it is a daemon thread, so process exit is never held
+        up either way).
+        """
+        deadline = time.monotonic() + timeout_s
         with self._ready:
-            if self._closed:
-                return
-            self._closed = True
-            self._ready.notify_all()
-        self._thread.join(timeout_s)
+            if not self._closed:
+                self._closed = True
+                if not drain:
+                    self._discard_backlog_locked()
+                self._ready.notify_all()
+        self._thread.join(max(0.0, deadline - time.monotonic()))
+        if self._thread.is_alive():
+            # deadline hit mid-drain: drop the remainder so the worker
+            # exits right after its current solve, and give it a moment
+            with self._ready:
+                self._discard_backlog_locked()
+                self._ready.notify_all()
+            self._thread.join(0.1)
+        return not self._thread.is_alive()
 
 
 class HealthMonitor:
@@ -289,7 +327,7 @@ class HealthMonitor:
         self.name = name
         self._seen = 0
         self._violations = 0
-        self._count_lock = threading.Lock()
+        self._count_lock = make_lock("obs.health.counts")
         self.auditor = (ShadowAuditor(grid, peb=peb, config=self.config)
                         if self.config.shadow_every > 0 else None)
 

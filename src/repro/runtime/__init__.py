@@ -10,7 +10,11 @@ reproduction runs on a given machine without changing any numerics:
   (DCT diffusion propagator, S4D global convolution);
 * :mod:`repro.runtime.cache` — LRU caches for the PEB propagators,
   whose construction is dominated by ``expm`` / eigenvalue setup and is
-  repeated verbatim across solver instances, benches and pool workers.
+  repeated verbatim across solver instances, benches and pool workers;
+* :mod:`repro.runtime.sync` — lock factories whose products turn into
+  instrumented wrappers under ``REPRO_SANITIZE=1``, recording lock
+  acquisition order (inversion detection), fork-time safety and
+  per-lock contention.
 
 Environment variables: ``REPRO_WORKERS`` (process count for dataset
 generation) and ``REPRO_FFT_WORKERS`` (scipy.fft thread count); see
@@ -23,10 +27,20 @@ from .cache import (
     cached_lateral_propagator, cached_z_propagator,
     clear_propagator_caches, propagator_cache_info,
 )
+from .sync import (
+    make_lock, make_rlock, make_condition, sanitize_locks,
+    lock_sanitizer_enabled, check_fork_safety, sync_violations,
+    sync_report, reset_sync_state, held_locks,
+    LockSanitizerError, LockOrderError, ForkSafetyError, SyncViolation,
+)
 
 __all__ = [
     "resolve_workers", "fork_available", "parallel_map",
     "fft_workers", "set_fft_workers",
     "cached_lateral_propagator", "cached_z_propagator",
     "clear_propagator_caches", "propagator_cache_info",
+    "make_lock", "make_rlock", "make_condition", "sanitize_locks",
+    "lock_sanitizer_enabled", "check_fork_safety", "sync_violations",
+    "sync_report", "reset_sync_state", "held_locks",
+    "LockSanitizerError", "LockOrderError", "ForkSafetyError", "SyncViolation",
 ]

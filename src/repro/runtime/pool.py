@@ -102,6 +102,11 @@ def parallel_map(fn: Callable, items: Iterable, workers: int | None = None) -> l
         counter("pool.serial_runs").inc()
         with span("pool.dispatch", mode="serial", workers=1, tasks=len(tasks)):
             return [fn(task) for task in tasks]
+    from repro.runtime.sync import check_fork_safety
+
+    # surface held-lock / live-thread hazards deterministically at the
+    # dispatch site (the at-fork hook alone cannot raise into user code)
+    check_fork_safety()
     context = multiprocessing.get_context("fork")
     try:
         with span("pool.dispatch", mode="fork",

@@ -1,0 +1,479 @@
+"""Runtime lock sanitizer: instrumented locks, lock-order and fork checks.
+
+The static REP100-series rules (:mod:`repro.lint.concurrency`) catch
+lane/lock misuse the AST can see; this module catches what it cannot —
+the actual acquisition *order* at runtime, locks held at ``fork`` time,
+and contention.  It is the concurrency analog of the autograd tape
+sanitizer and rides the same switch: ``REPRO_SANITIZE=1`` (or the CLI's
+``--sanitize``) activates it process-wide, and :func:`sanitize_locks`
+scopes it to a block in tests.
+
+Three factories replace direct ``threading`` constructors in the lanes
+we own (:mod:`repro.serve`, :mod:`repro.obs.health`):
+
+* :func:`make_lock` / :func:`make_rlock` / :func:`make_condition` —
+  with the sanitizer **off** they return the plain ``threading``
+  primitive (zero overhead, bitwise-identical behavior); **on**, they
+  return a :class:`SanitizedLock` wrapper that
+
+  - records per-thread acquisition order into a global wait-for graph
+    and reports **lock-order inversions** (a cycle) with the source
+    sites of both conflicting acquisitions,
+  - counts acquisitions and contention per lock name into
+    :mod:`repro.obs.metrics` (``sync.acquire.*`` / ``sync.contention.*``
+    counters, ``sync.wait.*`` timers),
+  - participates in the **fork check**: an ``os.register_at_fork``
+    hook (plus an explicit pre-dispatch check in
+    :func:`repro.runtime.pool.parallel_map`) reports any instrumented
+    lock held at fork time and any live non-daemon thread, both of
+    which a forked child inherits in an unrunnable state.
+
+Violations are always recorded (:func:`sync_violations`,
+``sync.violations.*`` counters).  Deterministic violations — an order
+inversion, or forking while the *current* thread holds a lock — also
+raise when ``raise_on_violation`` is set (the default under
+``sanitize_locks``); timing-dependent ones (another thread holding a
+lock at fork, live threads) are report-only so sanitized CI runs don't
+flake.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import os
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "LockSanitizerError", "LockOrderError", "ForkSafetyError", "SyncViolation",
+    "lock_sanitizer_enabled", "sanitize_locks", "make_lock", "make_rlock",
+    "make_condition", "SanitizedLock", "check_fork_safety", "sync_violations",
+    "sync_report", "reset_sync_state", "held_locks",
+]
+
+
+class LockSanitizerError(RuntimeError):
+    """Base class for lock-sanitizer failures."""
+
+
+class LockOrderError(LockSanitizerError):
+    """Two locks were acquired in opposite orders on different code paths."""
+
+
+class ForkSafetyError(LockSanitizerError):
+    """The process forked in a state a child cannot safely inherit."""
+
+
+@dataclass(frozen=True)
+class SyncViolation:
+    """One recorded sanitizer finding."""
+
+    kind: str      # "lock-order" | "fork-held-lock" | "fork-held-lock-other" | "fork-live-thread"
+    message: str
+
+
+@dataclass
+class _Holding:
+    """One lock currently held by one thread."""
+
+    uid: int
+    name: str
+    site: str
+
+
+@dataclass
+class _Edge:
+    """Observed order: ``before`` was held while ``after`` was acquired."""
+
+    before_name: str
+    after_name: str
+    site: str
+
+
+class _State:
+    """Process-global sanitizer state.
+
+    ``mutex`` is a raw ``threading.Lock`` guarding only this book-keeping;
+    no user code ever runs while it is held, so it cannot deadlock with
+    the locks it watches.
+    """
+
+    def __init__(self) -> None:
+        self.mutex = threading.Lock()
+        self.enabled_override: bool | None = None
+        self.raise_on_violation = False
+        self.violations: list[SyncViolation] = []
+        self.held: dict[int, list[_Holding]] = {}     # thread id -> stack
+        self.edges: dict[tuple[int, int], _Edge] = {}  # (before uid, after uid)
+        self.adjacency: dict[int, set[int]] = {}
+        self.locks_created = 0
+        self.fork_hook_installed = False
+
+
+_STATE = _State()
+_UIDS = itertools.count(1)
+
+
+def lock_sanitizer_enabled() -> bool:
+    """Whether the lock sanitizer is active.
+
+    An explicit :func:`sanitize_locks` block wins; otherwise the
+    ``REPRO_SANITIZE`` environment variable decides (same contract as
+    the tape sanitizer in :mod:`repro.tensor`).
+    """
+    override = _STATE.enabled_override
+    if override is not None:
+        return override
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0", "false", "False")
+
+
+@contextlib.contextmanager
+def sanitize_locks(enabled: bool = True, raise_on_violation: bool = True):
+    """Scope the lock sanitizer to a block (tests, focused debugging).
+
+    Locks must be *created* inside the block to be instrumented — the
+    factories decide plain-vs-wrapped at construction time so that
+    disabled runs carry zero overhead.
+    """
+    previous = (_STATE.enabled_override, _STATE.raise_on_violation)
+    _STATE.enabled_override = bool(enabled)
+    _STATE.raise_on_violation = bool(raise_on_violation)
+    if enabled:
+        _install_fork_hook()
+    try:
+        yield
+    finally:
+        _STATE.enabled_override, _STATE.raise_on_violation = previous
+
+
+def reset_sync_state() -> None:
+    """Drop recorded violations, held-lock and order-graph state (tests)."""
+    with _STATE.mutex:
+        _STATE.violations.clear()
+        _STATE.held.clear()
+        _STATE.edges.clear()
+        _STATE.adjacency.clear()
+
+
+def sync_violations() -> list[SyncViolation]:
+    """Snapshot of every violation recorded so far in this process."""
+    with _STATE.mutex:
+        return list(_STATE.violations)
+
+
+def held_locks(thread_id: int | None = None) -> list[str]:
+    """Names of instrumented locks held by one thread (default: current)."""
+    tid = threading.get_ident() if thread_id is None else thread_id
+    with _STATE.mutex:
+        return [h.name for h in _STATE.held.get(tid, [])]
+
+
+def sync_report() -> dict:
+    """Operational snapshot: graph size, held locks, violations."""
+    with _STATE.mutex:
+        return {
+            "enabled": lock_sanitizer_enabled(),
+            "locks_created": _STATE.locks_created,
+            "order_edges": len(_STATE.edges),
+            "held": {tid: [h.name for h in stack]
+                     for tid, stack in _STATE.held.items() if stack},
+            "violations": [{"kind": v.kind, "message": v.message}
+                           for v in _STATE.violations],
+        }
+
+
+def _counter(name: str):
+    # local import: repro.obs imports nothing from runtime.sync, but the
+    # lazy import keeps this module importable before obs is configured
+    from repro.obs.metrics import counter
+
+    return counter(name)
+
+
+def _record_violation(kind: str, message: str, error_cls=LockSanitizerError,
+                      raise_it: bool = False) -> None:
+    with _STATE.mutex:
+        _STATE.violations.append(SyncViolation(kind=kind, message=message))
+    _counter("sync.violations").inc()
+    _counter(f"sync.violations.{kind}").inc()
+    print(f"repro.runtime.sync: {kind}: {message}", file=sys.stderr, flush=True)
+    if raise_it:
+        raise error_cls(message)
+
+
+def _call_site() -> str:
+    """``file:line`` of the nearest caller outside this module."""
+    frame = sys._getframe(1)
+    here = __file__
+    while frame is not None and frame.f_code.co_filename == here:
+        frame = frame.f_back
+    if frame is None:
+        return "<unknown>"
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+
+def _path_exists(start: int, goal: int) -> bool:
+    """DFS over the order graph; caller holds ``_STATE.mutex``."""
+    stack, seen = [start], {start}
+    while stack:
+        node = stack.pop()
+        if node == goal:
+            return True
+        for nxt in _STATE.adjacency.get(node, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return False
+
+
+class SanitizedLock:
+    """Instrumented wrapper over a ``threading`` lock.
+
+    Duck-compatible with ``threading.Lock``/``RLock`` (including the
+    ``_release_save``/``_acquire_restore``/``_is_owned`` protocol
+    ``threading.Condition`` uses), so it can stand in anywhere the plain
+    primitive does.
+    """
+
+    __slots__ = ("name", "uid", "_raw", "_reentrant", "_depth")
+
+    def __init__(self, name: str, reentrant: bool = False):
+        self.name = name
+        self.uid = next(_UIDS)
+        self._reentrant = reentrant
+        self._raw = threading.RLock() if reentrant else threading.Lock()
+        self._depth: dict[int, int] = {}  # thread id -> recursion depth
+        with _STATE.mutex:
+            _STATE.locks_created += 1
+
+    # -- core protocol -------------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        tid = threading.get_ident()
+        if self._reentrant and self._depth.get(tid, 0) > 0:
+            # pure recursion: no new ordering information
+            self._raw.acquire()
+            self._depth[tid] += 1
+            return True
+        got = self._raw.acquire(False)
+        if not got:
+            if not blocking:
+                return False
+            _counter(f"sync.contention.{self.name}").inc()
+            started = time.perf_counter()
+            got = self._raw.acquire(True, timeout)
+            self._observe_wait(time.perf_counter() - started)
+            if not got:
+                return False
+        self._note_acquired(tid, _call_site())
+        return True
+
+    def release(self) -> None:
+        tid = threading.get_ident()
+        if self._reentrant and self._depth.get(tid, 0) > 1:
+            self._depth[tid] -= 1
+            self._raw.release()
+            return
+        self._note_released(tid)
+        self._raw.release()
+
+    def locked(self) -> bool:
+        return self._raw.locked() if hasattr(self._raw, "locked") else bool(self._depth)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<SanitizedLock {self.name!r} uid={self.uid}>"
+
+    # -- Condition integration (threading.Condition duck protocol) -----
+    def _is_owned(self) -> bool:
+        return self._depth.get(threading.get_ident(), 0) > 0
+
+    def _release_save(self):
+        """Fully release (all recursion levels) for Condition.wait."""
+        tid = threading.get_ident()
+        depth = self._depth.get(tid, 0)
+        self._note_released(tid)
+        if hasattr(self._raw, "_release_save"):
+            inner = self._raw._release_save()
+        else:
+            self._raw.release()
+            inner = None
+        return (inner, depth)
+
+    def _acquire_restore(self, saved) -> None:
+        inner, depth = saved
+        if hasattr(self._raw, "_acquire_restore"):
+            self._raw._acquire_restore(inner)
+        else:
+            self._raw.acquire()
+        # re-acquisition after a wait is a fresh ordering event; never
+        # roll back here — Condition.wait must return with the lock held
+        self._note_acquired(threading.get_ident(), _call_site(), depth=depth,
+                            roll_back_on_raise=False)
+
+    # -- book-keeping --------------------------------------------------
+    def _observe_wait(self, seconds: float) -> None:
+        from repro.obs.metrics import timer
+
+        timer(f"sync.wait.{self.name}").observe(seconds)
+
+    def _note_acquired(self, tid: int, site: str, depth: int = 1,
+                       roll_back_on_raise: bool = True) -> None:
+        _counter(f"sync.acquire.{self.name}").inc()
+        inversion: str | None = None
+        with _STATE.mutex:
+            stack = _STATE.held.setdefault(tid, [])
+            for holding in stack:
+                if holding.uid == self.uid:
+                    continue
+                edge_key = (holding.uid, self.uid)
+                if edge_key in _STATE.edges:
+                    continue
+                if _path_exists(self.uid, holding.uid):
+                    reverse = _STATE.edges.get((self.uid, holding.uid))
+                    reverse_site = reverse.site if reverse else "<transitive>"
+                    inversion = (
+                        f"lock-order inversion: {self.name!r} acquired while "
+                        f"holding {holding.name!r} at {site}, but "
+                        f"{holding.name!r} was previously acquired while "
+                        f"holding {self.name!r} at {reverse_site}")
+                    continue  # record the violation, keep the graph acyclic
+                _STATE.edges[edge_key] = _Edge(
+                    before_name=holding.name, after_name=self.name, site=site)
+                _STATE.adjacency.setdefault(holding.uid, set()).add(self.uid)
+            roll_back = (inversion is not None and roll_back_on_raise
+                         and _STATE.raise_on_violation)
+            if not roll_back:
+                stack.append(_Holding(uid=self.uid, name=self.name, site=site))
+        if roll_back:
+            # undo the acquisition before raising so a caught
+            # LockOrderError leaves the lock free and the state consistent
+            self._raw.release()
+            _record_violation("lock-order", inversion, LockOrderError,
+                              raise_it=True)
+        self._depth[tid] = depth
+        if inversion is not None:
+            _record_violation("lock-order", inversion, LockOrderError,
+                              raise_it=_STATE.raise_on_violation)
+
+    def _note_released(self, tid: int) -> None:
+        self._depth.pop(tid, None)
+        with _STATE.mutex:
+            stack = _STATE.held.get(tid, [])
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index].uid == self.uid:
+                    del stack[index]
+                    break
+
+
+# ----------------------------------------------------------------------
+# Factories
+# ----------------------------------------------------------------------
+def make_lock(name: str):
+    """A mutex: plain ``threading.Lock`` off, :class:`SanitizedLock` on."""
+    if lock_sanitizer_enabled():
+        _install_fork_hook()
+        return SanitizedLock(name)
+    return threading.Lock()
+
+
+def make_rlock(name: str):
+    """A re-entrant mutex, instrumented when the sanitizer is active."""
+    if lock_sanitizer_enabled():
+        _install_fork_hook()
+        return SanitizedLock(name, reentrant=True)
+    return threading.RLock()
+
+
+def make_condition(name: str, lock=None):
+    """A condition variable, built over an (optionally shared) lock.
+
+    Passing the lock returned by :func:`make_lock` keeps the condition
+    and its mutex as *one* instrumented lock, mirroring
+    ``threading.Condition(existing_lock)``.
+    """
+    if lock is not None:
+        return threading.Condition(lock)
+    if lock_sanitizer_enabled():
+        _install_fork_hook()
+        return threading.Condition(SanitizedLock(name, reentrant=True))
+    return threading.Condition()
+
+
+# ----------------------------------------------------------------------
+# Fork safety
+# ----------------------------------------------------------------------
+def check_fork_safety(raise_on_violation: bool | None = None) -> list[SyncViolation]:
+    """Report locks held / non-daemon threads alive right now.
+
+    Called by the ``os.register_at_fork`` before-hook and explicitly by
+    :func:`repro.runtime.pool.parallel_map` ahead of pool creation.
+    Returns the violations found (empty when fork-safe).  Holding an
+    instrumented lock on the *calling* thread raises
+    :class:`ForkSafetyError` when ``raise_on_violation`` (defaulting to
+    the sanitizer's setting) — that bug is deterministic.  Locks held by
+    other threads and live non-daemon threads are timing-dependent, so
+    they are recorded but never raised.
+    """
+    if not lock_sanitizer_enabled():
+        return []
+    if raise_on_violation is None:
+        raise_on_violation = _STATE.raise_on_violation
+    found: list[SyncViolation] = []
+    tid = threading.get_ident()
+    with _STATE.mutex:
+        mine = list(_STATE.held.get(tid, []))
+        others = {t: list(stack) for t, stack in _STATE.held.items()
+                  if t != tid and stack}
+    before = len(_STATE.violations)
+    if mine:
+        names = ", ".join(f"{h.name!r} (acquired at {h.site})" for h in mine)
+        _record_violation(
+            "fork-held-lock",
+            f"fork requested while the forking thread holds {names}; a child "
+            f"would inherit the lock in a locked state and deadlock",
+            ForkSafetyError, raise_it=raise_on_violation)
+    for other_tid, stack in sorted(others.items()):
+        names = ", ".join(f"{h.name!r} (acquired at {h.site})" for h in stack)
+        _record_violation(
+            "fork-held-lock-other",
+            f"fork requested while thread {other_tid} holds {names}; the "
+            f"child inherits it locked with no owner to release it")
+    main = threading.main_thread()
+    current = threading.current_thread()
+    rogue = [t for t in threading.enumerate()
+             if t is not main and t is not current and not t.daemon and t.is_alive()]
+    for thread in rogue:
+        _record_violation(
+            "fork-live-thread",
+            f"fork requested while non-daemon thread {thread.name!r} is "
+            f"alive; it does not exist in the child, leaving its locks and "
+            f"state orphaned")
+    with _STATE.mutex:
+        found = _STATE.violations[before:]
+    return found
+
+
+def _before_fork() -> None:
+    # never raise out of the libc fork path: record only
+    try:
+        check_fork_safety(raise_on_violation=False)
+    except Exception:  # noqa: BLE001 - a watchdog must not break fork itself
+        pass
+
+
+def _install_fork_hook() -> None:
+    if _STATE.fork_hook_installed or not hasattr(os, "register_at_fork"):
+        return
+    with _STATE.mutex:
+        if _STATE.fork_hook_installed:
+            return
+        _STATE.fork_hook_installed = True
+    os.register_at_fork(before=_before_fork)

@@ -51,6 +51,7 @@ from repro.obs import (
     capture_context, counter, histogram, set_span_attrs, span, timer,
     use_context,
 )
+from repro.runtime.sync import make_condition, make_lock
 
 __all__ = [
     "BatchPolicy", "MicroBatcher", "ServeError", "QueueFullError",
@@ -114,7 +115,7 @@ class _ResponseCache:
     def __init__(self, capacity: int):
         self.capacity = capacity
         self._entries: OrderedDict[str, np.ndarray] = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.cache")
 
     def get(self, key: str) -> np.ndarray | None:
         with self._lock:
@@ -188,8 +189,8 @@ class MicroBatcher:
         self._cache_misses = 0
         self._cache = _ResponseCache(self.policy.cache_entries)
         self._queue: deque[_Request] = deque()
-        self._lock = threading.Lock()
-        self._work_ready = threading.Condition(self._lock)
+        self._lock = make_lock(f"serve.batcher.{name}")
+        self._work_ready = make_condition(f"serve.batcher.{name}", lock=self._lock)
         self._closed = False
         self._drain_on_close = True
         self._batches_run = 0
@@ -315,10 +316,14 @@ class MicroBatcher:
                 for request in live:
                     request.finish(error=error)
                 continue
-            self._batches_run += 1
+            # stats counters are read from handler threads: keep every
+            # mutation under the batcher lock (+= is read-modify-write)
+            with self._lock:
+                self._batches_run += 1
             for request, output in zip(live, outputs):
                 self._cache.put(request.key, output)
-                self._requests_done += 1
+                with self._lock:
+                    self._requests_done += 1
                 request.finish(result=output)
 
     # -- lifecycle / introspection ------------------------------------
@@ -354,10 +359,11 @@ class MicroBatcher:
         """Operational snapshot for ``/healthz`` and the bench harness."""
         with self._lock:
             cache_hits, cache_misses = self._cache_hits, self._cache_misses
+            batches_run, requests_done = self._batches_run, self._requests_done
         return {
             "queue_depth": self.queue_depth(),
-            "batches_run": self._batches_run,
-            "requests_done": self._requests_done,
+            "batches_run": batches_run,
+            "requests_done": requests_done,
             "cache_entries": len(self._cache),
             "cache_hits": cache_hits,
             "cache_misses": cache_misses,

@@ -33,6 +33,7 @@ import numpy as np
 from repro import nn
 from repro.config import GridConfig
 from repro.nn.module import normalize_weights_path
+from repro.runtime.sync import make_lock
 
 #: bump when the manifest layout changes incompatibly
 MANIFEST_SCHEMA_VERSION = 1
@@ -218,6 +219,11 @@ class ModelRegistry:
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # serializes publish's version-pick + mkdir so two concurrent
+        # publishes of the same name cannot both resolve latest+1 to the
+        # same version (guards this process; the mkdir(exist_ok=False)
+        # below backstops cross-process races)
+        self._publish_lock = make_lock("serve.registry.publish")
 
     # -- resolution ----------------------------------------------------
     def names(self) -> list[str]:
@@ -253,17 +259,31 @@ class ModelRegistry:
     # -- publish / load ------------------------------------------------
     def publish(self, model, method: str, grid: GridConfig, name: str,
                 version: int | None = None, extra: dict | None = None) -> ModelManifest:
-        if version is None:
-            existing = self.versions(name)
-            version = (existing[-1] + 1) if existing else 1
-        elif version in self.versions(name):
-            raise RegistryError(f"{name!r} v{version} already published; "
-                                "versions are immutable")
-        target_dir = self.root / name / f"v{version}"
-        target_dir.mkdir(parents=True, exist_ok=True)
-        return save_checkpoint(model, target_dir / self.WEIGHTS_FILENAME,
-                               method=method, grid=grid, name=name,
-                               version=version, extra=extra)
+        # the lock covers version-pick *and* the weights write: versions()
+        # only counts a directory once weights.npz exists, so releasing
+        # between the two would let a concurrent publish of the same name
+        # resolve latest+1 to the same number
+        with self._publish_lock:
+            if version is None:
+                existing = self.versions(name)
+                version = (existing[-1] + 1) if existing else 1
+            elif version in self.versions(name):
+                raise RegistryError(f"{name!r} v{version} already published; "
+                                    "versions are immutable")
+            target_dir = self.root / name / f"v{version}"
+            (self.root / name).mkdir(parents=True, exist_ok=True)
+            try:
+                # strict mkdir backstops publishers in *other* processes,
+                # which this lock cannot see
+                target_dir.mkdir()
+            except FileExistsError:
+                raise RegistryError(
+                    f"{name!r} v{version} already claimed (concurrent "
+                    f"publisher or leftover {target_dir}); versions are "
+                    "immutable") from None
+            return save_checkpoint(model, target_dir / self.WEIGHTS_FILENAME,
+                                   method=method, grid=grid, name=name,
+                                   version=version, extra=extra)
 
     def manifest(self, name: str, version: int | None = None) -> ModelManifest:
         return read_manifest(self.weights_path(name, version))

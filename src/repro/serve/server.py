@@ -53,6 +53,7 @@ from repro.obs import (
     HealthConfig, HealthMonitor, TraceContext, counter, histogram,
     metrics_snapshot, new_request_context, span, timer, use_context,
 )
+from repro.runtime.sync import make_lock
 from repro.tensor import Tensor, no_grad
 
 from .batcher import (
@@ -398,7 +399,7 @@ class PredictServer:
             versions[entry.manifest.version] = entry
         self.default_name = served[0].manifest.name
         self._inflight = 0
-        self._inflight_lock = threading.Lock()
+        self._inflight_lock = make_lock("serve.server.inflight")
         self._http = _Server((self.config.host, self.config.port), _Handler)
         self._http.app = self
         self._thread: threading.Thread | None = None

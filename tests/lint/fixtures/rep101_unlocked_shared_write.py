@@ -1,0 +1,24 @@
+"""REP101 fixture: stat increment outside the owning lock (line 17)."""
+
+import threading
+
+
+class Worker:
+    """Spawns a worker lane that shares a counter with callers."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._done = 0
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        while True:
+            self._done += 1
+
+    def stats(self):
+        with self._lock:
+            return self._done
+
+    def close(self):
+        self._thread.join(1.0)

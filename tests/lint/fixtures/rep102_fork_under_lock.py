@@ -1,0 +1,18 @@
+"""REP102 fixture: pool dispatch while holding a module lock (line 12)."""
+
+import threading
+
+from repro.runtime import parallel_map
+
+_lock = threading.Lock()
+
+
+def dispatch(tasks):
+    with _lock:
+        return parallel_map(len, tasks)
+
+
+def dispatch_safe(tasks):
+    with _lock:
+        snapshot = list(tasks)
+    return parallel_map(len, snapshot)

@@ -1,0 +1,27 @@
+"""REP103 fixture: unbounded queue.get while holding a lock (line 18)."""
+
+import queue
+import threading
+
+
+class Pipeline:
+    """Worker lane pulling tasks from a queue shared with submitters."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._tasks = queue.Queue()
+        self._thread = threading.Thread(target=self._step, daemon=True)
+        self._thread.start()
+
+    def _step(self):
+        with self._lock:
+            task = self._tasks.get()
+        return task
+
+    def _step_safe(self):
+        task = self._tasks.get(timeout=1.0)
+        with self._lock:
+            return task
+
+    def close(self):
+        self._thread.join(1.0)

@@ -1,0 +1,30 @@
+"""REP104 fixture: unlocked lazy init of shared state (line 17)."""
+
+import threading
+
+
+class LazyCache:
+    """Two lanes may both see None and build the solver twice."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._solver = None
+        self._table = None
+        self._thread = threading.Thread(target=self.refresh, daemon=True)
+        self._thread.start()
+
+    def refresh(self):
+        if self._solver is None:
+            self._solver = object()
+        return self._solver
+
+    def table(self):
+        # double-checked locking: allowed
+        if self._table is None:
+            with self._lock:
+                if self._table is None:
+                    self._table = object()
+        return self._table
+
+    def close(self):
+        self._thread.join(1.0)

@@ -1,0 +1,22 @@
+"""REP105 fixture: ContextVar.set with a discarded token (line 9)."""
+
+import contextvars
+
+_REQUEST = contextvars.ContextVar("request", default=None)
+
+
+def handle(request_id):
+    _REQUEST.set(request_id)
+    return work()
+
+
+def handle_safe(request_id):
+    token = _REQUEST.set(request_id)
+    try:
+        return work()
+    finally:
+        _REQUEST.reset(token)
+
+
+def work():
+    return _REQUEST.get()

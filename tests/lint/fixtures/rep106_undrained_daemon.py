@@ -1,0 +1,16 @@
+"""REP106 fixture: daemon thread with no join/drain path (line 11)."""
+
+import threading
+
+
+class Flusher:
+    """Background flusher whose backlog dies with the interpreter."""
+
+    def __init__(self):
+        self._pending = []
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        while self._pending:
+            self._pending.pop()

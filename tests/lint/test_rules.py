@@ -22,6 +22,12 @@ CASES = [
     ("rep004_banned_import.py", "src/repro/core/fixture.py", "REP004", 8),
     ("rep005_unregistered_tensor.py", "src/repro/nn/fixture.py", "REP005", 15),
     ("rep006_unitless_field.py", "src/repro/litho/fixture_config.py", "REP006", 16),
+    ("rep101_unlocked_shared_write.py", "src/repro/serve/fixture.py", "REP101", 17),
+    ("rep102_fork_under_lock.py", "src/repro/serve/fixture.py", "REP102", 12),
+    ("rep103_blocking_under_lock.py", "src/repro/serve/fixture.py", "REP103", 18),
+    ("rep104_check_then_act.py", "src/repro/serve/fixture.py", "REP104", 17),
+    ("rep105_contextvar_leak.py", "src/repro/serve/fixture.py", "REP105", 9),
+    ("rep106_undrained_daemon.py", "src/repro/serve/fixture.py", "REP106", 11),
 ]
 
 
@@ -78,7 +84,8 @@ class TestFramework:
 
     def test_rule_catalog_is_complete(self):
         ids = [rule.id for rule in all_rules()]
-        assert ids == ["REP001", "REP002", "REP003", "REP004", "REP005", "REP006"]
+        assert ids == ["REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+                       "REP101", "REP102", "REP103", "REP104", "REP105", "REP106"]
         assert all(rule.description for rule in all_rules())
         assert all(rule.severity in ("error", "warning") for rule in all_rules())
 
@@ -87,6 +94,25 @@ class TestFramework:
             source = ops.read_text(encoding="utf-8")
             diagnostics = lint_source(source, f"src/repro/tensor/{ops.name}")
             assert diagnostics == [], [d.format() for d in diagnostics]
+
+
+class TestParallelScanning:
+    def test_jobs_output_matches_serial_byte_for_byte(self):
+        target = [str(FIXTURES)]
+        serial = [d.format() for d in lint_paths(target, jobs=1)]
+        parallel = [d.format() for d in lint_paths(target, jobs=4)]
+        assert serial == parallel
+        # every path-independent fixture rule fires on its real path
+        assert len(serial) >= 9
+
+    def test_diagnostics_sorted_by_path_line_col_rule(self):
+        diagnostics = lint_paths([str(FIXTURES)], jobs=2)
+        keys = [(d.path, d.line, d.col, d.rule) for d in diagnostics]
+        assert keys == sorted(keys)
+
+    def test_select_respected_across_workers(self):
+        diagnostics = lint_paths([str(FIXTURES)], select={"REP101"}, jobs=2)
+        assert {d.rule for d in diagnostics} == {"REP101"}
 
 
 class TestCleanTree:

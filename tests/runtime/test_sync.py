@@ -1,0 +1,280 @@
+"""Tests for the runtime lock sanitizer (repro.runtime.sync).
+
+The wrappers must behave exactly like the plain primitives they stand in
+for, and the two seeded failure modes the acceptance criteria name — a
+two-lock order inversion and a fork with a held lock — must be detected
+with structured reports naming the offending sites.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.obs import metrics_snapshot, reset_metrics
+from repro.runtime import fork_available, parallel_map
+from repro.runtime.sync import (
+    ForkSafetyError, LockOrderError, SanitizedLock, check_fork_safety,
+    held_locks, lock_sanitizer_enabled, make_condition, make_lock, make_rlock,
+    reset_sync_state, sanitize_locks, sync_report, sync_violations,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    reset_sync_state()
+    reset_metrics()
+    yield
+    reset_sync_state()
+    reset_metrics()
+
+
+class TestFactories:
+    def test_disabled_factories_return_plain_primitives(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        with sanitize_locks(enabled=False):
+            assert not lock_sanitizer_enabled()
+            assert isinstance(make_lock("x"), type(threading.Lock()))
+            assert isinstance(make_rlock("x"), type(threading.RLock()))
+            assert isinstance(make_condition("x"), threading.Condition)
+
+    def test_env_variable_activates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert lock_sanitizer_enabled()
+        assert isinstance(make_lock("x"), SanitizedLock)
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not lock_sanitizer_enabled()
+
+    def test_enabled_factories_instrument(self):
+        with sanitize_locks():
+            assert isinstance(make_lock("x"), SanitizedLock)
+            lock = make_rlock("r")
+            assert isinstance(lock, SanitizedLock)
+            condition = make_condition("c")
+            assert isinstance(condition, threading.Condition)
+            assert isinstance(condition._lock, SanitizedLock)
+
+
+class TestLockSemantics:
+    def test_wrapper_is_a_working_mutex(self):
+        with sanitize_locks():
+            lock = make_lock("m")
+            counts = [0]
+
+            def bump():
+                for _ in range(200):
+                    with lock:
+                        counts[0] += 1
+
+            threads = [threading.Thread(target=bump) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert counts[0] == 800
+            assert not lock.locked()
+
+    def test_nonblocking_acquire_reports_failure(self):
+        with sanitize_locks():
+            lock = make_lock("nb")
+            lock.acquire()
+            grabbed = []
+            t = threading.Thread(target=lambda: grabbed.append(lock.acquire(False)))
+            t.start()
+            t.join()
+            assert grabbed == [False]
+            lock.release()
+
+    def test_rlock_reentrancy(self):
+        with sanitize_locks():
+            lock = make_rlock("re")
+            with lock:
+                with lock:
+                    assert held_locks() == ["re"]
+            assert held_locks() == []
+
+    def test_condition_wait_notify_over_shared_lock(self):
+        with sanitize_locks():
+            lock = make_lock("cv")
+            ready = make_condition("cv", lock=lock)
+            state = []
+
+            def waiter():
+                with ready:
+                    while not state:
+                        ready.wait(1.0)
+                    state.append("seen")
+
+            t = threading.Thread(target=waiter)
+            t.start()
+            with ready:
+                state.append("set")
+                ready.notify_all()
+            t.join(2.0)
+            assert not t.is_alive()
+            assert state == ["set", "seen"]
+            # wait() fully released the lock: nothing held afterwards
+            assert held_locks() == []
+
+    def test_held_locks_tracks_acquisition(self):
+        with sanitize_locks():
+            a, b = make_lock("a"), make_lock("b")
+            with a:
+                with b:
+                    assert held_locks() == ["a", "b"]
+            assert held_locks() == []
+
+
+class TestOrderInversion:
+    def test_seeded_two_lock_inversion_is_detected(self):
+        with sanitize_locks():
+            a, b = make_lock("alpha"), make_lock("beta")
+            with a:
+                with b:
+                    pass
+            with pytest.raises(LockOrderError) as excinfo:
+                with b:
+                    with a:
+                        pass
+            message = str(excinfo.value)
+            assert "alpha" in message and "beta" in message
+            # the structured report names both acquisition sites
+            assert message.count("test_sync.py") == 2
+            kinds = [v.kind for v in sync_violations()]
+            assert kinds == ["lock-order"]
+
+    def test_consistent_order_is_clean(self):
+        with sanitize_locks():
+            a, b = make_lock("one"), make_lock("two")
+            for _ in range(3):
+                with a:
+                    with b:
+                        pass
+            assert sync_violations() == []
+
+    def test_transitive_inversion_is_detected(self):
+        with sanitize_locks(raise_on_violation=False):
+            a, b, c = make_lock("a3"), make_lock("b3"), make_lock("c3")
+            with a:
+                with b:
+                    pass
+            with b:
+                with c:
+                    pass
+            with c:
+                with a:
+                    pass
+            assert [v.kind for v in sync_violations()] == ["lock-order"]
+
+    def test_report_only_mode_records_without_raising(self):
+        with sanitize_locks(raise_on_violation=False):
+            a, b = make_lock("ra"), make_lock("rb")
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+            assert [v.kind for v in sync_violations()] == ["lock-order"]
+
+
+class TestForkSafety:
+    def test_fork_with_held_lock_is_detected(self):
+        with sanitize_locks():
+            lock = make_lock("forky")
+            lock.acquire()
+            try:
+                with pytest.raises(ForkSafetyError) as excinfo:
+                    check_fork_safety()
+            finally:
+                lock.release()
+            assert "forky" in str(excinfo.value)
+            assert [v.kind for v in sync_violations()] == ["fork-held-lock"]
+
+    def test_parallel_map_refuses_dispatch_with_held_lock(self):
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        with sanitize_locks():
+            lock = make_lock("dispatch")
+            with lock:
+                with pytest.raises(ForkSafetyError):
+                    parallel_map(abs, [1, -2, 3], workers=2)
+            # released: same dispatch goes through
+            assert parallel_map(abs, [1, -2, 3], workers=2) == [1, 2, 3]
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="no os.fork")
+    def test_at_fork_hook_records_held_lock(self):
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        with sanitize_locks(raise_on_violation=False):
+            lock = make_lock("hooked")
+            lock.acquire()
+            pid = os.fork()
+            if pid == 0:
+                os._exit(0)
+            os.waitpid(pid, 0)
+            lock.release()
+            assert "fork-held-lock" in [v.kind for v in sync_violations()]
+
+    def test_other_thread_holding_lock_is_report_only(self):
+        with sanitize_locks():
+            lock = make_lock("elsewhere")
+            entered = threading.Event()
+            release = threading.Event()
+
+            def holder():
+                with lock:
+                    entered.set()
+                    release.wait(5.0)
+
+            t = threading.Thread(target=holder, daemon=True)
+            t.start()
+            assert entered.wait(5.0)
+            try:
+                found = check_fork_safety()  # must not raise
+            finally:
+                release.set()
+                t.join(5.0)
+            assert "fork-held-lock-other" in [v.kind for v in found]
+
+    def test_clean_state_reports_nothing(self):
+        with sanitize_locks():
+            make_lock("idle")
+            assert check_fork_safety() == []
+
+
+class TestMetricsAndReport:
+    def test_contention_and_acquire_counters(self):
+        with sanitize_locks():
+            lock = make_lock("contended")
+            taken = threading.Event()
+            release = threading.Event()
+
+            def holder():
+                with lock:
+                    taken.set()
+                    release.wait(5.0)
+
+            t = threading.Thread(target=holder)
+            t.start()
+            assert taken.wait(5.0)
+            waiter = threading.Thread(target=lambda: lock.acquire() and lock.release())
+            waiter.start()
+            release.set()
+            waiter.join(5.0)
+            t.join(5.0)
+            snapshot = metrics_snapshot()
+            assert snapshot["sync.acquire.contended"]["value"] >= 2
+            assert snapshot["sync.contention.contended"]["value"] >= 1
+            assert snapshot["sync.wait.contended"]["count"] >= 1
+
+    def test_sync_report_shape(self):
+        with sanitize_locks():
+            a, b = make_lock("ta"), make_lock("tb")
+            with a:
+                with b:
+                    report = sync_report()
+            assert report["enabled"]
+            assert report["locks_created"] >= 2
+            assert report["order_edges"] >= 1
+            assert report["violations"] == []

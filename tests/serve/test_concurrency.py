@@ -1,0 +1,142 @@
+"""Regression tests for the races the REP100 rules surfaced in serve/obs.
+
+Each test here pins a bug the concurrency linter or the lock sanitizer
+found: concurrent registry publishes racing on ``latest + 1``, batcher
+stat increments outside the batcher lock, and the unbounded
+``ShadowAuditor`` shutdown.  They run with the sanitizer active so any
+reintroduced lock-order or fork hazard in these paths fails loudly.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.config import GridConfig, PEBConfig
+from repro.experiments import build_method
+from repro.obs import HealthConfig, ShadowAuditor
+from repro.runtime.sync import reset_sync_state, sanitize_locks, sync_violations
+from repro.serve import BatchPolicy, MicroBatcher, ModelRegistry, RegistryError
+
+GRID = GridConfig(size_um=0.8, nx=16, ny=16, nz=2)
+
+
+@pytest.fixture(autouse=True)
+def _sanitized():
+    reset_sync_state()
+    with sanitize_locks():
+        yield
+    assert sync_violations() == [], [v.message for v in sync_violations()]
+    reset_sync_state()
+
+
+def tiny_model(seed: int = 0):
+    nn.init.seed(seed)
+    model, _ = build_method("DeepCNN", GRID)
+    model.set_output_stats(0.25, 2.0)
+    return model
+
+
+class TestRegistryPublishRace:
+    def test_concurrent_publishes_get_distinct_versions(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        model = tiny_model()
+        manifests, errors = [], []
+        barrier = threading.Barrier(4)
+
+        def publish():
+            barrier.wait(5.0)
+            try:
+                manifests.append(
+                    registry.publish(model, method="DeepCNN", grid=GRID, name="m"))
+            except Exception as error:  # noqa: BLE001 - collected for assertion
+                errors.append(error)
+
+        threads = [threading.Thread(target=publish) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert errors == []
+        versions = sorted(m.version for m in manifests)
+        assert versions == [1, 2, 3, 4]
+        assert registry.versions("m") == [1, 2, 3, 4]
+        assert registry.latest("m") == 4
+
+    def test_explicit_version_collision_still_raises(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(tiny_model(), method="DeepCNN", grid=GRID,
+                         name="m", version=1)
+        with pytest.raises(RegistryError, match="immutable"):
+            registry.publish(tiny_model(), method="DeepCNN", grid=GRID,
+                             name="m", version=1)
+
+    def test_leftover_claimed_dir_raises_instead_of_reusing(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        (tmp_path / "m" / "v1").mkdir(parents=True)
+        with pytest.raises(RegistryError, match="claimed"):
+            registry.publish(tiny_model(), method="DeepCNN", grid=GRID,
+                             name="m", version=1)
+
+
+class TestBatcherStatConsistency:
+    def test_stats_are_consistent_under_concurrent_submits(self):
+        batcher = MicroBatcher(lambda batch: batch * 2.0,
+                               BatchPolicy(max_wait_ms=1.0, cache_entries=8))
+        try:
+            total = 48
+            done = []
+
+            def client(index):
+                value = batcher.submit(np.full((4,), float(index % 6)))
+                done.append(float(value[0]))
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(total)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30.0)
+            assert len(done) == total
+            stats = batcher.stats()
+            # every submit is either a cache hit or a completed request
+            assert stats["cache_hits"] + stats["requests_done"] == total
+            assert stats["cache_misses"] == stats["requests_done"]
+            assert stats["batches_run"] >= 1
+        finally:
+            batcher.close()
+
+
+class TestAuditorBoundedShutdown:
+    def _auditor(self, backlog: int = 8) -> ShadowAuditor:
+        config = HealthConfig(shadow_every=1, shadow_backlog=backlog,
+                              shadow_time_step_s=2.0)
+        return ShadowAuditor(GRID, peb=PEBConfig(), config=config)
+
+    def test_close_joins_worker_within_deadline(self):
+        auditor = self._auditor()
+        acid = np.zeros(GRID.shape)
+        auditor.offer(acid, np.ones(GRID.shape))
+        assert auditor.close(timeout_s=30.0) is True
+        assert not auditor._thread.is_alive()
+
+    def test_close_without_drain_discards_backlog(self):
+        auditor = self._auditor()
+        acid = np.zeros(GRID.shape)
+        for _ in range(6):
+            auditor.offer(acid, np.ones(GRID.shape))
+        auditor.close(timeout_s=30.0, drain=False)
+        # nothing left queued and the worker is not stuck on it
+        assert len(auditor._items) == 0
+
+    def test_close_is_idempotent(self):
+        auditor = self._auditor()
+        assert auditor.close(timeout_s=10.0) is True
+        assert auditor.close(timeout_s=10.0) is True
+
+    def test_offer_after_close_is_dropped(self):
+        auditor = self._auditor()
+        auditor.close(timeout_s=10.0)
+        accepted = auditor.offer(np.zeros(GRID.shape), np.ones(GRID.shape))
+        assert accepted is False
