@@ -24,7 +24,11 @@ Seven sections, each a dict of timings/counters:
 * ``sanitize_overhead`` — served-request p50/p95 with the runtime lock
   sanitizer (``repro.runtime.sync``) instrumenting every serve/obs lock
   vs off (delegates to ``run_serve_bench.bench_sanitize_overhead``;
-  both p50s are gated and the run must stay violation-free).
+  both p50s are gated and the run must stay violation-free);
+* ``inference_plan`` — served p50 with the compiled-plan engine vs the
+  tape engine at a matched batch composition (delegates to
+  ``run_serve_bench.bench_inference_plan``; the speedup ratio is gated
+  as a lower bound through ``gates.inference_plan_min_speedup``).
 
 ``--smoke`` shrinks every section to CI-runner size (seconds, not
 minutes).  ``--check`` compares the fresh timings against
@@ -260,6 +264,30 @@ def flatten_timings(sections: dict) -> dict:
     return flat
 
 
+def check_gates(sections: dict, reference_path: Path) -> list[str]:
+    """Lower-bound gates from ``reference_perf.json``'s ``gates`` dict.
+
+    Unlike :func:`check_regressions` (which caps how much slower a
+    timing may get), a gate pins a quality bar that must keep holding —
+    e.g. the compiled-plan engine staying at least ``N``x faster than
+    the tape at the served p50.
+    """
+    if not reference_path.exists():
+        return []
+    gates = json.loads(reference_path.read_text()).get("gates", {})
+    failures = []
+    min_speedup = gates.get("inference_plan_min_speedup")
+    section = sections.get("inference_plan")
+    if min_speedup is not None and section is not None:
+        speedup = float(section.get("p50_speedup", 0.0))
+        status = "FAIL" if speedup < min_speedup else "ok"
+        print(f"  {status:>4}  inference_plan.p50_speedup: {speedup:.2f}x "
+              f"(gate >= {min_speedup:.2f}x)")
+        if speedup < min_speedup:
+            failures.append("inference_plan.p50_speedup")
+    return failures
+
+
 def check_regressions(fresh: dict, reference_path: Path) -> list[str]:
     if not reference_path.exists():
         print(f"no reference timings at {reference_path}; skipping check")
@@ -291,7 +319,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     from run_serve_bench import (
-        bench_obs_overhead, bench_sanitize_overhead, bench_serving,
+        bench_inference_plan, bench_obs_overhead, bench_sanitize_overhead,
+        bench_serving,
     )
 
     sections = {}
@@ -299,7 +328,8 @@ def main(argv=None) -> int:
                      ("backward", bench_backward), ("epoch", bench_epoch),
                      ("stages", bench_stages), ("serving", bench_serving),
                      ("obs_overhead", bench_obs_overhead),
-                     ("sanitize_overhead", bench_sanitize_overhead)):
+                     ("sanitize_overhead", bench_sanitize_overhead),
+                     ("inference_plan", bench_inference_plan)):
         print(f"[{name}] ...", flush=True)
         sections[name] = fn(args.smoke)
         for key, value in sections[name].items():
@@ -318,6 +348,7 @@ def main(argv=None) -> int:
     if args.check:
         print("checking against reference timings:")
         failures = check_regressions(payload["timings"], REFERENCE_PATH)
+        failures += check_gates(sections, REFERENCE_PATH)
         if failures:
             print(f"PERF REGRESSION in {len(failures)} timing(s): {', '.join(failures)}")
             return 1

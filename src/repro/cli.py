@@ -239,7 +239,8 @@ def cmd_serve(args) -> int:
             loaded = [load_checkpoint(weights)]
     except RegistryError as error:
         raise CLIError(str(error)) from error
-    served = [ServedModel(model, manifest, policy, health=health)
+    served = [ServedModel(model, manifest, policy, health=health,
+                          engine=args.engine)
               for model, manifest in loaded]
     config = ServeConfig(host=args.host, port=args.port, policy=policy,
                          latency_buckets=buckets)
@@ -248,7 +249,8 @@ def cmd_serve(args) -> int:
     for entry in served:
         m = entry.manifest
         print(f"serving {m.name} v{m.version} ({m.model_class}, "
-              f"{m.param_count} params, grid {tuple(m.grid_config().shape)})")
+              f"{m.param_count} params, grid {tuple(m.grid_config().shape)}, "
+              f"engine {entry.engine})")
     print(f"listening on http://{host}:{port}  "
           f"(POST /v1/predict, GET /v1/models /healthz /metrics; ctrl-c to stop)")
 
@@ -380,6 +382,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bounded request queue; overflow is rejected with 503")
     p.add_argument("--cache-size", type=int, default=128,
                    help="LRU response-cache entries (0 disables)")
+    p.add_argument("--engine", choices=("tape", "plan"), default=None,
+                   help="forward-pass engine: 'tape' replays the autograd "
+                        "tape per batch, 'plan' compiles one inference plan "
+                        "per batch shape and replays it (default: "
+                        "REPRO_INFER_PLAN env, else tape)")
     p.add_argument("--verbose", action="store_true",
                    help="log every HTTP request to stderr")
     # grid fallback used only when synthesizing a manifest for a legacy

@@ -24,6 +24,9 @@ from .batcher import (
     BatcherClosedError, BatchPolicy, DeadlineExceededError, MicroBatcher,
     QueueFullError, ServeError, content_hash,
 )
+from .engine import (
+    ENGINES, PlanExecutor, clear_plan_cache, plan_cache_stats, resolve_engine,
+)
 from .registry import (
     IntegrityError, ModelManifest, ModelRegistry, RegistryError,
     import_legacy_sidecar, load_checkpoint, manifest_path_for, read_manifest,
@@ -35,6 +38,8 @@ from .server import (
 )
 
 __all__ = [
+    "ENGINES", "PlanExecutor", "resolve_engine", "plan_cache_stats",
+    "clear_plan_cache",
     "BatchPolicy", "MicroBatcher", "ServeError", "QueueFullError",
     "DeadlineExceededError", "BatcherClosedError", "content_hash",
     "ModelManifest", "ModelRegistry", "RegistryError", "IntegrityError",

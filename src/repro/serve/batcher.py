@@ -115,6 +115,7 @@ class _ResponseCache:
     def __init__(self, capacity: int):
         self.capacity = capacity
         self._entries: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._evictions = 0
         self._lock = make_lock("serve.cache")
 
     def get(self, key: str) -> np.ndarray | None:
@@ -127,11 +128,21 @@ class _ResponseCache:
     def put(self, key: str, value: np.ndarray) -> None:
         if self.capacity <= 0:
             return
+        evicted = 0
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self._evictions += 1
+                evicted += 1
+        if evicted:
+            counter("serve.cache.evicted").inc(evicted)
+
+    @property
+    def evictions(self) -> int:
+        with self._lock:
+            return self._evictions
 
     def __len__(self) -> int:
         with self._lock:
@@ -355,6 +366,19 @@ class MicroBatcher:
             total = self._cache_hits + self._cache_misses
             return self._cache_hits / total if total else 0.0
 
+    def response_cache_stats(self) -> dict:
+        """Size/hit-rate/evictions of the LRU response cache."""
+        with self._lock:
+            hits, misses = self._cache_hits, self._cache_misses
+        return {
+            "capacity": self._cache.capacity,
+            "entries": len(self._cache),
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / (hits + misses), 6) if hits + misses else 0.0,
+            "evictions": self._cache.evictions,
+        }
+
     def stats(self) -> dict:
         """Operational snapshot for ``/healthz`` and the bench harness."""
         with self._lock:
@@ -368,6 +392,7 @@ class MicroBatcher:
             "cache_hits": cache_hits,
             "cache_misses": cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate(), 6),
+            "cache_evictions": self._cache.evictions,
             "closed": self._closed,
             "policy": {
                 "max_batch_size": self.policy.max_batch_size,

@@ -1,0 +1,182 @@
+"""Inference engines for the serving hot path.
+
+The batcher's worker thread can run a forward in one of two ways:
+
+* ``tape`` — the ordinary define-by-run autograd tape under
+  :func:`~repro.tensor.no_grad` (the historical path, always available);
+* ``plan`` — a compiled :class:`repro.tensor.Plan`: the first batch of
+  each (checkpoint, batch shape) traces one tape forward, compiles it
+  into an arena-backed in-place kernel program, and every later batch of
+  that shape replays the program without touching the tape at all.
+
+Plans are **shape-specialized**, so the cache key is the checkpoint's
+content hash (weights identity) plus the exact batch shape and dtype.
+The cache is process-global: two :class:`ServedModel` instances over the
+same published checkpoint share compiled plans.
+
+The contract is strict: a replayed output is bitwise identical to the
+tape forward (``capture`` validates this on two inputs before a plan is
+ever served), and anything the compiler cannot prove — an op without a
+registered kernel, a data-dependent shape — aborts capture and pins that
+(checkpoint, shape) bucket to the tape forever.  Falling back is always
+silent and counted (``serve.plan.fallbacks``), never an error.
+
+Everything is observable: ``serve.plan.capture`` / ``serve.plan.replay``
+spans and timers, capture/fallback counters, and
+:func:`plan_cache_stats` for ``/healthz`` and ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.obs import counter, span, timer
+from repro.runtime.sync import make_lock
+from repro.tensor import PlanError, no_grad
+from repro.tensor import plan as _planmod
+
+__all__ = [
+    "ENGINES", "PlanExecutor", "clear_plan_cache", "plan_cache_stats",
+    "resolve_engine",
+]
+
+ENGINES = ("tape", "plan")
+
+#: environment opt-in mirroring how ``REPRO_SANITIZE`` is parsed
+PLAN_ENV_VAR = "REPRO_INFER_PLAN"
+
+# cache values: a compiled Plan, _CAPTURING (someone is tracing this
+# bucket right now), or _FAILED (capture or replay broke; tape forever)
+_CAPTURING = "capturing"
+_FAILED = "failed"
+
+_cache: dict[tuple, object] = {}
+_cache_lock = make_lock("serve.engine.plans")
+_fallbacks = 0
+_capture_failures = 0
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """Normalize an engine choice; ``None`` consults ``REPRO_INFER_PLAN``."""
+    if engine is None:
+        raw = os.environ.get(PLAN_ENV_VAR, "")
+        engine = "plan" if raw not in ("", "0", "false", "False") else "tape"
+    if engine not in ENGINES:
+        raise ValueError(f"unknown inference engine {engine!r} "
+                         f"(choose from {ENGINES})")
+    return engine
+
+
+def clear_plan_cache() -> None:
+    """Drop every compiled plan (tests; frees the arenas)."""
+    global _fallbacks, _capture_failures
+    with _cache_lock:
+        _cache.clear()
+        _fallbacks = 0
+        _capture_failures = 0
+
+
+def plan_cache_stats() -> dict:
+    """Snapshot for ``/healthz`` and the Prometheus exposition."""
+    with _cache_lock:
+        entries = list(_cache.items())
+        fallbacks = _fallbacks
+        capture_failures = _capture_failures
+    plans = [value for _, value in entries if isinstance(value, _planmod.Plan)]
+    stats = [plan.stats() for plan in plans]
+    return {
+        "plans": len(plans),
+        "capturing": sum(1 for _, v in entries if v is _CAPTURING),
+        "failed": sum(1 for _, v in entries if v is _FAILED),
+        "fallbacks": fallbacks,
+        "capture_failures": capture_failures,
+        "replays": sum(s["replays"] for s in stats),
+        "arena_bytes": sum(s["arena_bytes"] for s in stats),
+        "capture_s_total": round(sum(s["capture_s"] + s["validate_s"]
+                                     for s in stats), 6),
+        "replay_s_total": round(sum(s["replay_s_total"] for s in stats), 6),
+        "entries": stats,
+    }
+
+
+class PlanExecutor:
+    """One served checkpoint's view over the global plan cache.
+
+    :meth:`run` either replays a compiled plan for the batch's exact
+    shape or returns ``None``, which tells the caller to take the tape
+    path.  The first batch of a new shape pays the capture cost inline
+    (worker thread); concurrent callers of the same bucket fall back to
+    tape rather than blocking behind the capture.
+    """
+
+    def __init__(self, model, content_hash: str, label: str):
+        self._model = model
+        self._content_hash = content_hash
+        self._label = label
+
+    def run(self, batch: np.ndarray) -> np.ndarray | None:
+        plan = self._plan_for(batch)
+        if plan is None:
+            self._count_fallback()
+            return None
+        try:
+            with span("serve.plan.replay", label=plan.label,
+                      batch=batch.shape[0]), \
+                    timer("serve.plan.replay").time():
+                return plan.run(batch)
+        except PlanError:
+            # a replay failure means the plan no longer matches reality
+            # (should not happen — the key pins shape and dtype); poison
+            # the bucket and let the tape serve the batch
+            self._poison(batch)
+            self._count_fallback()
+            return None
+
+    # -- cache internals ----------------------------------------------
+    def _key(self, batch: np.ndarray) -> tuple:
+        return (self._content_hash, tuple(batch.shape), str(batch.dtype))
+
+    def _plan_for(self, batch: np.ndarray):
+        key = self._key(batch)
+        with _cache_lock:
+            entry = _cache.get(key)
+            if entry is None:
+                _cache[key] = _CAPTURING
+            elif isinstance(entry, _planmod.Plan):
+                return entry
+            else:  # _CAPTURING or _FAILED
+                return None
+        return self._capture(key, batch)
+
+    def _capture(self, key: tuple, batch: np.ndarray):
+        global _capture_failures
+        label = f"{self._label}:{'x'.join(map(str, batch.shape))}"
+        try:
+            with span("serve.plan.capture", label=label,
+                      shape=list(batch.shape)), \
+                    timer("serve.plan.capture").time(), no_grad():
+                plan = _planmod.capture(lambda t: self._model(t), batch,
+                                        label=label)
+        except PlanError:
+            with _cache_lock:
+                _cache[key] = _FAILED
+                _capture_failures += 1
+            counter("serve.plan.capture_failures").inc()
+            return None
+        with _cache_lock:
+            _cache[key] = plan
+        counter("serve.plan.captures").inc()
+        return plan
+
+    def _poison(self, batch: np.ndarray) -> None:
+        with _cache_lock:
+            _cache[self._key(batch)] = _FAILED
+
+    @staticmethod
+    def _count_fallback() -> None:
+        global _fallbacks
+        with _cache_lock:
+            _fallbacks += 1
+        counter("serve.plan.fallbacks").inc()

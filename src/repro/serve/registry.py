@@ -137,9 +137,16 @@ def save_checkpoint(model, path: str | Path, method: str, grid: GridConfig,
                     name: str | None = None, version: int = 1,
                     extra: dict | None = None) -> ModelManifest:
     """Write ``model``'s weights plus a manifest sidecar; returns the manifest."""
-    weights = model.save(path)
     state = model.state_dict()
     dtypes = sorted({str(v.dtype) for v in state.values()})
+    # the serving path casts weights exactly once, at load; publishing
+    # anything but uniform float64 would silently re-introduce the
+    # per-request conversion that cast used to hide
+    if dtypes != ["float64"]:
+        raise RegistryError(
+            f"checkpoint parameters must be uniform float64 to publish, "
+            f"got dtypes {dtypes}")
+    weights = model.save(path)
     manifest = ModelManifest(
         name=name if name is not None else weights.stem,
         version=int(version),

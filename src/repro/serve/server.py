@@ -60,6 +60,7 @@ from .batcher import (
     BatcherClosedError, BatchPolicy, DeadlineExceededError, MicroBatcher,
     QueueFullError, ServeError,
 )
+from .engine import PlanExecutor, plan_cache_stats, resolve_engine
 from .registry import ModelManifest
 
 __all__ = ["ServeConfig", "ServedModel", "PredictServer", "render_prometheus"]
@@ -95,14 +96,27 @@ class ServedModel:
     the worker thread, sampled shadow audits on their own daemon
     thread.  The monitor only ever reads the batch — served outputs are
     bitwise identical with and without it.
+
+    ``engine`` selects how batched forwards run: ``"tape"`` is the
+    ordinary autograd tape under ``no_grad``; ``"plan"`` compiles one
+    inference plan per batch shape on first use and replays it (bitwise
+    identical, falling back to tape on capture failure or while a
+    capture is in flight).  ``None`` consults ``REPRO_INFER_PLAN``.
     """
 
     def __init__(self, model, manifest: ModelManifest, policy: BatchPolicy,
                  health: HealthConfig | None = None,
-                 peb: PEBConfig | None = None):
+                 peb: PEBConfig | None = None, engine: str | None = None):
         self.model = model
         self.manifest = manifest
         self.model.eval()
+        self._cast_params_once()
+        self.engine = resolve_engine(engine)
+        self._executor = None
+        if self.engine == "plan":
+            self._executor = PlanExecutor(
+                self.model, manifest.content_hash,
+                label=f"{manifest.name}-v{manifest.version}")
         peb = peb if peb is not None else PEBConfig()
         self.monitor = None
         if health is not None:
@@ -114,11 +128,27 @@ class ServedModel:
                                     observer=self._observe_batch)
         self.clip_shape = tuple(manifest.grid_config().shape)
 
+    def _cast_params_once(self) -> None:
+        # weights are cast to the serving dtype exactly once, at load —
+        # the per-request hot path asserts instead of re-casting
+        for _, param in self.model.named_parameters():
+            if param.data.dtype != np.float64:
+                param.data = param.data.astype(np.float64)
+
     def _predict_batch(self, batch: np.ndarray) -> np.ndarray:
-        # Mirrors Trainer.predict exactly (float64 cast, eval, no_grad)
-        # so a served prediction is bitwise identical to the offline path.
-        with span("serve.forward", size=len(batch)), no_grad():
-            return self.model(Tensor(np.asarray(batch, dtype=np.float64))).numpy()
+        # validate_input already cast each clip to float64 and np.stack
+        # preserved it, so the batch needs no per-request conversion
+        batch = np.asarray(batch)
+        if batch.dtype != np.float64:
+            raise ServeError(f"batch reached the forward path as {batch.dtype}; "
+                             "inputs must be cast to float64 at validation")
+        with span("serve.forward", size=len(batch), engine=self.engine):
+            if self._executor is not None:
+                output = self._executor.run(batch)
+                if output is not None:
+                    return output
+            with no_grad():
+                return self.model(Tensor(batch)).numpy()
 
     def _observe_batch(self, batch, outputs, request_ids, ctxs) -> None:
         if self.monitor is not None:
@@ -183,6 +213,11 @@ class _Handler(BaseHTTPRequestHandler):
     #: idle keep-alive connections are dropped after this many seconds so
     #: abandoned clients cannot pin handler threads forever
     timeout = 30
+    #: status+headers and the body leave in separate writes; with Nagle
+    #: on, the body write stalls until the client ACKs the header packet
+    #: (~40ms of delayed-ACK floor per loopback request), which would
+    #: swamp a single-digit-millisecond model forward
+    disable_nagle_algorithm = True
 
     # the PredictServer that owns this handler's ThreadingHTTPServer
     @property
@@ -259,6 +294,7 @@ class _Handler(BaseHTTPRequestHandler):
                 if parsed.path == "/healthz":
                     self._send_json(200, self.app.health())
                 elif parsed.path == "/metrics":
+                    self.app.refresh_cache_metrics()
                     self._send(200, render_prometheus().encode(),
                                "text/plain; version=0.0.4")
                 elif parsed.path == "/v1/models":
@@ -454,15 +490,50 @@ class PredictServer:
             "status": "ok",
             "models": sorted(self._models),
             "inflight": self.inflight,
+            "engines": sorted({entry.engine for versions in self._models.values()
+                               for entry in versions.values()}),
             # top-level shed signals for load balancers: total queued
             # requests and the combined batcher cache hit rate
             "queue_depth": total_depth,
             "cache_hit_rate": round(hits / lookups, 6) if lookups else 0.0,
             "queues": queues,
+            "caches": self.cache_stats(),
+            "plan_cache": plan_cache_stats(),
         }
         if monitors:
             payload["health_monitors"] = monitors
         return payload
+
+    def cache_stats(self) -> dict:
+        """Size/hit-rate/eviction snapshot of every cache on the serve path."""
+        from repro.obs import propagator_cache_stats
+
+        response = {
+            f"{name}:v{version}": entry.batcher.response_cache_stats()
+            for name, versions in self._models.items()
+            for version, entry in versions.items()
+        }
+        return {
+            "propagator": propagator_cache_stats(record=True),
+            "response": response,
+        }
+
+    def refresh_cache_metrics(self) -> None:
+        """Mirror cache gauges into the metric registry (``/metrics``)."""
+        from repro.obs import propagator_cache_stats
+
+        propagator_cache_stats(record=True)
+        entries = evictions = 0
+        for versions in self._models.values():
+            for entry in versions.values():
+                stats = entry.batcher.response_cache_stats()
+                entries += stats["entries"]
+                evictions += stats["evictions"]
+        counter("serve.cache.entries").value = entries
+        counter("serve.cache.evictions").value = evictions
+        plans = plan_cache_stats()
+        counter("serve.plan.cached_plans").value = plans["plans"]
+        counter("serve.plan.arena_bytes").value = plans["arena_bytes"]
 
     def access_log(self, record: dict, warn: bool = False) -> None:
         """One structured JSON access-log line on stderr.

@@ -25,8 +25,12 @@ from .ops_nn import (
     conv1d, conv3d, conv_transpose3d, upsample_nearest3d,
 )
 from . import functional
+from . import plan  # noqa: F401  (built-in plan kernels register on import)
+from .plan import Plan, PlanError, PlanCaptureError, PlanExecutionError, capture
 
 __all__ = [
+    "plan", "Plan", "PlanError", "PlanCaptureError", "PlanExecutionError",
+    "capture",
     "Tensor", "no_grad", "is_grad_enabled", "as_array", "ensure_tensor", "DEFAULT_DTYPE",
     "sanitize", "is_sanitize_enabled", "SanitizeError",
     "add", "sub", "mul", "div", "neg", "pow_", "exp", "log", "sqrt", "tanh",

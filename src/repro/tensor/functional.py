@@ -20,7 +20,9 @@ def leaky_relu(x, negative_slope: float = 0.01) -> Tensor:
     x = ensure_tensor(x)
     positive = x.data >= 0
     scale = np.where(positive, 1.0, negative_slope)
-    return Tensor.from_op(x.data * scale, [(x, lambda g: g * scale)])
+    return Tensor.from_op(x.data * scale, [(x, lambda g: g * scale)],
+                          capture=("leaky_relu",
+                                   {"negative_slope": negative_slope}))
 
 
 def silu(x) -> Tensor:
@@ -45,13 +47,29 @@ def softplus(x) -> Tensor:
     data = x.data
     out = np.maximum(data, 0.0) + np.log1p(np.exp(-np.abs(data)))
     sig = 1.0 / (1.0 + np.exp(-np.clip(data, -60.0, 60.0)))
-    return Tensor.from_op(out, [(x, lambda g: g * sig)])
+    return Tensor.from_op(out, [(x, lambda g: g * sig)],
+                          capture=("softplus", {}))
+
+
+def detached_max(x, axis: int = -1) -> Tensor:
+    """``max`` over ``axis`` (keepdims) treated as a constant shift.
+
+    The softmax stabilizer must not contribute gradient (the true vjp of
+    the shift cancels anyway), but it *is* data-dependent, so it has to
+    be an op on the tape: wrapping the raw ndarray in a plain ``Tensor``
+    would bake a capture-time value into compiled inference plans.  The
+    ``None`` contribution is skipped by ``backward``.
+    """
+    x = ensure_tensor(x)
+    out = x.data.max(axis=axis, keepdims=True)
+    return Tensor.from_op(out, [(x, lambda g: None)],
+                          capture=("detached_max", {"axis": axis}))
 
 
 def softmax(x, axis: int = -1) -> Tensor:
     """Softmax along ``axis`` (max-subtracted for stability)."""
     x = ensure_tensor(x)
-    shifted = B.sub(x, Tensor(x.data.max(axis=axis, keepdims=True)))
+    shifted = B.sub(x, detached_max(x, axis=axis))
     exps = B.exp(shifted)
     return B.div(exps, R.sum_(exps, axis=axis, keepdims=True))
 
@@ -59,7 +77,7 @@ def softmax(x, axis: int = -1) -> Tensor:
 def log_softmax(x, axis: int = -1) -> Tensor:
     """Log-softmax along ``axis``."""
     x = ensure_tensor(x)
-    shifted = B.sub(x, Tensor(x.data.max(axis=axis, keepdims=True)))
+    shifted = B.sub(x, detached_max(x, axis=axis))
     lse = B.log(R.sum_(B.exp(shifted), axis=axis, keepdims=True))
     return B.sub(shifted, lse)
 

@@ -55,7 +55,14 @@ def _offset_slices(offset, stride, out_sizes):
 
 
 def conv3d_forward(x: np.ndarray, w: np.ndarray, stride, padding, groups: int) -> np.ndarray:
-    """Raw-numpy grouped 3D cross-correlation."""
+    """Raw-numpy grouped 3D cross-correlation.
+
+    Each kernel offset contributes one batched BLAS matmul over the
+    channel axis (``(G, O, C) @ (B, G, C, DHW)``), which is several times
+    faster than the equivalent ``einsum`` contraction while keeping the
+    per-offset accumulation order — and therefore run-to-run bitwise
+    determinism — unchanged.
+    """
     stride, padding = _triple(stride), _triple(padding)
     xp = _pad_spatial(x, padding)
     cout, cg, kd, kh, kw = w.shape
@@ -64,12 +71,15 @@ def conv3d_forward(x: np.ndarray, w: np.ndarray, stride, padding, groups: int) -
     )
     xg = _grouped(xp, groups)
     wg = w.reshape(groups, cout // groups, cg, kd, kh, kw)
-    out = np.zeros((x.shape[0], groups, cout // groups) + out_sizes, dtype=x.dtype)
+    voxels = int(np.prod(out_sizes))
+    batch = x.shape[0]
+    out = np.zeros((batch, groups, cout // groups, voxels), dtype=x.dtype)
     for offset in itertools.product(range(kd), range(kh), range(kw)):
         sl = _offset_slices(offset, stride, out_sizes)
         patch = xg[(slice(None), slice(None), slice(None)) + sl]
-        out += np.einsum("bgcdhw,goc->bgodhw", patch, wg[:, :, :, offset[0], offset[1], offset[2]])
-    return out.reshape(x.shape[0], cout, *out_sizes)
+        out += np.matmul(wg[:, :, :, offset[0], offset[1], offset[2]],
+                         patch.reshape(batch, groups, cg, voxels))
+    return out.reshape(batch, cout, *out_sizes)
 
 
 def conv3d_grad_input(gout: np.ndarray, w: np.ndarray, x_shape, stride, padding, groups: int) -> np.ndarray:
@@ -122,12 +132,15 @@ def conv_transpose3d_forward(x: np.ndarray, w: np.ndarray, stride, padding, outp
     )
     xg = _grouped(x, groups)
     wg = w.reshape(groups, cin // groups, og, kd, kh, kw)
-    full = np.zeros((x.shape[0], groups, og) + full_sizes, dtype=x.dtype)
+    batch = x.shape[0]
+    voxels = int(np.prod(in_sizes))
+    xm = xg.reshape(batch, groups, cin // groups, voxels)
+    full = np.zeros((batch, groups, og) + full_sizes, dtype=x.dtype)
     for offset in itertools.product(range(kd), range(kh), range(kw)):
         sl = _offset_slices(offset, stride, in_sizes)
-        full[(slice(None), slice(None), slice(None)) + sl] += np.einsum(
-            "bgcdhw,gco->bgodhw", xg, wg[:, :, :, offset[0], offset[1], offset[2]]
-        )
+        w_off = np.swapaxes(wg[:, :, :, offset[0], offset[1], offset[2]], -1, -2)
+        contrib = np.matmul(w_off, xm).reshape(batch, groups, og, *in_sizes)
+        full[(slice(None), slice(None), slice(None)) + sl] += contrib
     pd, ph, pw = padding
     crop = (
         slice(pd, full_sizes[0] - pd),
@@ -197,7 +210,10 @@ def conv3d(x, w, bias=None, stride=1, padding=0, groups: int = 1) -> Tensor:
         (x, lambda g: conv3d_grad_input(g, w.data, x.shape, stride, padding, groups)),
         (w, lambda g: conv3d_grad_weight(g, x.data, w.shape, stride, padding, groups)),
     ]
-    out = Tensor.from_op(out_data, parents)
+    out = Tensor.from_op(out_data, parents,
+                         capture=("conv3d", {"stride": stride,
+                                             "padding": padding,
+                                             "groups": groups}))
     if bias is not None:
         bias = ensure_tensor(bias)
         from .ops_basic import add
@@ -215,7 +231,11 @@ def conv_transpose3d(x, w, bias=None, stride=1, padding=0, output_padding=0, gro
         (x, lambda g: conv_transpose3d_grad_input(g, w.data, x.shape, stride, padding, output_padding, groups)),
         (w, lambda g: conv_transpose3d_grad_weight(g, x.data, w.shape, stride, padding, output_padding, groups)),
     ]
-    out = Tensor.from_op(out_data, parents)
+    out = Tensor.from_op(out_data, parents,
+                         capture=("conv_transpose3d",
+                                  {"stride": stride, "padding": padding,
+                                   "output_padding": output_padding,
+                                   "groups": groups}))
     if bias is not None:
         bias = ensure_tensor(bias)
         from .ops_basic import add

@@ -13,7 +13,8 @@ def reshape(a, *shape) -> Tensor:
     if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
         shape = tuple(shape[0])
     out = a.data.reshape(shape)
-    return Tensor.from_op(out, [(a, lambda g: g.reshape(a.shape))])
+    return Tensor.from_op(out, [(a, lambda g: g.reshape(a.shape))],
+                          capture=("reshape", {"shape": out.shape}))
 
 
 def transpose(a, axes=None) -> Tensor:
@@ -24,21 +25,25 @@ def transpose(a, axes=None) -> Tensor:
         inverse = None
     else:
         inverse = np.argsort(axes)
-    return Tensor.from_op(out, [(a, lambda g: np.transpose(g, inverse))])
+    return Tensor.from_op(out, [(a, lambda g: np.transpose(g, inverse))],
+                          capture=("transpose", {"axes": axes}))
 
 
 def swapaxes(a, axis1: int, axis2: int) -> Tensor:
     """Swap two dimensions."""
     a = ensure_tensor(a)
     out = np.swapaxes(a.data, axis1, axis2)
-    return Tensor.from_op(out, [(a, lambda g: np.swapaxes(g, axis1, axis2))])
+    return Tensor.from_op(out, [(a, lambda g: np.swapaxes(g, axis1, axis2))],
+                          capture=("swapaxes", {"axis1": axis1, "axis2": axis2}))
 
 
 def moveaxis(a, source: int, destination: int) -> Tensor:
     """Move a dimension to a new position."""
     a = ensure_tensor(a)
     out = np.moveaxis(a.data, source, destination)
-    return Tensor.from_op(out, [(a, lambda g: np.moveaxis(g, destination, source))])
+    return Tensor.from_op(out, [(a, lambda g: np.moveaxis(g, destination, source))],
+                          capture=("moveaxis", {"source": source,
+                                                "destination": destination}))
 
 
 def getitem(a, index) -> Tensor:
@@ -51,7 +56,7 @@ def getitem(a, index) -> Tensor:
         np.add.at(grad, index, g)
         return grad
 
-    return Tensor.from_op(out, [(a, vjp)])
+    return Tensor.from_op(out, [(a, vjp)], capture=("getitem", {"index": index}))
 
 
 def concatenate(tensors, axis: int = 0) -> Tensor:
@@ -68,7 +73,7 @@ def concatenate(tensors, axis: int = 0) -> Tensor:
             slicer[axis] = slice(offsets[i], offsets[i + 1])
             return g[tuple(slicer)]
         parents.append((t, vjp))
-    return Tensor.from_op(out, parents)
+    return Tensor.from_op(out, parents, capture=("concatenate", {"axis": axis}))
 
 
 def stack(tensors, axis: int = 0) -> Tensor:
@@ -80,7 +85,7 @@ def stack(tensors, axis: int = 0) -> Tensor:
         def vjp(g, i=i):
             return np.take(g, i, axis=axis)
         parents.append((t, vjp))
-    return Tensor.from_op(out, parents)
+    return Tensor.from_op(out, parents, capture=("stack", {"axis": axis}))
 
 
 def pad(a, pad_width, constant_value: float = 0.0) -> Tensor:
@@ -93,14 +98,17 @@ def pad(a, pad_width, constant_value: float = 0.0) -> Tensor:
         slicer = tuple(slice(lo, g.shape[i] - hi) for i, (lo, hi) in enumerate(pad_width))
         return g[slicer]
 
-    return Tensor.from_op(out, [(a, vjp)])
+    return Tensor.from_op(out, [(a, vjp)],
+                          capture=("pad", {"pad_width": pad_width,
+                                           "constant_value": constant_value}))
 
 
 def flip(a, axis) -> Tensor:
     """Reverse along the given axis/axes."""
     a = ensure_tensor(a)
     out = np.flip(a.data, axis=axis)
-    return Tensor.from_op(out, [(a, lambda g: np.flip(g, axis=axis))])
+    return Tensor.from_op(out, [(a, lambda g: np.flip(g, axis=axis))],
+                          capture=("flip", {"axis": axis}))
 
 
 def broadcast_to(a, shape) -> Tensor:
@@ -109,7 +117,8 @@ def broadcast_to(a, shape) -> Tensor:
 
     a = ensure_tensor(a)
     out = np.broadcast_to(a.data, shape).copy()
-    return Tensor.from_op(out, [(a, lambda g: unbroadcast(g, a.shape))])
+    return Tensor.from_op(out, [(a, lambda g: unbroadcast(g, a.shape))],
+                          capture=("broadcast_to", {"shape": out.shape}))
 
 
 def repeat_interleave(a, repeats: int, axis: int) -> Tensor:
@@ -126,7 +135,9 @@ def repeat_interleave(a, repeats: int, axis: int) -> Tensor:
         new_shape.insert(axis + 1, repeats)
         return g.reshape(new_shape).sum(axis=axis + 1)
 
-    return Tensor.from_op(out, [(a, vjp)])
+    return Tensor.from_op(out, [(a, vjp)],
+                          capture=("repeat_interleave", {"repeats": repeats,
+                                                         "axis": axis}))
 
 
 def split(a, sections: int, axis: int = 0) -> list[Tensor]:
