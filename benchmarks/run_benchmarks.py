@@ -285,6 +285,22 @@ def check_gates(sections: dict, reference_path: Path) -> list[str]:
               f"(gate >= {min_speedup:.2f}x)")
         if speedup < min_speedup:
             failures.append("inference_plan.p50_speedup")
+    min_scaling = gates.get("serving_scaling_min_speedup_2v1")
+    scaling = (sections.get("serving") or {}).get("worker_scaling")
+    if min_scaling is not None and scaling is not None:
+        cpus = int(scaling.get("cpu_count", 1))
+        if cpus < 2:
+            # a single core can't run two batcher workers concurrently;
+            # the ratio would only measure fork + pipe overhead
+            print(f"  skip  serving.worker_scaling.speedup_2v1 "
+                  f"(single-core runner, cpu_count={cpus})")
+        else:
+            speedup = float(scaling.get("speedup_2v1", 0.0))
+            status = "FAIL" if speedup < min_scaling else "ok"
+            print(f"  {status:>4}  serving.worker_scaling.speedup_2v1: "
+                  f"{speedup:.2f}x (gate >= {min_scaling:.2f}x)")
+            if speedup < min_scaling:
+                failures.append("serving.worker_scaling.speedup_2v1")
     return failures
 
 

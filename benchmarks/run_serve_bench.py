@@ -63,7 +63,8 @@ BENCH_METHOD = "DeepCNN"
 def _bench_server(tmp_dir: Path, policy: BatchPolicy,
                   health: HealthConfig | None = None,
                   engine: str | None = None,
-                  method: str = BENCH_METHOD) -> PredictServer:
+                  method: str = BENCH_METHOD,
+                  workers: int = 1) -> PredictServer:
     """A server over a freshly published tiny checkpoint (untrained weights —
     serving latency does not depend on what the parameters converged to)."""
     tmp_dir.mkdir(parents=True, exist_ok=True)
@@ -73,7 +74,8 @@ def _bench_server(tmp_dir: Path, policy: BatchPolicy,
     save_checkpoint(model, tmp_dir / "bench.npz", method=method,
                     grid=BENCH_GRID, name="bench")
     loaded, manifest = load_checkpoint(tmp_dir / "bench.npz")
-    served = ServedModel(loaded, manifest, policy, health=health, engine=engine)
+    served = ServedModel(loaded, manifest, policy, health=health, engine=engine,
+                         workers=workers)
     return PredictServer(served, ServeConfig(port=0, policy=policy)).start()
 
 
@@ -209,6 +211,67 @@ def bench_serving(smoke: bool, engine: str | None = None) -> dict:
         "policy": {"max_batch_size": policy.max_batch_size,
                    "max_wait_ms": policy.max_wait_ms,
                    "max_queue": policy.max_queue},
+        "worker_scaling": bench_worker_scaling(smoke),
+    }
+
+
+def bench_worker_scaling(smoke: bool) -> dict:
+    """The ``serving.worker_scaling`` subsection: the same closed-loop
+    fleet driven against process pools of 1/2/4/8 batcher workers.
+
+    Distinct payloads with the response cache off force every request
+    through a worker forward, so throughput measures the pool, not
+    memoization.  ``speedup_2v1`` is throughput at 2 workers over
+    throughput at 1; ``check_gates`` holds it above
+    ``gates.serving_scaling_min_speedup_2v1`` — but only on multi-core
+    runners (``cpu_count`` travels with the curve so single-core CI
+    skips the gate instead of recording a meaningless ratio).
+    """
+    import os
+    import tempfile
+
+    counts = (1, 2, 4, 8)
+    num_clients = 8
+    requests_per_client = 4 if smoke else 12
+    policy = BatchPolicy(max_batch_size=8, max_wait_ms=2.0, max_queue=256,
+                         cache_entries=0)
+    curve: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for workers in counts:
+            server = _bench_server(Path(tmp) / f"w{workers}", policy,
+                                   workers=workers)
+            try:
+                # warm-up covers fork, shm attach and lazy model init
+                _drive(server, 2, 2, repeat_fraction=0.0, seed=1)
+                run = _drive(server, num_clients, requests_per_client,
+                             repeat_fraction=0.0, seed=5)
+                pool_stats = (server.health().get("pools") or {})
+            finally:
+                server.shutdown()
+            latencies = run["latencies_s"]
+            point = {
+                "workers": workers,
+                "completed": len(latencies),
+                "errors": run["errors"],
+                "throughput_rps": (len(latencies) / run["wall_s"]
+                                   if run["wall_s"] > 0 else 0.0),
+                "latency_p50_s": _percentile(latencies, 50),
+                "latency_p95_s": _percentile(latencies, 95),
+            }
+            if pool_stats:
+                entry = next(iter(pool_stats.values()))
+                point["restarts"] = entry["restarts"]
+                point["per_worker_batches"] = [w["batches_done"]
+                                               for w in entry["per_worker"]]
+            curve[f"w{workers}"] = point
+    t1 = curve["w1"]["throughput_rps"]
+    t2 = curve["w2"]["throughput_rps"]
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "clients": num_clients,
+        "requests_per_client": requests_per_client,
+        "curve": curve,
+        "speedup_2v1": t2 / t1 if t1 > 0 else 0.0,
     }
 
 

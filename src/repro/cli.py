@@ -239,25 +239,35 @@ def cmd_serve(args) -> int:
             loaded = [load_checkpoint(weights)]
     except RegistryError as error:
         raise CLIError(str(error)) from error
-    served = [ServedModel(model, manifest, policy, health=health,
-                          engine=args.engine)
-              for model, manifest in loaded]
+    # install the drain handlers before any pooled backend publishes
+    # shared-memory weights, so a SIGTERM that lands during startup still
+    # unlinks every segment on the way out
+    stop = threading.Event()
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous[signum] = signal.signal(signum, lambda *_: stop.set())
+    try:
+        served = [ServedModel(model, manifest, policy, health=health,
+                              engine=args.engine, workers=args.serve_workers)
+                  for model, manifest in loaded]
+    except ValueError as error:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        raise CLIError(str(error)) from error
     config = ServeConfig(host=args.host, port=args.port, policy=policy,
                          latency_buckets=buckets)
     server = PredictServer(served, config, verbose=args.verbose)
     host, port = server.address
     for entry in served:
         m = entry.manifest
+        backend = (f"{entry.workers} workers" if entry.workers > 1
+                   else "in-process")
         print(f"serving {m.name} v{m.version} ({m.model_class}, "
               f"{m.param_count} params, grid {tuple(m.grid_config().shape)}, "
-              f"engine {entry.engine})")
+              f"engine {entry.engine}, {backend})")
     print(f"listening on http://{host}:{port}  "
           f"(POST /v1/predict, GET /v1/models /healthz /metrics; ctrl-c to stop)")
 
-    stop = threading.Event()
-    previous = {}
-    for signum in (signal.SIGINT, signal.SIGTERM):
-        previous[signum] = signal.signal(signum, lambda *_: stop.set())
     server.start()
     try:
         stop.wait()
@@ -387,6 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "tape per batch, 'plan' compiles one inference plan "
                         "per batch shape and replays it (default: "
                         "REPRO_INFER_PLAN env, else tape)")
+    p.add_argument("--serve-workers", type=int, default=None, metavar="N",
+                   help="forked prediction worker processes sharing one "
+                        "shared-memory weight segment; requests shard by "
+                        "content hash (default: REPRO_SERVE_WORKERS env, "
+                        "else 1 = in-process)")
     p.add_argument("--verbose", action="store_true",
                    help="log every HTTP request to stderr")
     # grid fallback used only when synthesizing a manifest for a legacy

@@ -14,7 +14,13 @@ subsystem is stdlib + numpy only:
   response cache;
 * :mod:`repro.serve.server` — ``POST /v1/predict``, ``GET /v1/models``,
   ``GET /healthz`` and ``GET /metrics`` on a threading HTTP server with
-  graceful draining shutdown.
+  graceful draining shutdown;
+* :mod:`repro.serve.shm` / :mod:`repro.serve.pool` /
+  :mod:`repro.serve.router` — the multi-process backend: weights
+  published once into shared memory, N forked workers each owning a
+  core and its own plan cache, and a content-hash shard router keeping
+  the per-shard response caches coherent (``--serve-workers`` /
+  ``REPRO_SERVE_WORKERS``).
 
 Entry point: ``python -m repro.cli serve --ckpt model.npz``; load-test
 with ``benchmarks/run_serve_bench.py``.  See ``docs/serving.md``.
@@ -27,14 +33,20 @@ from .batcher import (
 from .engine import (
     ENGINES, PlanExecutor, clear_plan_cache, plan_cache_stats, resolve_engine,
 )
+from .pool import PoolConfig, WorkerCrashedError, WorkerPool, resolve_serve_workers
 from .registry import (
     IntegrityError, ModelManifest, ModelRegistry, RegistryError,
     import_legacy_sidecar, load_checkpoint, manifest_path_for, read_manifest,
     save_checkpoint, verify_checkpoint,
 )
+from .router import ShardRouter, shard_for
 from .server import (
     DEFAULT_LATENCY_BUCKETS, PredictServer, ServeConfig, ServedModel,
     render_prometheus,
+)
+from .shm import (
+    ShmSpec, WeightStore, attach_views, live_segments, publish_weights,
+    release_weights, segment_name, shm_stats,
 )
 
 __all__ = [
@@ -47,4 +59,8 @@ __all__ = [
     "manifest_path_for", "import_legacy_sidecar",
     "PredictServer", "ServeConfig", "ServedModel", "render_prometheus",
     "DEFAULT_LATENCY_BUCKETS",
+    "PoolConfig", "WorkerPool", "WorkerCrashedError", "resolve_serve_workers",
+    "ShardRouter", "shard_for",
+    "ShmSpec", "WeightStore", "segment_name", "publish_weights",
+    "release_weights", "attach_views", "live_segments", "shm_stats",
 ]

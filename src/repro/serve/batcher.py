@@ -153,10 +153,11 @@ class _Request:
     __slots__ = ("input", "key", "enqueued_s", "deadline_s", "event", "result",
                  "error", "ctx")
 
-    def __init__(self, input_array: np.ndarray, key: str, deadline_s: float):
+    def __init__(self, input_array: np.ndarray, key: str, deadline_s: float,
+                 enqueued_s: float):
         self.input = input_array
         self.key = key
-        self.enqueued_s = time.monotonic()
+        self.enqueued_s = enqueued_s
         self.deadline_s = deadline_s
         self.event = threading.Event()
         self.result: np.ndarray | None = None
@@ -187,15 +188,22 @@ class MicroBatcher:
     — the hook the physics health monitor hangs off.  It must be
     observation-only; any exception it raises is swallowed and counted
     (``serve.observer_errors``) rather than failing the batch.
+
+    ``clock``, when given, replaces ``time.monotonic`` for every
+    deadline and coalescing-window decision (enqueue stamps, expiry,
+    ``max_wait_ms`` holds).  Tests inject a fake clock and drive time
+    explicitly — pair an advance with :meth:`kick` so the worker
+    re-reads the clock — instead of racing real sleeps.
     """
 
     def __init__(self, predict_fn, policy: BatchPolicy | None = None,
-                 name: str = "default", observer=None):
+                 name: str = "default", observer=None, clock=None):
         self.policy = policy if policy is not None else BatchPolicy()
         self.policy.validate()
         self.name = name
         self._predict_fn = predict_fn
         self._observer = observer
+        self._clock = clock if clock is not None else time.monotonic
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache = _ResponseCache(self.policy.cache_entries)
@@ -212,8 +220,12 @@ class MicroBatcher:
 
     # -- client side ---------------------------------------------------
     def submit(self, input_array: np.ndarray, deadline_ms: float | None = None,
-               timeout_s: float | None = None) -> np.ndarray:
+               timeout_s: float | None = None, key: str | None = None) -> np.ndarray:
         """Block until ``input_array``'s prediction is available.
+
+        ``key`` lets a caller that already computed the input's
+        :func:`content_hash` (the shard router hashes to route) pass it
+        down instead of paying the digest twice.
 
         Raises :class:`QueueFullError` on backpressure,
         :class:`DeadlineExceededError` when the request expires in the
@@ -221,7 +233,8 @@ class MicroBatcher:
         """
         input_array = np.asarray(input_array)
         counter("serve.requests").inc()
-        key = content_hash(input_array)
+        if key is None:
+            key = content_hash(input_array)
         cached = self._cache.get(key)
         if cached is not None:
             counter("serve.cache.hits").inc()
@@ -233,8 +246,10 @@ class MicroBatcher:
         with self._lock:
             self._cache_misses += 1
         deadline_ms = self.policy.default_deadline_ms if deadline_ms is None else deadline_ms
+        now = self._clock()
         request = _Request(input_array, key,
-                           deadline_s=time.monotonic() + deadline_ms / 1000.0)
+                           deadline_s=now + deadline_ms / 1000.0,
+                           enqueued_s=now)
         with self._work_ready:
             if self._closed:
                 counter("serve.rejected.closed").inc()
@@ -262,7 +277,7 @@ class MicroBatcher:
             if not self._queue:
                 return []
             batch = [self._queue.popleft()]
-            hold_until = time.monotonic() + self.policy.max_wait_ms / 1000.0
+            hold_until = self._clock() + self.policy.max_wait_ms / 1000.0
             while len(batch) < self.policy.max_batch_size:
                 if self._queue:
                     # only coalesce shape/dtype-compatible requests; others
@@ -273,7 +288,7 @@ class MicroBatcher:
                         break
                     batch.append(self._queue.popleft())
                     continue
-                remaining = hold_until - time.monotonic()
+                remaining = hold_until - self._clock()
                 if remaining <= 0 or self._closed:
                     break
                 self._work_ready.wait(remaining)
@@ -286,7 +301,7 @@ class MicroBatcher:
                 # _gather only comes back empty once closed with an
                 # empty queue (drained or discarded) — worker exits.
                 break
-            now = time.monotonic()
+            now = self._clock()
             live: list[_Request] = []
             for request in batch:
                 if now > request.deadline_s:
@@ -338,6 +353,17 @@ class MicroBatcher:
                 request.finish(result=output)
 
     # -- lifecycle / introspection ------------------------------------
+    def kick(self) -> None:
+        """Wake the worker so it re-reads the clock.
+
+        A real monotonic clock makes timed condition waits expire on
+        their own; an injected fake clock does not, so tests advance the
+        fake and then ``kick`` to deliver the wake-up the timer would
+        have provided.
+        """
+        with self._work_ready:
+            self._work_ready.notify_all()
+
     def close(self, drain: bool = True, timeout_s: float = 30.0) -> None:
         """Stop the worker; ``drain`` finishes queued work first."""
         with self._work_ready:

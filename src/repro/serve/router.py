@@ -1,0 +1,124 @@
+"""Content-hash shard router in front of the worker pool.
+
+One request queue per worker would be enough for throughput, but the
+LRU response cache changes the routing question: a repeat of an input
+only hits cache if it lands on the queue that answered it the first
+time.  The router therefore shards by the input's **content hash** —
+the same digest the response cache is keyed on — so a given clip is
+always owned by the same shard and its cache entry stays coherent
+without any cross-process invalidation.
+
+Each shard owns a full :class:`~repro.serve.batcher.MicroBatcher`
+(queue, coalescing policy, response cache, deadline handling) whose
+``predict_fn`` ships the stacked batch to that shard's worker process.
+The router computes the hash once and hands it down, so routing adds
+zero extra hashing over the single-batcher path, and it presents the
+same ``submit``/``stats``/``close`` surface the HTTP layer already
+speaks — a one-shard router is behaviorally the plain batcher.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .batcher import BatchPolicy, MicroBatcher, content_hash
+
+__all__ = ["ShardRouter", "shard_for"]
+
+
+def shard_for(key: str, num_shards: int) -> int:
+    """Deterministic shard index for a content-hash hex digest."""
+    return int(key[:16], 16) % num_shards
+
+
+class ShardRouter:
+    """Fans submits out to per-shard micro-batchers by content hash."""
+
+    def __init__(self, predict_for_shard, num_shards: int,
+                 policy: BatchPolicy | None = None, name: str = "default",
+                 observer=None, clock=None):
+        if num_shards < 1:
+            raise ValueError(f"need >= 1 shards, got {num_shards}")
+        self.name = name
+        self.policy = policy if policy is not None else BatchPolicy()
+        self.shards = [
+            MicroBatcher(predict_for_shard(shard), self.policy,
+                         name=f"{name}-s{shard}", observer=observer,
+                         clock=clock)
+            for shard in range(num_shards)
+        ]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, input_array: np.ndarray) -> tuple[int, str]:
+        """``(shard index, content hash)`` for one input."""
+        key = content_hash(np.asarray(input_array))
+        return shard_for(key, len(self.shards)), key
+
+    # -- MicroBatcher-compatible surface ------------------------------
+    def submit(self, input_array: np.ndarray, deadline_ms: float | None = None,
+               timeout_s: float | None = None) -> np.ndarray:
+        input_array = np.asarray(input_array)
+        shard, key = self.shard_of(input_array)
+        return self.shards[shard].submit(input_array, deadline_ms=deadline_ms,
+                                         timeout_s=timeout_s, key=key)
+
+    def queue_depth(self) -> int:
+        return sum(shard.queue_depth() for shard in self.shards)
+
+    def cache_hit_rate(self) -> float:
+        hits = misses = 0
+        for shard in self.shards:
+            stats = shard.response_cache_stats()
+            hits += stats["hits"]
+            misses += stats["misses"]
+        return hits / (hits + misses) if hits + misses else 0.0
+
+    def response_cache_stats(self) -> dict:
+        merged = {"capacity": 0, "entries": 0, "hits": 0, "misses": 0,
+                  "evictions": 0}
+        for shard in self.shards:
+            stats = shard.response_cache_stats()
+            for field in merged:
+                merged[field] += stats[field]
+        total = merged["hits"] + merged["misses"]
+        merged["hit_rate"] = round(merged["hits"] / total, 6) if total else 0.0
+        merged["shards"] = len(self.shards)
+        return merged
+
+    def stats(self) -> dict:
+        """Aggregate snapshot plus the per-shard breakdown for /healthz."""
+        per_shard = [shard.stats() for shard in self.shards]
+        merged = {
+            "queue_depth": sum(s["queue_depth"] for s in per_shard),
+            "batches_run": sum(s["batches_run"] for s in per_shard),
+            "requests_done": sum(s["requests_done"] for s in per_shard),
+            "cache_entries": sum(s["cache_entries"] for s in per_shard),
+            "cache_hits": sum(s["cache_hits"] for s in per_shard),
+            "cache_misses": sum(s["cache_misses"] for s in per_shard),
+            "cache_evictions": sum(s["cache_evictions"] for s in per_shard),
+            "closed": all(s["closed"] for s in per_shard),
+            "policy": per_shard[0]["policy"],
+            "shards": {
+                f"s{index}": {
+                    "queue_depth": s["queue_depth"],
+                    "batches_run": s["batches_run"],
+                    "requests_done": s["requests_done"],
+                    "cache_hit_rate": s["cache_hit_rate"],
+                } for index, s in enumerate(per_shard)
+            },
+        }
+        lookups = merged["cache_hits"] + merged["cache_misses"]
+        merged["cache_hit_rate"] = (
+            round(merged["cache_hits"] / lookups, 6) if lookups else 0.0)
+        return merged
+
+    @property
+    def closed(self) -> bool:
+        return all(shard.closed for shard in self.shards)
+
+    def close(self, drain: bool = True, timeout_s: float = 30.0) -> None:
+        for shard in self.shards:
+            shard.close(drain=drain, timeout_s=timeout_s)

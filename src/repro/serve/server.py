@@ -61,7 +61,10 @@ from .batcher import (
     QueueFullError, ServeError,
 )
 from .engine import PlanExecutor, plan_cache_stats, resolve_engine
+from .pool import PoolConfig, WorkerCrashedError, WorkerPool, resolve_serve_workers
 from .registry import ModelManifest
+from .router import ShardRouter
+from .shm import publish_weights, release_weights, shm_stats
 
 __all__ = ["ServeConfig", "ServedModel", "PredictServer", "render_prometheus"]
 
@@ -102,30 +105,58 @@ class ServedModel:
     inference plan per batch shape on first use and replays it (bitwise
     identical, falling back to tape on capture failure or while a
     capture is in flight).  ``None`` consults ``REPRO_INFER_PLAN``.
+
+    ``workers`` selects the execution backend: 1 (the default, also via
+    ``REPRO_SERVE_WORKERS``) keeps the historical in-process path — one
+    micro-batcher thread running the forward under the GIL.  More than
+    one publishes the weights into a shared-memory segment, forks that
+    many worker processes (each with its own core and plan cache) and
+    routes requests across per-shard batchers by content hash; outputs
+    are bitwise identical either way.
     """
 
     def __init__(self, model, manifest: ModelManifest, policy: BatchPolicy,
                  health: HealthConfig | None = None,
-                 peb: PEBConfig | None = None, engine: str | None = None):
+                 peb: PEBConfig | None = None, engine: str | None = None,
+                 workers: int | None = None,
+                 pool_config: PoolConfig | None = None):
         self.model = model
         self.manifest = manifest
         self.model.eval()
         self._cast_params_once()
         self.engine = resolve_engine(engine)
+        label = f"{manifest.name}-v{manifest.version}"
+        self.workers = resolve_serve_workers(workers)
         self._executor = None
-        if self.engine == "plan":
+        self.pool = None
+        self._store = None
+        if self.workers == 1 and self.engine == "plan":
             self._executor = PlanExecutor(
-                self.model, manifest.content_hash,
-                label=f"{manifest.name}-v{manifest.version}")
+                self.model, manifest.content_hash, label=label)
         peb = peb if peb is not None else PEBConfig()
         self.monitor = None
         if health is not None:
             self.monitor = HealthMonitor(
                 manifest.grid_config(), peb.catalysis_rate, config=health,
-                peb=peb, name=f"{manifest.name}-v{manifest.version}")
-        self.batcher = MicroBatcher(self._predict_batch, policy,
-                                    name=f"{manifest.name}-v{manifest.version}",
-                                    observer=self._observe_batch)
+                peb=peb, name=label)
+        if self.workers > 1:
+            # publish once; the pool owns (and on close releases) the ref
+            self._store = publish_weights(model.state_dict(),
+                                          manifest.content_hash)
+            try:
+                self.pool = WorkerPool(manifest, self._store, self.engine,
+                                       self.workers, config=pool_config,
+                                       name=label)
+            except Exception:
+                release_weights(self._store)
+                raise
+            self.batcher = ShardRouter(
+                self._shard_predict_fn, self.workers, policy, name=label,
+                observer=self._observe_batch)
+        else:
+            self.batcher = MicroBatcher(self._predict_batch, policy,
+                                        name=label,
+                                        observer=self._observe_batch)
         self.clip_shape = tuple(manifest.grid_config().shape)
 
     def _cast_params_once(self) -> None:
@@ -150,6 +181,17 @@ class ServedModel:
             with no_grad():
                 return self.model(Tensor(batch)).numpy()
 
+    def _shard_predict_fn(self, shard: int):
+        """Per-shard predict callable for the router's batchers."""
+        def predict(batch: np.ndarray) -> np.ndarray:
+            batch = np.asarray(batch)
+            if batch.dtype != np.float64:
+                raise ServeError(
+                    f"batch reached the forward path as {batch.dtype}; "
+                    "inputs must be cast to float64 at validation")
+            return self.pool.forward(shard, batch)
+        return predict
+
     def _observe_batch(self, batch, outputs, request_ids, ctxs) -> None:
         if self.monitor is not None:
             self.monitor.observe_batch(batch, outputs,
@@ -157,6 +199,8 @@ class ServedModel:
 
     def close(self, drain: bool = True) -> None:
         self.batcher.close(drain=drain)
+        if self.pool is not None:
+            self.pool.close(drain=drain)
         if self.monitor is not None:
             self.monitor.close()
 
@@ -348,6 +392,11 @@ class _Handler(BaseHTTPRequestHandler):
                     raise _HTTPError(503, str(error)) from error
                 except DeadlineExceededError as error:
                     raise _HTTPError(504, str(error)) from error
+                except WorkerCrashedError as error:
+                    # the worker died mid-batch: the request was never
+                    # answered, the pool is respawning — fail fast,
+                    # tell the client to retry, never serve garbage
+                    raise _HTTPError(503, str(error), retry_after_s=1) from error
                 except ServeError as error:
                     raise _HTTPError(500, str(error)) from error
                 headers = {
@@ -483,6 +532,12 @@ class PredictServer:
             for version, entry in versions.items()
             if entry.monitor is not None
         }
+        pools = {
+            f"{name}:v{version}": entry.pool.stats()
+            for name, versions in self._models.items()
+            for version, entry in versions.items()
+            if entry.pool is not None
+        }
         total_depth = sum(stats["queue_depth"] for stats in queues.values())
         hits = sum(stats["cache_hits"] for stats in queues.values())
         lookups = hits + sum(stats["cache_misses"] for stats in queues.values())
@@ -492,6 +547,9 @@ class PredictServer:
             "inflight": self.inflight,
             "engines": sorted({entry.engine for versions in self._models.values()
                                for entry in versions.values()}),
+            "serve_workers": max(entry.workers
+                                 for versions in self._models.values()
+                                 for entry in versions.values()),
             # top-level shed signals for load balancers: total queued
             # requests and the combined batcher cache hit rate
             "queue_depth": total_depth,
@@ -499,7 +557,12 @@ class PredictServer:
             "queues": queues,
             "caches": self.cache_stats(),
             "plan_cache": plan_cache_stats(),
+            "shm": shm_stats(),
         }
+        if pools:
+            payload["pools"] = pools
+            payload["worker_restarts"] = sum(p["restarts"]
+                                             for p in pools.values())
         if monitors:
             payload["health_monitors"] = monitors
         return payload
@@ -534,6 +597,21 @@ class PredictServer:
         plans = plan_cache_stats()
         counter("serve.plan.cached_plans").value = plans["plans"]
         counter("serve.plan.arena_bytes").value = plans["arena_bytes"]
+        segments = shm_stats()
+        counter("serve.shm.segments").value = segments["segment_count"]
+        counter("serve.shm.bytes").value = segments["total_bytes"]
+        workers = alive = restarts = 0
+        for versions in self._models.values():
+            for entry in versions.values():
+                if entry.pool is None:
+                    continue
+                stats = entry.pool.stats()
+                workers += stats["workers"]
+                alive += stats["alive"]
+                restarts += stats["restarts"]
+        counter("serve.pool.workers").value = workers
+        counter("serve.pool.alive").value = alive
+        counter("serve.pool.restart_total").value = restarts
 
     def access_log(self, record: dict, warn: bool = False) -> None:
         """One structured JSON access-log line on stderr.

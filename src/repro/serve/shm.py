@@ -1,0 +1,241 @@
+"""Shared-memory weight store for the multi-process serving backend.
+
+A pooled server forks N batcher workers, and every one of them needs the
+same checkpoint parameters.  Pickling the state dict into each worker
+would copy the weights N times and make respawn proportional to model
+size; instead the parent publishes the weights **once** into a
+``multiprocessing.shared_memory`` segment and workers map it as
+read-only float64 numpy views (zero copies after publish, and the
+read-only flag turns any accidental in-place parameter write into a
+loud ``ValueError`` instead of silent cross-worker corruption).
+
+The segment is keyed by the registry's sha256 content-hash manifest:
+``segment_name("sha256:<hex>")`` is deterministic, so publishing the
+same checkpoint twice (two ``ServedModel``s over one registry entry, or
+a respawned worker re-attaching) reuses the existing segment instead of
+allocating a second copy.  A process-local refcount decides when the
+segment is actually unlinked; ``release`` on the last reference removes
+the ``/dev/shm`` entry, which the drain paths (normal close, SIGTERM)
+and the leak tests both rely on.
+
+Layout: parameters are packed back to back in sorted-name order, each
+8-byte aligned (they are float64 by the registry's publish contract).
+The :class:`ShmSpec` carrying ``(name, offset, shape, dtype)`` travels
+to workers by pickle; the bytes travel through the kernel, not the
+pipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.obs import counter
+from repro.runtime.sync import make_lock
+
+__all__ = [
+    "ShmSpec", "WeightStore", "segment_name", "publish_weights",
+    "release_weights", "attach_views", "shm_stats", "live_segments",
+]
+
+#: every segment this module creates carries this prefix, so leak checks
+#: and operators can enumerate them (``ls /dev/shm/repro-w-*``)
+SEGMENT_PREFIX = "repro-w-"
+
+#: parameter offsets are aligned to this many bytes (float64 width)
+_ALIGN = 8
+
+
+@dataclass(frozen=True)
+class ShmSpec:
+    """Everything a worker needs to map the weights (picklable)."""
+
+    #: shared-memory segment name (the ``/dev/shm`` entry)
+    name: str
+    #: exact payload size in bytes (the kernel may round the segment up)
+    nbytes: int
+    #: ``(param_name, byte_offset, shape, dtype_str)`` in pack order
+    layout: tuple
+    #: ``sha256:<hex>`` of the checkpoint the segment was packed from
+    content_hash: str
+
+
+def segment_name(content_hash: str) -> str:
+    """Deterministic segment name for a manifest content hash."""
+    digest = content_hash.split(":", 1)[-1]
+    return f"{SEGMENT_PREFIX}{digest[:24]}"
+
+
+def _pack_layout(state: dict) -> tuple[tuple, int]:
+    """``(layout, total_bytes)`` for a state dict, sorted by name."""
+    layout = []
+    offset = 0
+    for name in sorted(state):
+        array = np.ascontiguousarray(state[name])
+        offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+        layout.append((name, offset, tuple(array.shape), str(array.dtype)))
+        offset += array.nbytes
+    return tuple(layout), offset
+
+
+def _views_over(buf, spec: ShmSpec, writeable: bool) -> dict[str, np.ndarray]:
+    views = {}
+    for name, offset, shape, dtype in spec.layout:
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=buf, offset=offset)
+        view.setflags(write=writeable)
+        views[name] = view
+    return views
+
+
+class WeightStore:
+    """One published checkpoint living in a shared-memory segment.
+
+    Handles are refcounted per process: :func:`publish_weights` on an
+    already-published hash returns the same store with its refcount
+    bumped, and :meth:`release` unlinks the segment only when the last
+    reference drops.  ``close``/``unlink`` ordering follows the stdlib
+    contract: close the mapping everywhere, unlink exactly once.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, spec: ShmSpec):
+        self._shm = shm
+        self.spec = spec
+        self.refs = 1
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def nbytes(self) -> int:
+        return self.spec.nbytes
+
+    def views(self) -> dict[str, np.ndarray]:
+        """Read-only parameter views over the live segment."""
+        return _views_over(self._shm.buf, self.spec, writeable=False)
+
+    def _close_and_unlink(self) -> None:
+        # drop every numpy view before closing: an exported buffer keeps
+        # the mmap pinned and close() would raise BufferError
+        try:
+            self._shm.close()
+        finally:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass  # already unlinked (e.g. concurrent external cleanup)
+
+
+_stores: dict[str, WeightStore] = {}
+_stores_lock = make_lock("serve.shm.registry")
+
+
+def publish_weights(state: dict, content_hash: str) -> WeightStore:
+    """Publish a float64 state dict into shared memory (or reuse it).
+
+    Publishing the same ``content_hash`` twice returns the existing
+    segment with its refcount bumped — the weights exist once per box,
+    not once per server object.  A leftover on-disk segment from a
+    crashed previous run is adopted only if its bytes match the state
+    being published; anything stale is unlinked and repacked.
+    """
+    layout, nbytes = _pack_layout(state)
+    if nbytes == 0:
+        raise ValueError("cannot publish an empty state dict to shared memory")
+    name = segment_name(content_hash)
+    spec = ShmSpec(name=name, nbytes=nbytes, layout=layout,
+                   content_hash=content_hash)
+    with _stores_lock:
+        store = _stores.get(name)
+        if store is not None:
+            store.refs += 1
+            counter("serve.shm.reused").inc()
+            return store
+        shm = _create_or_adopt(spec, state)
+        store = WeightStore(shm, spec)
+        _stores[name] = store
+        counter("serve.shm.published").inc()
+        return store
+
+
+def _create_or_adopt(spec: ShmSpec, state: dict) -> shared_memory.SharedMemory:
+    try:
+        shm = shared_memory.SharedMemory(name=spec.name, create=True,
+                                         size=spec.nbytes)
+    except FileExistsError:
+        # a previous process published this hash (or crashed mid-way);
+        # adopt only if the bytes verify against what we'd write
+        shm = shared_memory.SharedMemory(name=spec.name)
+        if shm.size >= spec.nbytes and _segment_matches(shm, spec, state):
+            counter("serve.shm.adopted").inc()
+            return shm
+        shm.close()
+        try:
+            shared_memory.SharedMemory(name=spec.name).unlink()
+        except FileNotFoundError:
+            pass
+        shm = shared_memory.SharedMemory(name=spec.name, create=True,
+                                         size=spec.nbytes)
+    for name, view in _views_over(shm.buf, spec, writeable=True).items():
+        view[...] = state[name]
+    return shm
+
+
+def _segment_matches(shm: shared_memory.SharedMemory, spec: ShmSpec,
+                     state: dict) -> bool:
+    views = _views_over(shm.buf, spec, writeable=False)
+    return all(np.array_equal(views[name], state[name], equal_nan=True)
+               for name, _, _, _ in spec.layout)
+
+
+def release_weights(store: WeightStore) -> None:
+    """Drop one reference; unlink the segment when the last one goes."""
+    with _stores_lock:
+        store.refs -= 1
+        if store.refs > 0:
+            return
+        _stores.pop(store.name, None)
+        store._close_and_unlink()
+        counter("serve.shm.unlinked").inc()
+
+
+def attach_views(spec: ShmSpec) -> tuple[shared_memory.SharedMemory,
+                                         dict[str, np.ndarray]]:
+    """Worker-side: map an existing segment as read-only views.
+
+    The caller owns the returned handle and must ``close()`` it before
+    exit (never ``unlink`` — the publisher does that exactly once).
+    """
+    shm = shared_memory.SharedMemory(name=spec.name)
+    if shm.size < spec.nbytes:
+        shm.close()
+        raise ValueError(
+            f"shared-memory segment {spec.name} is {shm.size} bytes, "
+            f"expected at least {spec.nbytes} (stale segment?)")
+    return shm, _views_over(shm.buf, spec, writeable=False)
+
+
+def live_segments() -> list[str]:
+    """Names of segments this process currently has published."""
+    with _stores_lock:
+        return sorted(_stores)
+
+
+def shm_stats() -> dict:
+    """Accounting snapshot for ``/healthz`` and ``/metrics``."""
+    with _stores_lock:
+        segments = [{
+            "name": store.name,
+            "nbytes": store.nbytes,
+            "refs": store.refs,
+            "params": len(store.spec.layout),
+            "content_hash": store.spec.content_hash,
+        } for store in _stores.values()]
+    segments.sort(key=lambda s: s["name"])
+    return {
+        "segments": segments,
+        "segment_count": len(segments),
+        "total_bytes": sum(s["nbytes"] for s in segments),
+    }

@@ -52,6 +52,29 @@ def wait_until(predicate, timeout_s: float = 5.0) -> bool:
     return predicate()
 
 
+class FakeClock:
+    """Injectable monotonic clock: time moves only when a test says so.
+
+    Deadline expiry and ``max_wait_ms`` coalescing become deterministic:
+    no assertion below depends on a real sleep outrunning a real timer.
+    Pair :meth:`advance` with ``batcher.kick()`` so the worker re-reads
+    the clock (a real clock wakes timed waits on its own; a fake one
+    cannot).
+    """
+
+    def __init__(self, start: float = 1_000.0):
+        self._now = start
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> None:
+        with self._lock:
+            self._now += seconds
+
+
 @pytest.fixture
 def gate():
     return threading.Event()
@@ -114,23 +137,51 @@ class TestCoalescing:
 
 class TestDeadlines:
     def test_expired_request_dropped_without_forward(self, gate):
+        """Deterministic deadline expiry: the fake clock jumps past the
+        doomed request's deadline while the worker is held at the gate —
+        no real sleep racing a real timer."""
+        clock = FakeClock()
         predict = RecordingPredict(gate)
+        # max_wait_ms=0: on a fake clock a nonzero hold window would
+        # never expire by itself; the coalescing window has its own
+        # fake-clock tests below
         batcher = MicroBatcher(predict, BatchPolicy(
-            max_batch_size=4, max_wait_ms=1.0, cache_entries=0))
+            max_batch_size=4, max_wait_ms=0.0, cache_entries=0), clock=clock)
         rng = np.random.default_rng(2)
         plug_thread, _ = submit_async(batcher, rng.random((2,)))
         assert predict.started.wait(5.0)
-        # enqueued with a deadline that will expire while the worker is busy
+        # enqueued with a 10ms deadline measured on the fake clock
         doomed_thread, doomed = submit_async(batcher, rng.random((2,)),
                                              deadline_ms=10.0)
         assert wait_until(lambda: batcher.queue_depth() == 1)
-        time.sleep(0.05)
+        clock.advance(0.011)            # one tick past the deadline
         gate.set()
         plug_thread.join(10.0)
         doomed_thread.join(10.0)
         assert isinstance(doomed.get("error"), DeadlineExceededError)
         # the doomed request never consumed a forward pass
         assert predict.batch_sizes == [1]
+        batcher.close()
+
+    def test_request_inside_deadline_survives(self, gate):
+        """Control for the expiry test: advance to one tick *before* the
+        deadline and the queued request must still be served."""
+        clock = FakeClock()
+        predict = RecordingPredict(gate)
+        batcher = MicroBatcher(predict, BatchPolicy(
+            max_batch_size=4, max_wait_ms=0.0, cache_entries=0), clock=clock)
+        rng = np.random.default_rng(6)
+        plug_thread, _ = submit_async(batcher, rng.random((2,)))
+        assert predict.started.wait(5.0)
+        racer_thread, racer = submit_async(batcher, rng.random((2,)),
+                                           deadline_ms=10.0)
+        assert wait_until(lambda: batcher.queue_depth() == 1)
+        clock.advance(0.009)            # inside the deadline
+        gate.set()
+        plug_thread.join(10.0)
+        racer_thread.join(10.0)
+        assert "result" in racer
+        assert predict.batch_sizes == [1, 1]
         batcher.close()
 
     def test_client_side_timeout(self, gate):
@@ -140,6 +191,55 @@ class TestDeadlines:
         thread.join(10.0)
         assert isinstance(box.get("error"), DeadlineExceededError)
         gate.set()
+        batcher.close()
+
+
+class TestCoalescingWindow:
+    """The ``max_wait_ms`` hold window on a fake clock: the worker holds
+    an open batch until the *fake* time passes ``hold_until``, so the
+    coalescing decision is asserted without a single real-time sleep."""
+
+    def test_window_collects_stragglers_until_clock_expires(self):
+        clock = FakeClock()
+        predict = RecordingPredict()
+        # a 5s (fake) window — far beyond any real-clock flake range,
+        # but inside the 30s default request deadline; on the fake clock
+        # the test completes as fast as the threads can run, proving the
+        # window closes on clock time, not luck
+        batcher = MicroBatcher(predict, BatchPolicy(
+            max_batch_size=8, max_wait_ms=5_000.0, cache_entries=0),
+            clock=clock)
+        rng = np.random.default_rng(8)
+        first_thread, first = submit_async(batcher, rng.random((2,)))
+        # the worker now holds [first] open, sleeping in the condition
+        # wait: the queue is drained but no forward has started
+        assert wait_until(lambda: batcher.queue_depth() == 0)
+        assert not predict.started.is_set()
+        second_thread, second = submit_async(batcher, rng.random((2,)))
+        assert wait_until(lambda: batcher.queue_depth() == 0)
+        assert not predict.started.is_set()   # still inside the window
+        clock.advance(5.001)
+        batcher.kick()                        # deliver the timer wake-up
+        first_thread.join(10.0)
+        second_thread.join(10.0)
+        assert "result" in first and "result" in second
+        assert predict.batch_sizes == [2]     # one coalesced batch
+        batcher.close()
+
+    def test_full_batch_short_circuits_the_window(self):
+        clock = FakeClock()
+        predict = RecordingPredict()
+        batcher = MicroBatcher(predict, BatchPolicy(
+            max_batch_size=2, max_wait_ms=5_000.0, cache_entries=0),
+            clock=clock)
+        rng = np.random.default_rng(9)
+        threads = [submit_async(batcher, rng.random((2,))) for _ in range(2)]
+        # no clock advance at all: hitting max_batch_size must dispatch
+        # immediately, without waiting out the window
+        for thread, box in threads:
+            thread.join(10.0)
+            assert "result" in box
+        assert predict.batch_sizes == [2]
         batcher.close()
 
 

@@ -43,9 +43,13 @@ def checkpoint(request, tmp_path_factory):
     return trainer, path, clips
 
 
-def serve_model(path, **policy_kwargs) -> ServedModel:
+def serve_model(path, workers=1, engine=None, **policy_kwargs) -> ServedModel:
+    # workers defaults to 1 (not the env) because several tests below
+    # patch in-process batcher internals; the cross-worker matrix
+    # parameterizes `workers` explicitly
     loaded, manifest = load_checkpoint(path)
-    return ServedModel(loaded, manifest, BatchPolicy(**policy_kwargs))
+    return ServedModel(loaded, manifest, BatchPolicy(**policy_kwargs),
+                       workers=workers, engine=engine)
 
 
 class TestBatchedVsSingle:
@@ -138,6 +142,114 @@ class TestObservationOnly:
         names = {line.split('"name":"')[1].split('"')[0]
                  for line in trace_path.read_text().splitlines() if line}
         assert "serve.health" in names
+
+
+class TestCrossWorkerMatrix:
+    """Bitwise identity across the full backend matrix.
+
+    workers ∈ {1, 2, 4} × engine ∈ {tape, plan} × tracing on/off must
+    all serve the same bytes: the process pool, the shared-memory
+    weight views, the shard router and the per-worker plan caches are
+    transport, never arithmetic.  Batch-1 policy pins the composition
+    so the BLAS shape caveat (module docstring) cannot blur the
+    comparison.
+    """
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("engine", ["tape", "plan"])
+    @pytest.mark.parametrize("tracing", [False, True])
+    def test_bitwise_identical_across_backends(self, checkpoint, workers,
+                                               engine, tracing,
+                                               tmp_path_factory):
+        from repro.obs import disable_tracing, enable_tracing
+
+        trainer, path, clips = checkpoint
+        expected = trainer.predict(clips, batch_size=1)
+        if tracing:
+            trace_path = (tmp_path_factory.mktemp("matrix-trace")
+                          / f"w{workers}-{engine}.jsonl")
+            enable_tracing(trace_path)
+        try:
+            served = serve_model(path, workers=workers, engine=engine,
+                                 max_batch_size=1, max_wait_ms=0.0,
+                                 cache_entries=0)
+            assert served.workers == workers
+            assert (served.pool is not None) == (workers > 1)
+            # twice: the second pass must replay any compiled plan and
+            # hit the same bytes again
+            for _ in range(2):
+                got = np.stack([served.batcher.submit(clip, timeout_s=60)
+                                for clip in clips])
+                assert np.array_equal(got, expected)
+            served.close()
+        finally:
+            if tracing:
+                disable_tracing()
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_mixed_compositions_through_shard_router(self, checkpoint, workers):
+        """Concurrent submits coalesce into per-shard mixed-size batches;
+        each batch must equal Trainer.predict at the matching size."""
+        trainer, path, clips = checkpoint
+        rng = np.random.default_rng(7)
+        many = rng.random((8,) + clips.shape[1:])
+        served = serve_model(path, workers=workers, max_batch_size=len(many),
+                             max_wait_ms=500.0, cache_entries=0)
+        router = served.batcher
+        groups = {}
+        for index, clip in enumerate(many):
+            shard, _ = router.shard_of(clip)
+            groups.setdefault(shard, []).append(index)
+        # gate every shard's predict so each releases exactly one batch
+        # holding that shard's full group — a known mixed composition
+        gate = threading.Event()
+        started = []
+        for shard_batcher in router.shards:
+            inner = shard_batcher._predict_fn
+            begun = threading.Event()
+            started.append(begun)
+
+            def gated(batch, _inner=inner, _begun=begun):
+                _begun.set()
+                assert gate.wait(60.0)
+                return _inner(batch)
+
+            shard_batcher._predict_fn = gated
+        results = [None] * len(many)
+
+        def run(index):
+            results[index] = router.submit(many[index], timeout_s=120.0)
+
+        threads = [threading.Thread(target=run, args=(i,), daemon=True)
+                   for i in range(len(many))]
+        # start each group's head first and wait until its shard's
+        # worker thread holds it alone behind the gate, so the tails
+        # below coalesce into exactly one follow-up batch per shard
+        for indices in groups.values():
+            threads[indices[0]].start()
+        for shard in groups:
+            assert started[shard].wait(60.0)
+        for indices in groups.values():
+            for index in indices[1:]:
+                threads[index].start()
+        deadline = 1000
+        queued_target = len(many) - len(groups)
+        while router.queue_depth() < queued_target and deadline:
+            threading.Event().wait(0.01)
+            deadline -= 1
+        assert router.queue_depth() == queued_target
+        gate.set()
+        for thread in threads:
+            thread.join(120.0)
+        for shard, indices in groups.items():
+            head, tail = indices[0], indices[1:]
+            want_head = trainer.predict(many[[head]], batch_size=1)
+            assert np.array_equal(results[head], want_head[0])
+            if tail:
+                want_tail = trainer.predict(many[tail], batch_size=len(tail))
+                got_tail = np.stack([results[i] for i in tail])
+                assert np.array_equal(got_tail, want_tail)
+        served.close()
 
 
 class TestEndToEndHTTP:

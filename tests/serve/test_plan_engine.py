@@ -49,7 +49,9 @@ def make_served(registry, engine, max_batch=4, max_wait_ms=1.0,
     model, manifest = registry.load("peb")
     policy = BatchPolicy(max_batch_size=max_batch, max_wait_ms=max_wait_ms,
                          cache_entries=cache_entries)
-    return ServedModel(model, manifest, policy, engine=engine)
+    # workers=1 pinned: these tests assert THIS process's plan cache;
+    # pooled workers own their plan caches in their own processes
+    return ServedModel(model, manifest, policy, engine=engine, workers=1)
 
 
 class TestEngineResolution:
@@ -147,9 +149,12 @@ def _fake_manifest() -> ModelManifest:
 
 class TestFallback:
     def test_capture_failure_falls_back_to_tape(self):
+        # workers=1: the fake manifest cannot rebuild _UnplannableModel
+        # in a pool worker (the pooled backend needs registry-faithful
+        # manifests); this test is about THIS process's plan fallback
         served = ServedModel(_UnplannableModel(), _fake_manifest(),
                              BatchPolicy(max_wait_ms=0.5, cache_entries=0),
-                             engine="plan")
+                             engine="plan", workers=1)
         try:
             x = np.random.default_rng(5).random((2, 1) + GRID.shape)
             with no_grad():

@@ -1,0 +1,183 @@
+"""Unit coverage for the process-pool plumbing: worker-count resolution,
+shard routing determinism, pool stats shape, and closed-pool behavior.
+Heavier end-to-end pool behavior (crash, respawn, bitwise identity) lives
+in test_fault_injection.py and test_determinism.py.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.config import GridConfig
+from repro.experiments import build_method
+from repro.serve import (
+    BatchPolicy, ServedModel, load_checkpoint, resolve_serve_workers,
+    save_checkpoint, shard_for,
+)
+from repro.serve.router import ShardRouter
+
+GRID = GridConfig(size_um=0.8, nx=16, ny=16, nz=2)
+
+
+class TestResolveServeWorkers:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_WORKERS", raising=False)
+        assert resolve_serve_workers() == 1
+
+    def test_env_applies_when_arg_omitted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "4")
+        assert resolve_serve_workers() == 4
+
+    def test_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "4")
+        assert resolve_serve_workers(2) == 2
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "two", "1.5"])
+    def test_bad_env_raises(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", bad)
+        with pytest.raises(ValueError):
+            resolve_serve_workers()
+
+    def test_bad_arg_raises(self):
+        with pytest.raises(ValueError):
+            resolve_serve_workers(0)
+
+
+class TestShardFor:
+    def test_deterministic_and_in_range(self):
+        rng = np.random.default_rng(0)
+        for _ in range(32):
+            key = hashlib.sha256(rng.bytes(16)).hexdigest()
+            for n in (1, 2, 4, 8):
+                shard = shard_for(key, n)
+                assert 0 <= shard < n
+                assert shard == shard_for(key, n)
+
+    def test_single_shard_routes_everything_to_zero(self):
+        key = hashlib.sha256(b"x").hexdigest()
+        assert shard_for(key, 1) == 0
+
+    def test_spreads_across_shards(self):
+        keys = [hashlib.sha256(bytes([i])).hexdigest() for i in range(64)]
+        hit = {shard_for(k, 4) for k in keys}
+        assert hit == {0, 1, 2, 3}
+
+
+class TestShardRouter:
+    def test_same_clip_always_lands_on_same_shard(self):
+        seen = []
+
+        def make(shard):
+            def predict(batch):
+                seen.append(shard)
+                return batch
+            return predict
+
+        router = ShardRouter(make, 4, BatchPolicy(max_batch_size=1,
+                                                  max_wait_ms=0.0,
+                                                  cache_entries=0))
+        try:
+            clip = np.random.default_rng(1).random(GRID.shape)
+            expected_shard, key = router.shard_of(clip)
+            assert shard_for(key, 4) == expected_shard
+            for _ in range(3):
+                router.submit(clip, timeout_s=30.0)
+            assert seen == [expected_shard] * 3
+        finally:
+            router.close()
+        assert router.closed
+
+    def test_stats_merge_per_shard_sections(self):
+        router = ShardRouter(lambda shard: (lambda batch: batch), 2,
+                             BatchPolicy(max_batch_size=1, max_wait_ms=0.0))
+        try:
+            stats = router.stats()
+            assert stats["shards"].keys() == {"s0", "s1"}
+            assert stats["requests_done"] == 0
+            assert stats["batches_run"] == 0
+            assert router.queue_depth() == 0
+        finally:
+            router.close()
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    nn.init.seed(0)
+    model, _ = build_method("SDM-PEB", GRID)
+    model.set_output_stats(0.5, 1.0)
+    path = tmp_path_factory.mktemp("pool-ckpt") / "model.npz"
+    save_checkpoint(model, path, method="SDM-PEB", grid=GRID)
+    return path
+
+
+class TestPooledServedModel:
+    def test_stats_shape_and_worker_identity(self, checkpoint):
+        loaded, manifest = load_checkpoint(checkpoint)
+        served = ServedModel(loaded, manifest,
+                             BatchPolicy(max_batch_size=1, max_wait_ms=0.0),
+                             workers=2)
+        try:
+            stats = served.pool.stats()
+            assert stats["workers"] == 2
+            assert stats["alive"] == 2
+            assert stats["restarts"] == 0
+            assert len(stats["per_worker"]) == 2
+            pids = {w["pid"] for w in stats["per_worker"]}
+            assert len(pids) == 2
+            for worker in stats["per_worker"]:
+                assert worker["alive"]
+                assert worker["restarts"] == 0
+        finally:
+            served.close()
+
+    def test_env_worker_count_applies(self, checkpoint, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "2")
+        loaded, manifest = load_checkpoint(checkpoint)
+        served = ServedModel(loaded, manifest,
+                             BatchPolicy(max_batch_size=1, max_wait_ms=0.0))
+        try:
+            assert served.workers == 2
+            assert served.pool is not None
+        finally:
+            served.close()
+
+    def test_unbuildable_manifest_fails_spawn_loudly(self):
+        """A manifest that cannot rebuild the served model must fail the
+        ServedModel constructor (ready handshake), not leave workers
+        crash-looping — and must not leak the published shm segment."""
+        from dataclasses import asdict
+
+        from repro.serve import ServeError, live_segments, segment_name
+        from repro.serve.registry import ModelManifest
+
+        class Oddball(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.scale = nn.Parameter(np.ones((1,), dtype=np.float64))
+
+            def forward(self, x):
+                return x * self.scale
+
+        manifest = ModelManifest(
+            name="oddball", version=1, model_class="DeepCNN",
+            grid=asdict(GRID), dtype="float64", param_count=1,
+            content_hash="sha256:" + "0d" * 32, output_mean=0.0,
+            output_std=1.0, created_unix_s=0.0)
+        with pytest.raises(ServeError):
+            ServedModel(Oddball(), manifest,
+                        BatchPolicy(max_batch_size=1, max_wait_ms=0.0),
+                        workers=2)
+        assert segment_name(manifest.content_hash) not in live_segments()
+
+    def test_closed_pool_rejects_forward(self, checkpoint):
+        loaded, manifest = load_checkpoint(checkpoint)
+        served = ServedModel(loaded, manifest,
+                             BatchPolicy(max_batch_size=1, max_wait_ms=0.0),
+                             workers=2)
+        pool = served.pool
+        served.close()
+        clip = np.random.default_rng(2).random(GRID.shape)
+        with pytest.raises(Exception):
+            pool.forward(0, clip[None])

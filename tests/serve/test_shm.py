@@ -1,0 +1,229 @@
+"""Shared-memory weight-segment lifecycle: zero leaked segments after
+normal drain, SIGTERM, and simulated worker crash; publish-twice reuses
+the segment for an identical manifest hash.
+
+Every test in this module runs under the ``shm_leak_check`` fixture,
+which snapshots the live ``/dev/shm/repro-w-*`` population before the
+test and asserts the test leaves it exactly as found.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.config import GridConfig
+from repro.experiments import build_method
+from repro.serve import (
+    BatchPolicy, ServedModel, load_checkpoint, save_checkpoint,
+)
+from repro.serve.shm import (
+    SEGMENT_PREFIX, attach_views, live_segments, publish_weights,
+    release_weights, segment_name, shm_stats,
+)
+
+GRID = GridConfig(size_um=0.8, nx=16, ny=16, nz=2)
+SHM_DIR = Path("/dev/shm")
+
+
+def on_disk_segments() -> set:
+    if not SHM_DIR.is_dir():
+        pytest.skip("no /dev/shm on this platform")
+    return {p.name for p in SHM_DIR.glob(f"{SEGMENT_PREFIX}*")}
+
+
+@pytest.fixture(autouse=True)
+def shm_leak_check():
+    """Snapshot live segments; the test must leave the set unchanged."""
+    before = on_disk_segments()
+    yield
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        leaked = on_disk_segments() - before
+        if not leaked:
+            break
+        time.sleep(0.05)
+    assert on_disk_segments() - before == set(), \
+        f"leaked shm segments: {on_disk_segments() - before}"
+    stale = [s for s in live_segments() if s not in before]
+    assert not stale, \
+        f"process-local store still tracks released segments: {stale}"
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    nn.init.seed(0)
+    model, _ = build_method("SDM-PEB", GRID)
+    model.set_output_stats(0.5, 1.0)
+    path = tmp_path_factory.mktemp("shm-ckpt") / "model.npz"
+    save_checkpoint(model, path, method="SDM-PEB", grid=GRID)
+    return path
+
+
+def tiny_state(seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "layer.weight": rng.random((4, 3)),
+        "layer.bias": rng.random((4,)),
+        "head.weight": rng.random((2, 4)),
+    }
+
+
+FAKE_HASH = "sha256:" + "ab" * 32
+OTHER_HASH = "sha256:" + "cd" * 32
+
+
+class TestPublishAttachRelease:
+    def test_views_are_readonly_and_exact(self):
+        state = tiny_state()
+        store = publish_weights(state, FAKE_HASH)
+        try:
+            views = store.views()
+            assert set(views) == set(state)
+            for name, view in views.items():
+                assert view.dtype == np.float64
+                assert np.array_equal(view, state[name])
+                with pytest.raises(ValueError):
+                    view[...] = 0.0
+        finally:
+            release_weights(store)
+        assert segment_name(FAKE_HASH) not in on_disk_segments()
+
+    def test_attach_views_maps_same_bytes(self):
+        state = tiny_state(1)
+        store = publish_weights(state, FAKE_HASH)
+        try:
+            shm, views = attach_views(store.spec)
+            for name in state:
+                assert np.array_equal(views[name], state[name])
+                assert not views[name].flags.writeable
+            del views
+            shm.close()
+        finally:
+            release_weights(store)
+
+    def test_publish_twice_reuses_segment_for_identical_hash(self):
+        state = tiny_state(2)
+        first = publish_weights(state, FAKE_HASH)
+        second = publish_weights(state, FAKE_HASH)
+        assert second is first
+        assert first.refs == 2
+        assert shm_stats()["segment_count"] >= 1
+        release_weights(first)
+        # still alive: one reference remains
+        assert segment_name(FAKE_HASH) in on_disk_segments()
+        release_weights(second)
+        assert segment_name(FAKE_HASH) not in on_disk_segments()
+
+    def test_distinct_hashes_get_distinct_segments(self):
+        a = publish_weights(tiny_state(3), FAKE_HASH)
+        b = publish_weights(tiny_state(4), OTHER_HASH)
+        try:
+            assert a.name != b.name
+            names = {s["name"] for s in shm_stats()["segments"]}
+            assert {a.name, b.name} <= names
+        finally:
+            release_weights(a)
+            release_weights(b)
+
+    def test_stale_on_disk_segment_is_repacked(self):
+        """A leftover segment with wrong bytes (crashed previous run) is
+        unlinked and repacked rather than adopted."""
+        state = tiny_state(5)
+        name = segment_name(FAKE_HASH)
+        stale = shared_memory.SharedMemory(name=name, create=True, size=64)
+        stale.buf[:8] = b"garbage!"
+        stale.close()
+        store = publish_weights(state, FAKE_HASH)
+        try:
+            assert np.array_equal(store.views()["layer.weight"],
+                                  state["layer.weight"])
+        finally:
+            release_weights(store)
+
+
+class TestServedModelLifecycle:
+    def test_normal_drain_unlinks(self, checkpoint):
+        loaded, manifest = load_checkpoint(checkpoint)
+        served = ServedModel(loaded, manifest, BatchPolicy(max_batch_size=1),
+                             workers=2)
+        name = segment_name(manifest.content_hash)
+        assert name in on_disk_segments()
+        served.close(drain=True)
+        assert name not in on_disk_segments()
+
+    def test_two_served_models_share_one_segment(self, checkpoint):
+        loaded_a, manifest = load_checkpoint(checkpoint)
+        loaded_b, _ = load_checkpoint(checkpoint)
+        a = ServedModel(loaded_a, manifest, BatchPolicy(max_batch_size=1),
+                        workers=2)
+        b = ServedModel(loaded_b, manifest, BatchPolicy(max_batch_size=1),
+                        workers=2)
+        name = segment_name(manifest.content_hash)
+        matching = [s for s in shm_stats()["segments"] if s["name"] == name]
+        assert len(matching) == 1 and matching[0]["refs"] == 2
+        a.close()
+        assert name in on_disk_segments()   # b still holds a reference
+        b.close()
+        assert name not in on_disk_segments()
+
+    def test_worker_crash_does_not_leak(self, checkpoint):
+        """SIGKILLed workers never unlink (only the publisher does); the
+        parent's close still removes the segment exactly once."""
+        loaded, manifest = load_checkpoint(checkpoint)
+        served = ServedModel(loaded, manifest, BatchPolicy(max_batch_size=1),
+                             workers=2)
+        name = segment_name(manifest.content_hash)
+        for handle in served.pool._workers:
+            os.kill(handle.process.pid, signal.SIGKILL)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            stats = served.pool.stats()
+            if stats["alive"] == stats["workers"] and stats["restarts"] >= 2:
+                break
+            time.sleep(0.05)
+        assert name in on_disk_segments()
+        served.close()
+        assert name not in on_disk_segments()
+
+
+class TestSigtermDrain:
+    def test_sigterm_unlinks_segments(self, checkpoint, tmp_path):
+        """A pooled CLI server receiving SIGTERM drains and unlinks its
+        weight segment on the way out."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        env.pop("REPRO_SERVE_WORKERS", None)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--ckpt", str(checkpoint), "--port", "0", "--serve-workers", "2"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            cwd=Path(__file__).resolve().parents[2], env=env)
+        try:
+            loaded, manifest = load_checkpoint(checkpoint)
+            name = segment_name(manifest.content_hash)
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if name in on_disk_segments():
+                    break
+                if process.poll() is not None:
+                    break
+                time.sleep(0.05)
+            assert process.poll() is None, \
+                f"server died early:\n{process.stdout.read()}"
+            assert name in on_disk_segments()
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=60.0)
+            assert name not in on_disk_segments()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(10.0)

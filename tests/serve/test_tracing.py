@@ -51,10 +51,13 @@ def ckpt(tmp_path_factory):
 @contextmanager
 def serving(ckpt, health=None, policy=None):
     loaded, manifest = load_checkpoint(ckpt)
+    # workers=1 pinned: these tests patch batcher internals and assert
+    # in-process span stacks; the pooled span tree has its own coverage
+    # in test_fault_injection.py and the determinism matrix
     served = ServedModel(loaded, manifest,
                          policy if policy is not None
                          else BatchPolicy(max_wait_ms=2.0),
-                         health=health)
+                         health=health, workers=1)
     server = PredictServer(served, ServeConfig(port=0)).start()
     try:
         yield server, served
