@@ -28,7 +28,12 @@ Seven sections, each a dict of timings/counters:
 * ``inference_plan`` — served p50 with the compiled-plan engine vs the
   tape engine at a matched batch composition (delegates to
   ``run_serve_bench.bench_inference_plan``; the speedup ratio is gated
-  as a lower bound through ``gates.inference_plan_min_speedup``).
+  as a lower bound through ``gates.inference_plan_min_speedup``);
+* ``jobs`` — gradient-based OPC (the ``opc_gradient`` job workload) vs
+  perturbation-based ``calibrate_mask_bias`` on the same clip and PEB
+  backend: final CD-RMSE and forward-solve counts for both, gated so
+  the gradient path stays >= ``gates.jobs_min_solve_ratio``x cheaper in
+  solves while matching or beating the baseline RMS.
 
 ``--smoke`` shrinks every section to CI-runner size (seconds, not
 minutes).  ``--check`` compares the fresh timings against
@@ -249,6 +254,58 @@ def bench_stages(smoke: bool) -> dict:
     }
 
 
+def bench_jobs(smoke: bool) -> dict:
+    """Gradient OPC (the ``opc_gradient`` job) vs perturbation calibration.
+
+    Both optimizers drive the same Gaussian-PEB forward chain on the
+    same seeded clip, so the comparison isolates the optimizer: the
+    gradient path gets a full per-contact, per-axis Jacobian from one
+    reverse-mode sweep, while ``calibrate_mask_bias`` re-simulates to
+    probe a single scalar gain.  Gated quantities: the gradient run must
+    reach a final CD-RMSE at least as good as the perturbation baseline
+    using ``jobs_min_solve_ratio``x fewer forward solves.
+    """
+    from repro.litho.ilt import GaussianPEBBackend, GradientOPC, GradientOPCConfig
+    from repro.litho.mask import generate_clip
+
+    grid = GridConfig(size_um=0.8, nx=32, ny=32, nz=2)
+    config = LithoConfig(grid=grid)
+    clip = generate_clip(3, grid=grid, edge_margin_nm=100.0)
+    backend = GaussianPEBBackend(config, effective_time_s=1.3)
+    calibrate_iters, gradient_iters = (25, 4) if smoke else (45, 8)
+
+    from repro.litho.opc import calibrate_mask_bias
+
+    start = time.perf_counter()
+    calibrated = calibrate_mask_bias(clip, config, backend,
+                                     iterations=calibrate_iters)
+    calibrate_s = time.perf_counter() - start
+    calibrate_solves = calibrate_iters + 1  # one probe per iter + final
+
+    opc = GradientOPC(clip, config, backend,
+                      GradientOPCConfig(iterations=gradient_iters))
+    start = time.perf_counter()
+    state = opc.run(opc.init_state())
+    result, _ = opc.finalize(state)
+    gradient_s = time.perf_counter() - start
+
+    solve_ratio = calibrate_solves / result.forward_solves
+    return {
+        "grid": list(grid.shape),
+        "contacts": len(clip.contacts),
+        "calibrate_iterations": calibrate_iters,
+        "calibrate_solves": calibrate_solves,
+        "calibrate_final_rms_nm": calibrated.final_rms_nm,
+        "calibrate_s": calibrate_s,
+        "gradient_iterations": gradient_iters,
+        "gradient_solves": result.forward_solves,
+        "gradient_initial_rms_nm": result.initial_rms_nm,
+        "gradient_final_rms_nm": result.final_rms_nm,
+        "gradient_s": gradient_s,
+        "solve_ratio": solve_ratio,
+    }
+
+
 #: ``_s``-suffixed section entries that are parameters, not measurements
 NON_TIMING_KEYS = {"time_step_s"}
 
@@ -301,6 +358,22 @@ def check_gates(sections: dict, reference_path: Path) -> list[str]:
                   f"{speedup:.2f}x (gate >= {min_scaling:.2f}x)")
             if speedup < min_scaling:
                 failures.append("serving.worker_scaling.speedup_2v1")
+    min_solve_ratio = gates.get("jobs_min_solve_ratio")
+    jobs = sections.get("jobs")
+    if min_solve_ratio is not None and jobs is not None:
+        ratio = float(jobs.get("solve_ratio", 0.0))
+        status = "FAIL" if ratio < min_solve_ratio else "ok"
+        print(f"  {status:>4}  jobs.solve_ratio: {ratio:.2f}x "
+              f"(gate >= {min_solve_ratio:.2f}x)")
+        if ratio < min_solve_ratio:
+            failures.append("jobs.solve_ratio")
+        grad_rms = float(jobs.get("gradient_final_rms_nm", float("inf")))
+        calib_rms = float(jobs.get("calibrate_final_rms_nm", 0.0))
+        status = "FAIL" if grad_rms > calib_rms else "ok"
+        print(f"  {status:>4}  jobs.gradient_final_rms_nm: {grad_rms:.3f} "
+              f"(gate <= calibrate {calib_rms:.3f})")
+        if grad_rms > calib_rms:
+            failures.append("jobs.gradient_final_rms_nm")
     return failures
 
 
@@ -345,7 +418,8 @@ def main(argv=None) -> int:
                      ("stages", bench_stages), ("serving", bench_serving),
                      ("obs_overhead", bench_obs_overhead),
                      ("sanitize_overhead", bench_sanitize_overhead),
-                     ("inference_plan", bench_inference_plan)):
+                     ("inference_plan", bench_inference_plan),
+                     ("jobs", bench_jobs)):
         print(f"[{name}] ...", flush=True)
         sections[name] = fn(args.smoke)
         for key, value in sections[name].items():

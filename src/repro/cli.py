@@ -10,7 +10,10 @@ Subcommands mirror the stages a user actually runs:
 * ``reproduce`` — regenerate all tables/figures (wraps
   :mod:`repro.experiments.reproduce_all`);
 * ``serve``     — batched inference HTTP service over a saved
-  checkpoint or a model registry (wraps :mod:`repro.serve`);
+  checkpoint or a model registry (wraps :mod:`repro.serve`), with a
+  persistent ``/v1/jobs`` queue for long-running work;
+* ``jobs``      — submit/status/cancel/list async jobs (gradient-based
+  OPC and friends) against a running ``serve`` process;
 * ``lint``      — repo-specific static analysis and the full-op
   gradcheck sweep (wraps :mod:`repro.lint`);
 * ``report``    — summarize a trace JSONL (from ``--trace`` or
@@ -201,9 +204,9 @@ def cmd_serve(args) -> int:
 
     from repro.obs import HealthConfig
     from repro.serve import (
-        DEFAULT_LATENCY_BUCKETS, BatchPolicy, ModelRegistry, PredictServer,
-        RegistryError, ServeConfig, ServedModel, import_legacy_sidecar,
-        load_checkpoint, manifest_path_for,
+        DEFAULT_LATENCY_BUCKETS, BatchPolicy, JobService, ModelRegistry,
+        PredictServer, RegistryError, ServeConfig, ServedModel,
+        import_legacy_sidecar, load_checkpoint, manifest_path_for,
     )
 
     policy = BatchPolicy(max_batch_size=args.max_batch, max_wait_ms=args.max_wait_ms,
@@ -254,9 +257,21 @@ def cmd_serve(args) -> int:
         for signum, handler in previous.items():
             signal.signal(signum, handler)
         raise CLIError(str(error)) from error
+    jobs = None
+    if not args.no_jobs:
+        from repro.jobs import JobExecutorConfig
+
+        # JobService runs boot-time recovery (running → queued) before
+        # the executor starts, so jobs interrupted by the previous
+        # process resume from their last checkpoint
+        jobs = JobService(args.jobs_dir, JobExecutorConfig(
+            checkpoint_every=args.jobs_checkpoint_every))
+        if jobs.recovered:
+            print(f"recovered {jobs.recovered} interrupted job(s) from "
+                  f"{args.jobs_dir}")
     config = ServeConfig(host=args.host, port=args.port, policy=policy,
                          latency_buckets=buckets)
-    server = PredictServer(served, config, verbose=args.verbose)
+    server = PredictServer(served, config, verbose=args.verbose, jobs=jobs)
     host, port = server.address
     for entry in served:
         m = entry.manifest
@@ -265,8 +280,12 @@ def cmd_serve(args) -> int:
         print(f"serving {m.name} v{m.version} ({m.model_class}, "
               f"{m.param_count} params, grid {tuple(m.grid_config().shape)}, "
               f"engine {entry.engine}, {backend})")
-    print(f"listening on http://{host}:{port}  "
-          f"(POST /v1/predict, GET /v1/models /healthz /metrics; ctrl-c to stop)")
+    routes = "POST /v1/predict, GET /v1/models /healthz /metrics"
+    if jobs is not None:
+        routes += ", POST/GET/DELETE /v1/jobs"
+        print(f"job queue at {args.jobs_dir} "
+              f"(types: {', '.join(sorted(set(jobs.stats()['types'])))})")
+    print(f"listening on http://{host}:{port}  ({routes}; ctrl-c to stop)")
 
     server.start()
     try:
@@ -278,6 +297,86 @@ def cmd_serve(args) -> int:
         server.shutdown(drain=True)
         print("shutdown complete")
     return 0
+
+
+def _jobs_request(args, method: str, path: str, payload: dict | None = None):
+    """One JSON exchange with a running server's /v1/jobs routes."""
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + path
+    body = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, method=method,
+        headers={"Content-Type": "application/json"} if body else {})
+    try:
+        with urllib.request.urlopen(request, timeout=args.timeout) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        detail = error.read().decode(errors="replace").strip()
+        try:
+            detail = json.loads(detail).get("error", detail)
+        except json.JSONDecodeError:
+            pass
+        raise CLIError(f"{method} {url} failed: {error.code} {detail}") from error
+    except urllib.error.URLError as error:
+        raise CLIError(f"cannot reach {url}: {error.reason}\n"
+                       f"  (is the server running? start one with "
+                       f"`python -m repro.cli serve`)") from error
+
+
+def _print_job(record: dict) -> None:
+    line = f"{record['id']}  {record['type']:<14} {record['state']:<10}"
+    progress = record.get("progress") or {}
+    if "cd_rmse_nm" in progress:
+        line += f" iter {progress.get('iteration', '?')}" \
+                f"  rms {progress['cd_rmse_nm']:.3f} nm"
+    elif "iteration" in progress:
+        line += f" iter {progress['iteration']}"
+    if record.get("error"):
+        line += f"  error: {record['error']}"
+    print(line)
+
+
+def cmd_jobs(args) -> int:
+    import time as time_mod
+
+    if args.action == "submit":
+        try:
+            params = json.loads(args.params) if args.params else {}
+        except json.JSONDecodeError as error:
+            raise CLIError(f"--params is not valid JSON: {error}") from error
+        record = _jobs_request(args, "POST", "/v1/jobs",
+                               {"type": args.type, "params": params})
+        print(f"submitted {record['id']} ({record['type']})")
+        if not args.watch:
+            return 0
+        args.id = record["id"]
+    if args.action == "list":
+        listing = _jobs_request(args, "GET", "/v1/jobs")["jobs"]
+        if not listing:
+            print("no jobs")
+            return 0
+        for entry in listing:
+            print(f"{entry['id']}  {entry['type']:<14} {entry['state']:<10} "
+                  f"attempts {entry['attempts']}")
+        return 0
+    if args.action == "cancel":
+        record = _jobs_request(args, "DELETE", f"/v1/jobs/{args.id}")
+        _print_job(record)
+        return 0
+    # status (and submit --watch falls through to here)
+    while True:
+        record = _jobs_request(args, "GET", f"/v1/jobs/{args.id}")
+        _print_job(record)
+        if not getattr(args, "watch", False) \
+                or record["state"] in ("completed", "failed", "cancelled"):
+            break
+        time_mod.sleep(args.poll_s)
+    if record["state"] == "completed" and args.action != "list":
+        print(json.dumps(record["result"], indent=2, sort_keys=True))
+    return 0 if record["state"] == "completed" or args.action == "cancel" \
+        else (0 if record["state"] in ("queued", "running") else 1)
 
 
 def cmd_report(args) -> int:
@@ -420,7 +519,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--latency-buckets", default=None, metavar="S,S,...",
                    help="comma-separated request-latency histogram bucket "
                         "bounds in seconds (default: 1ms..10s log-ish ladder)")
+    p.add_argument("--jobs-dir", default=".repro_jobs", metavar="DIR",
+                   help="persistent job-queue directory for /v1/jobs; jobs "
+                        "interrupted by a crash or restart resume from their "
+                        "last checkpoint here on boot")
+    p.add_argument("--no-jobs", action="store_true",
+                   help="disable the /v1/jobs async job queue")
+    p.add_argument("--jobs-checkpoint-every", type=int, default=2, metavar="N",
+                   help="job-executor checkpoint cadence in stepper iterations")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("jobs", help="submit/inspect async jobs on a running server")
+    jobs_sub = p.add_subparsers(dest="action", required=True)
+    for action, helptext in (("submit", "submit a job and print its id"),
+                             ("status", "print one job's state and result"),
+                             ("cancel", "request cancellation of a job"),
+                             ("list", "list all jobs on the server")):
+        q = jobs_sub.add_parser(action, help=helptext)
+        q.add_argument("--url", default="http://127.0.0.1:8080",
+                       help="base URL of the running serve process")
+        q.add_argument("--timeout", type=float, default=30.0,
+                       help="per-request HTTP timeout in seconds")
+        if action == "submit":
+            q.add_argument("--type", required=True,
+                           help="registered job type (e.g. opc_gradient)")
+            q.add_argument("--params", default=None, metavar="JSON",
+                           help='job parameters as a JSON object, e.g. '
+                                '\'{"iterations": 8}\'')
+            q.add_argument("--watch", action="store_true",
+                           help="poll until the job reaches a terminal state")
+            q.add_argument("--poll-s", type=float, default=1.0,
+                           help="--watch polling interval in seconds")
+        elif action in ("status", "cancel"):
+            q.add_argument("id", help="job id returned by submit")
+            if action == "status":
+                q.add_argument("--watch", action="store_true",
+                               help="poll until the job reaches a terminal state")
+                q.add_argument("--poll-s", type=float, default=1.0,
+                               help="--watch polling interval in seconds")
+        q.set_defaults(func=cmd_jobs)
 
     p = sub.add_parser("report", help="summarize a trace JSONL into a per-span table")
     p.add_argument("trace_file", help="trace file written via --trace / REPRO_TRACE")

@@ -1,0 +1,33 @@
+"""Durable long-running jobs on the serve stack.
+
+Everything the serving front end ran before this package finishes in
+milliseconds; real lithography usage is dominated by minutes-long
+optimization loops *through* the simulator.  ``repro.jobs`` adds that
+workload class:
+
+* :mod:`repro.jobs.store` — a crash-safe on-disk job store (JSON record
+  plus ``.npz`` optimizer checkpoint per job, written via
+  write-temp-then-rename) that survives worker crashes and full server
+  restarts;
+* :mod:`repro.jobs.types` — the job-type registry mapping a job's
+  ``type`` string to a checkpointable stepper (flagship:
+  ``opc_gradient``, gradient-based ILT/OPC via
+  :class:`repro.litho.ilt.GradientOPC`);
+* :mod:`repro.jobs.executor` — the scheduler thread that claims queued
+  jobs and runs them chunk-by-chunk in disposable forked step
+  processes, checkpointing between chunks so a SIGKILLed worker or a
+  restarted server resumes from the last checkpoint with
+  bitwise-identical results.
+"""
+
+from .store import (
+    JOB_STATES, JobError, JobNotFound, JobRecord, JobStore,
+)
+from .types import JobTypeError, build_stepper, job_type_names, register_job_type
+from .executor import JobExecutor, JobExecutorConfig
+
+__all__ = [
+    "JOB_STATES", "JobError", "JobNotFound", "JobRecord", "JobStore",
+    "JobTypeError", "build_stepper", "job_type_names", "register_job_type",
+    "JobExecutor", "JobExecutorConfig",
+]

@@ -1,0 +1,369 @@
+"""The job executor: claim → chunk → checkpoint → repeat.
+
+One daemon thread owns the scheduler loop: it claims the oldest queued
+job, then executes it **chunk by chunk** — each chunk is up to
+``checkpoint_every`` stepper iterations run in a *disposable forked
+process*.  The child ships its new state back over a pipe; the parent
+persists it as the job's checkpoint before launching the next chunk.
+
+That process-per-chunk shape is what buys fault tolerance:
+
+* a SIGKILLed step worker just closes the pipe — the parent observes
+  EOF, requeues the job, and the next attempt resumes from the last
+  checkpoint (steppers are deterministic functions of their state, so
+  the rerun is bitwise-identical to the uninterrupted path);
+* a full server restart finds the job ``running`` with nobody executing
+  it; :meth:`repro.jobs.store.JobStore.recover` flips it back to
+  ``queued`` on boot and the same resume path applies;
+* cancellation and drain are chunk-boundary checks — no partial step is
+  ever visible in a checkpoint.
+
+Fault-injection hooks mirror ``repro.serve.pool``: ``step_delay_s``
+makes the child sleep before each step, and the parent-side ``busy``
+flag plus ``child_pid`` let tests land a kill deterministically inside
+a chunk.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.obs import counter, span
+from repro.runtime.pool import fork_available
+from repro.runtime.sync import check_fork_safety, make_condition, make_lock
+
+from .store import JobRecord, JobStore
+from .types import build_stepper
+
+__all__ = ["JobExecutor", "JobExecutorConfig", "StepCrashedError"]
+
+
+class StepCrashedError(RuntimeError):
+    """The forked step process died before reporting a result."""
+
+
+@dataclass
+class JobExecutorConfig:
+    """Executor tuning + fault-injection knobs."""
+
+    poll_interval_s: float = 0.2
+    #: stepper iterations per chunk (= checkpoint cadence)
+    checkpoint_every: int = 2
+    #: attempts (initial + retries after crashes) before a job fails
+    max_attempts: int = 3
+    chunk_timeout_s: float = 300.0
+    #: fault injection: child sleeps this long before every step
+    step_delay_s: float = 0.0
+    #: None = fork when available; False forces inline (no kill immunity)
+    use_fork: bool | None = None
+
+
+def _chunk_main(conn, job_type: str, params: dict, state: dict,
+                max_steps: int, step_delay_s: float) -> None:
+    """Child entry point: run up to ``max_steps`` stepper iterations."""
+    try:
+        stepper = build_stepper(job_type, params)
+        progress = None
+        result = None
+        steps = 0
+        while steps < max_steps and not stepper.done(state):
+            if step_delay_s > 0.0:
+                time.sleep(step_delay_s)
+            state, progress = stepper.step(state)
+            steps += 1
+        done = stepper.done(state)
+        if done:
+            result, state = stepper.finalize(state)
+        conn.send(("ok", state, progress, result, done))
+    except Exception as error:  # noqa: BLE001 - marshalled to the parent
+        try:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+        except (OSError, ValueError):
+            pass
+    finally:
+        conn.close()
+
+
+class JobExecutor:
+    """Single-threaded scheduler over a :class:`JobStore`."""
+
+    def __init__(self, store: JobStore,
+                 config: JobExecutorConfig | None = None):
+        self.store = store
+        self.config = config if config is not None else JobExecutorConfig()
+        self._lock = make_lock("jobs.executor")
+        self._wake = make_condition("jobs.executor.wake", lock=self._lock)
+        self._closed = False
+        self._drain_on_close = True
+        self._busy = False
+        self._child_pid: int | None = None
+        self._child_process = None
+        self._current_job_id: str | None = None
+        self._counts = {"completed": 0, "failed": 0, "cancelled": 0,
+                        "crashes": 0, "chunks": 0, "requeued": 0}
+        use_fork = self.config.use_fork
+        self._use_fork = fork_available() if use_fork is None else bool(use_fork)
+        self._ctx = multiprocessing.get_context("fork") if self._use_fork \
+            else None
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="repro-jobs-executor")
+
+    def start(self) -> "JobExecutor":
+        self._thread.start()
+        return self
+
+    # -- introspection (tests + healthz) --------------------------------
+    @property
+    def busy(self) -> bool:
+        with self._lock:
+            return self._busy
+
+    @property
+    def child_pid(self) -> int | None:
+        with self._lock:
+            return self._child_pid
+
+    @property
+    def current_job_id(self) -> str | None:
+        with self._lock:
+            return self._current_job_id
+
+    def stats(self) -> dict:
+        with self._lock:
+            counts = dict(self._counts)
+            counts["busy"] = self._busy
+            counts["fork"] = self._use_fork
+            counts["alive"] = self._thread.is_alive()
+            counts["draining"] = self._closed and self._drain_on_close
+        return counts
+
+    def notify(self) -> None:
+        """Wake the scheduler early (called after a submit)."""
+        with self._lock:
+            self._wake.notify_all()
+
+    # -- scheduler loop -------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+            record = self._claim()
+            if record is None:
+                with self._lock:
+                    if self._closed:
+                        return
+                    self._wake.wait(timeout=self.config.poll_interval_s)
+                continue
+            self._execute(record)
+
+    def _claim(self) -> JobRecord | None:
+        for record in self.store.list():
+            if record.state != "queued":
+                continue
+            if record.cancel_requested:
+                self.store.transition(record.id, "cancelled")
+                with self._lock:
+                    self._counts["cancelled"] += 1
+                continue
+            return self.store.transition(record.id, "running",
+                                         attempts=record.attempts + 1)
+        return None
+
+    def _execute(self, record: JobRecord) -> None:
+        with self._lock:
+            self._current_job_id = record.id
+        try:
+            with span("jobs.execute", job_id=record.id, job_type=record.type):
+                self._execute_inner(record)
+        finally:
+            with self._lock:
+                self._current_job_id = None
+
+    def _execute_inner(self, record: JobRecord) -> None:
+        try:
+            stepper = build_stepper(record.type, record.params)
+        except Exception as error:  # noqa: BLE001 - recorded on the job
+            self._fail(record.id, f"{type(error).__name__}: {error}")
+            return
+        state = self.store.load_checkpoint(record.id)
+        if state is None:
+            state = stepper.init_state()
+            self.store.save_checkpoint(record.id, state)
+
+        while True:
+            fresh = self.store.get(record.id)
+            if fresh.cancel_requested:
+                self.store.transition(record.id, "cancelled")
+                with self._lock:
+                    self._counts["cancelled"] += 1
+                counter("jobs.cancelled").inc()
+                return
+            with self._lock:
+                closing = self._closed
+            if closing:
+                # Drain: park the job back in the queue with its latest
+                # checkpoint; the next boot resumes it.
+                self.store.transition(record.id, "queued")
+                with self._lock:
+                    self._counts["requeued"] += 1
+                return
+            if stepper.done(state):
+                break
+            try:
+                state, progress, result, done = self._run_chunk(record, state)
+            except StepCrashedError:
+                with self._lock:
+                    self._counts["crashes"] += 1
+                    closing = self._closed
+                counter("jobs.step_crashes").inc()
+                if closing:
+                    # the chunk died because close() tore it down, not on
+                    # its own: requeue without burning an attempt
+                    self.store.transition(record.id, "queued")
+                    with self._lock:
+                        self._counts["requeued"] += 1
+                elif fresh.attempts >= self.config.max_attempts:
+                    self._fail(record.id,
+                               f"step process crashed "
+                               f"{fresh.attempts} times (limit "
+                               f"{self.config.max_attempts})")
+                else:
+                    self.store.transition(record.id, "queued")
+                    with self._lock:
+                        self._counts["requeued"] += 1
+                return
+            except _ChunkError as error:
+                self._fail(record.id, str(error))
+                return
+            with self._lock:
+                self._counts["chunks"] += 1
+            self.store.save_checkpoint(record.id, state)
+            if progress is not None:
+                self.store.transition(record.id, "running",
+                                      progress=progress)
+            if done:
+                self.store.transition(record.id, "completed", result=result)
+                with self._lock:
+                    self._counts["completed"] += 1
+                counter("jobs.completed").inc()
+                return
+
+        # Budget already exhausted when we arrived (e.g. resumed after a
+        # crash that landed exactly on the last checkpoint): finalize
+        # inline.
+        result, state = stepper.finalize(state)
+        self.store.save_checkpoint(record.id, state)
+        self.store.transition(record.id, "completed", result=result)
+        with self._lock:
+            self._counts["completed"] += 1
+        counter("jobs.completed").inc()
+
+    def _fail(self, job_id: str, message: str) -> None:
+        self.store.transition(job_id, "failed", error=message)
+        with self._lock:
+            self._counts["failed"] += 1
+        counter("jobs.failed").inc()
+
+    # -- one chunk ------------------------------------------------------
+    def _run_chunk(self, record: JobRecord, state: dict):
+        if not self._use_fork:
+            return self._run_chunk_inline(record, state)
+        check_fork_safety()
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_chunk_main,
+            args=(child_conn, record.type, record.params, state,
+                  self.config.checkpoint_every, self.config.step_delay_s),
+            daemon=True, name=f"repro-jobs-step-{record.id}")
+        process.start()
+        child_conn.close()
+        with self._lock:
+            self._busy = True
+            self._child_pid = process.pid
+            self._child_process = process
+        try:
+            try:
+                if not parent_conn.poll(self.config.chunk_timeout_s):
+                    process.terminate()
+                    raise StepCrashedError(
+                        f"step process for job {record.id} timed out after "
+                        f"{self.config.chunk_timeout_s}s")
+                message = parent_conn.recv()
+            except (EOFError, OSError) as error:
+                raise StepCrashedError(
+                    f"step process for job {record.id} died mid-chunk"
+                ) from error
+        finally:
+            process.join(5.0)
+            parent_conn.close()
+            with self._lock:
+                self._busy = False
+                self._child_pid = None
+                self._child_process = None
+        return self._unpack(message)
+
+    def _run_chunk_inline(self, record: JobRecord, state: dict):
+        """No-fork fallback: same chunk semantics, no kill immunity."""
+
+        class _Box:
+            payload = None
+
+            def send(self, value):
+                self.payload = value
+
+            def close(self):
+                pass
+
+        box = _Box()
+        with self._lock:
+            self._busy = True
+        try:
+            _chunk_main(box, record.type, record.params, state,
+                        self.config.checkpoint_every,
+                        self.config.step_delay_s)
+        finally:
+            with self._lock:
+                self._busy = False
+        if box.payload is None:
+            raise StepCrashedError(f"inline chunk for job {record.id} "
+                                   f"produced no result")
+        return self._unpack(box.payload)
+
+    @staticmethod
+    def _unpack(message):
+        if message[0] == "error":
+            raise _ChunkError(message[1])
+        _, state, progress, result, done = message
+        return state, progress, result, done
+
+    # -- shutdown -------------------------------------------------------
+    def close(self, drain: bool = True, timeout_s: float = 30.0) -> None:
+        """Stop the scheduler.
+
+        ``drain=True`` lets the in-flight chunk finish and requeues the
+        current job at its latest checkpoint; ``drain=False`` terminates
+        the step process immediately (the job still requeues — its last
+        checkpoint is intact).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._drain_on_close = drain
+            process = self._child_process
+            self._wake.notify_all()
+        if not drain and process is not None:
+            try:
+                process.terminate()
+            except (OSError, AttributeError):
+                pass
+        if self._thread.is_alive():
+            self._thread.join(timeout_s)
+
+
+class _ChunkError(RuntimeError):
+    """The stepper raised inside the child; the job fails cleanly."""

@@ -1,0 +1,254 @@
+"""Crash-safe persistent job store.
+
+One directory per job under ``<root>/<job_id>/`` holding:
+
+* ``job.json`` — the :class:`JobRecord`: type, params, lifecycle state,
+  attempt count, latest progress, result or error;
+* ``checkpoint.npz`` — the job's optimizer state (a flat dict of numpy
+  arrays), written between execution chunks.
+
+Every write goes through write-temp-then-``os.replace`` so a crash at
+any instant leaves either the old file or the new file, never a torn
+one.  ``recover()`` flips ``running`` jobs back to ``queued`` on boot:
+a job found *running* when no executor is alive was interrupted, and
+its checkpoint is the resume point.
+
+The store is the single source of truth the HTTP API, the executor and
+the CLI all read through; all mutation happens under one lock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.runtime.sync import make_lock
+
+JOB_STATES = ("queued", "running", "completed", "failed", "cancelled")
+
+#: states a job can never leave
+TERMINAL_STATES = ("completed", "failed", "cancelled")
+
+
+class JobError(Exception):
+    """A job-store operation failed."""
+
+
+class JobNotFound(JobError):
+    """No job with the requested id exists."""
+
+
+@dataclass
+class JobRecord:
+    """One job's durable metadata (everything except the checkpoint)."""
+
+    id: str
+    type: str
+    params: dict
+    state: str = "queued"
+    created_s: float = 0.0
+    updated_s: float = 0.0
+    attempts: int = 0
+    progress: dict = field(default_factory=dict)
+    result: dict | None = None
+    error: str | None = None
+    cancel_requested: bool = False
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobRecord":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+
+
+class JobStore:
+    """Directory-backed job store; every method is thread-safe."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = make_lock("jobs.store")
+
+    # -- paths ----------------------------------------------------------
+    def _job_dir(self, job_id: str) -> Path:
+        return self.root / job_id
+
+    def _record_path(self, job_id: str) -> Path:
+        return self._job_dir(job_id) / "job.json"
+
+    def _checkpoint_path(self, job_id: str) -> Path:
+        return self._job_dir(job_id) / "checkpoint.npz"
+
+    # -- record IO (callers hold the lock) ------------------------------
+    def _read(self, job_id: str) -> JobRecord:
+        path = self._record_path(job_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return JobRecord.from_dict(json.load(handle))
+        except FileNotFoundError:
+            raise JobNotFound(f"no job {job_id!r}") from None
+        except json.JSONDecodeError as error:
+            raise JobError(f"corrupt job record {path}: {error}") from error
+
+    def _write(self, record: JobRecord) -> None:
+        record.updated_s = time.time()
+        payload = json.dumps(record.to_dict(), indent=2, sort_keys=True)
+        _atomic_write_bytes(self._record_path(record.id),
+                            payload.encode("utf-8"))
+
+    # -- public API -----------------------------------------------------
+    def submit(self, job_type: str, params: dict) -> JobRecord:
+        """Create a new queued job and persist it."""
+        job_id = uuid.uuid4().hex[:12]
+        record = JobRecord(id=job_id, type=job_type, params=dict(params),
+                           created_s=time.time())
+        with self._lock:
+            self._job_dir(job_id).mkdir(parents=True, exist_ok=True)
+            self._write(record)
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            return self._read(job_id)
+
+    def list(self) -> list[JobRecord]:
+        """All jobs, oldest first."""
+        with self._lock:
+            records = []
+            if not self.root.exists():
+                return records
+            for entry in sorted(self.root.iterdir()):
+                if not (entry / "job.json").exists():
+                    continue
+                try:
+                    records.append(self._read(entry.name))
+                except JobError:
+                    continue
+            records.sort(key=lambda r: (r.created_s, r.id))
+            return records
+
+    def update(self, record: JobRecord) -> JobRecord:
+        with self._lock:
+            if not self._record_path(record.id).exists():
+                raise JobNotFound(f"no job {record.id!r}")
+            self._write(record)
+        return record
+
+    def transition(self, job_id: str, state: str, **updates) -> JobRecord:
+        """Atomically read-modify-write a job's state plus extra fields."""
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        with self._lock:
+            record = self._read(job_id)
+            record.state = state
+            for key, value in updates.items():
+                if not hasattr(record, key):
+                    raise AttributeError(f"JobRecord has no field {key!r}")
+                setattr(record, key, value)
+            self._write(record)
+            return record
+
+    def request_cancel(self, job_id: str) -> JobRecord:
+        """Flag a job for cancellation.
+
+        Queued jobs are cancelled immediately; running jobs are
+        cancelled cooperatively by the executor at the next chunk
+        boundary.  Terminal jobs are returned unchanged.
+        """
+        with self._lock:
+            record = self._read(job_id)
+            if record.state in TERMINAL_STATES:
+                return record
+            record.cancel_requested = True
+            if record.state == "queued":
+                record.state = "cancelled"
+            self._write(record)
+            return record
+
+    # -- checkpoints ----------------------------------------------------
+    def save_checkpoint(self, job_id: str, state: dict) -> None:
+        """Persist the job's optimizer state atomically."""
+        import io
+
+        buffer = io.BytesIO()
+        np.savez(buffer, **state)
+        with self._lock:
+            if not self._job_dir(job_id).exists():
+                raise JobNotFound(f"no job {job_id!r}")
+            _atomic_write_bytes(self._checkpoint_path(job_id),
+                                buffer.getvalue())
+
+    def load_checkpoint(self, job_id: str) -> dict | None:
+        """The job's last checkpoint, or None if none was written."""
+        with self._lock:
+            path = self._checkpoint_path(job_id)
+            if not path.exists():
+                return None
+            with np.load(path) as archive:
+                return {key: archive[key] for key in archive.files}
+
+    def checkpoint_age_s(self, job_id: str) -> float | None:
+        """Seconds since the job's checkpoint was written, or None."""
+        with self._lock:
+            path = self._checkpoint_path(job_id)
+            try:
+                return max(0.0, time.time() - path.stat().st_mtime)
+            except FileNotFoundError:
+                return None
+
+    # -- boot / health --------------------------------------------------
+    def recover(self) -> int:
+        """Requeue jobs found ``running`` with no executor alive.
+
+        Called once on boot, before the executor starts.  Returns the
+        number of jobs requeued; each resumes from its checkpoint.
+        """
+        requeued = 0
+        with self._lock:
+            for entry in sorted(self.root.iterdir()):
+                if not (entry / "job.json").exists():
+                    continue
+                try:
+                    record = self._read(entry.name)
+                except JobError:
+                    continue
+                if record.state != "running":
+                    continue
+                record.state = "cancelled" if record.cancel_requested \
+                    else "queued"
+                self._write(record)
+                requeued += 1
+        return requeued
+
+    def stats(self) -> dict:
+        """State counts plus the oldest live checkpoint age, for /healthz."""
+        counts = {state: 0 for state in JOB_STATES}
+        oldest_age = None
+        for record in self.list():
+            counts[record.state] = counts.get(record.state, 0) + 1
+            if record.state in ("queued", "running"):
+                age = self.checkpoint_age_s(record.id)
+                if age is not None and (oldest_age is None or age > oldest_age):
+                    oldest_age = age
+        return {
+            "counts": counts,
+            "total": sum(counts.values()),
+            "oldest_checkpoint_age_s": oldest_age,
+        }

@@ -1,0 +1,197 @@
+"""Job types: checkpointable steppers behind a string registry.
+
+A job type maps a JSON ``params`` dict to a **stepper** — an object
+whose entire mutable state is a flat dict of numpy arrays:
+
+* ``init_state()`` — the state before any work;
+* ``step(state) -> (state, progress)`` — one resumable unit of work;
+* ``done(state)`` — whether the iteration budget is exhausted;
+* ``finalize(state) -> (result, state)`` — the JSON-able result.
+
+The contract that makes jobs restartable is *purity*: ``step`` must be
+a deterministic function of the state dict alone (no hidden attributes,
+no RNG draws), so that a state round-tripped through ``np.savez`` —
+which is exactly what a checkpoint is — continues bitwise-identically.
+``repro.litho.ilt.GradientOPC`` is written to this contract.
+
+Flagship type: ``opc_gradient`` — gradient-based ILT/OPC through the
+differentiable optics → Dill → PEB → metrology chain.  ``counter`` is a
+trivial deterministic stepper for exercising the queue machinery in
+tests without simulator cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import GridConfig, LithoConfig
+
+__all__ = ["JobTypeError", "register_job_type", "build_stepper",
+           "job_type_names", "GradientOPCJob", "CounterJob"]
+
+
+class JobTypeError(Exception):
+    """Unknown job type or invalid job params."""
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_job_type(name: str, factory: type) -> None:
+    """Register a stepper class under ``name`` (last writer wins)."""
+    _REGISTRY[name] = factory
+
+
+def job_type_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def build_stepper(job_type: str, params: dict):
+    """Instantiate the stepper for a job record's type + params."""
+    try:
+        factory = _REGISTRY[job_type]
+    except KeyError:
+        raise JobTypeError(
+            f"unknown job type {job_type!r}; known: {job_type_names()}"
+        ) from None
+    try:
+        return factory(params or {})
+    except (TypeError, ValueError, KeyError) as error:
+        raise JobTypeError(f"invalid params for {job_type!r}: {error}") from error
+
+
+def _json_safe(value):
+    """Numpy scalars/arrays → plain python for JSON round-trips."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+class GradientOPCJob:
+    """Gradient-based mask-bias OPC on a seeded contact clip.
+
+    Params (all optional, JSON-able)::
+
+        seed              clip seed                      (default 3)
+        size_um, nx, ny, nz, edge_margin_nm              clip geometry
+        iterations        optimizer steps                (default 8)
+        optimizer         "gauss-newton" | "adam"
+        backend           "gaussian" | "surrogate"
+        effective_time_s  Gaussian backend catalysis time
+        checkpoint        weights path (surrogate backend only)
+        opt               extra GradientOPCConfig overrides
+    """
+
+    def __init__(self, params: dict):
+        from repro.litho.ilt import (
+            DifferentiableSurrogateBackend, GaussianPEBBackend, GradientOPC,
+            GradientOPCConfig,
+        )
+        from repro.litho.mask import generate_clip
+
+        grid = GridConfig(
+            size_um=float(params.get("size_um", 0.8)),
+            nx=int(params.get("nx", 32)),
+            ny=int(params.get("ny", 32)),
+            nz=int(params.get("nz", 2)),
+        )
+        config = LithoConfig(grid=grid)
+        clip = generate_clip(
+            int(params.get("seed", 3)), grid=grid,
+            edge_margin_nm=float(params.get("edge_margin_nm", 100.0)))
+        backend_name = params.get("backend", "gaussian")
+        if backend_name == "gaussian":
+            backend = GaussianPEBBackend(
+                config,
+                effective_time_s=float(params.get("effective_time_s", 1.3)))
+        elif backend_name == "surrogate":
+            checkpoint = params.get("checkpoint")
+            if not checkpoint:
+                raise ValueError(
+                    "backend 'surrogate' requires a 'checkpoint' path")
+            from repro.serve.registry import load_checkpoint
+
+            model, _manifest = load_checkpoint(checkpoint)
+            backend = DifferentiableSurrogateBackend(model, config.peb)
+        else:
+            raise ValueError(f"unknown backend {backend_name!r}")
+        overrides = dict(params.get("opt", {}))
+        overrides.setdefault("iterations", int(params.get("iterations", 8)))
+        if "optimizer" in params:
+            overrides.setdefault("optimizer", params["optimizer"])
+        self.opc = GradientOPC(clip, config, backend,
+                               GradientOPCConfig(**overrides))
+
+    def init_state(self) -> dict:
+        return self.opc.init_state()
+
+    def step(self, state):
+        return self.opc.step(state)
+
+    def done(self, state) -> bool:
+        return int(state["iteration"]) >= self.opc.opt.iterations
+
+    def finalize(self, state):
+        result, state = self.opc.finalize(state)
+        payload = {
+            "initial_rms_nm": result.initial_rms_nm,
+            "final_rms_nm": result.final_rms_nm,
+            "rms_history_nm": _json_safe(result.rms_history_nm),
+            "bias_x_nm": _json_safe(result.bias_x_nm),
+            "bias_y_nm": _json_safe(result.bias_y_nm),
+            "cd_errors_nm": _json_safe(result.cd_errors_nm),
+            "iterations": result.iterations,
+            "forward_solves": result.forward_solves,
+        }
+        return payload, state
+
+
+class CounterJob:
+    """Deterministic toy stepper for queue/executor tests.
+
+    Maintains a rolling checksum so tests can assert that an interrupted
+    + resumed run took *exactly* the same path as an uninterrupted one:
+    any lost or duplicated step changes the checksum.
+
+    Params: ``iterations`` (default 10), ``fail_at`` (raise at that
+    iteration, for failure-path tests).
+    """
+
+    def __init__(self, params: dict):
+        self.iterations = int(params.get("iterations", 10))
+        self.fail_at = params.get("fail_at")
+
+    def init_state(self) -> dict:
+        return {
+            "iteration": np.int64(0),
+            "checksum": np.int64(0),
+        }
+
+    def step(self, state):
+        iteration = int(state["iteration"])
+        if self.fail_at is not None and iteration == int(self.fail_at):
+            raise RuntimeError(f"counter job failed at {iteration} as asked")
+        checksum = (int(state["checksum"]) * 31 + iteration + 1) % (1 << 62)
+        new_state = {
+            "iteration": np.int64(iteration + 1),
+            "checksum": np.int64(checksum),
+        }
+        progress = {"iteration": iteration + 1, "checksum": checksum}
+        return new_state, progress
+
+    def done(self, state) -> bool:
+        return int(state["iteration"]) >= self.iterations
+
+    def finalize(self, state):
+        return {"iterations": int(state["iteration"]),
+                "checksum": int(state["checksum"])}, state
+
+
+register_job_type("opc_gradient", GradientOPCJob)
+register_job_type("counter", CounterJob)

@@ -15,6 +15,10 @@ subsystem is stdlib + numpy only:
 * :mod:`repro.serve.server` — ``POST /v1/predict``, ``GET /v1/models``,
   ``GET /healthz`` and ``GET /metrics`` on a threading HTTP server with
   graceful draining shutdown;
+* :mod:`repro.serve.jobs` — the async job queue behind ``/v1/jobs``:
+  long-running checkpointed work (gradient-based OPC/ILT) submitted
+  over HTTP, surviving worker crashes and server restarts
+  (``--jobs-dir``; see ``docs/jobs.md``);
 * :mod:`repro.serve.shm` / :mod:`repro.serve.pool` /
   :mod:`repro.serve.router` — the multi-process backend: weights
   published once into shared memory, N forked workers each owning a
@@ -33,6 +37,7 @@ from .batcher import (
 from .engine import (
     ENGINES, PlanExecutor, clear_plan_cache, plan_cache_stats, resolve_engine,
 )
+from .jobs import JobService
 from .pool import PoolConfig, WorkerCrashedError, WorkerPool, resolve_serve_workers
 from .registry import (
     IntegrityError, ModelManifest, ModelRegistry, RegistryError,
@@ -58,7 +63,7 @@ __all__ = [
     "save_checkpoint", "load_checkpoint", "read_manifest", "verify_checkpoint",
     "manifest_path_for", "import_legacy_sidecar",
     "PredictServer", "ServeConfig", "ServedModel", "render_prometheus",
-    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS", "JobService",
     "PoolConfig", "WorkerPool", "WorkerCrashedError", "resolve_serve_workers",
     "ShardRouter", "shard_for",
     "ShmSpec", "WeightStore", "segment_name", "publish_weights",

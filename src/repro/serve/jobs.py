@@ -1,0 +1,75 @@
+"""The serving-side facade over :mod:`repro.jobs`.
+
+One :class:`JobService` owns the persistent :class:`~repro.jobs.JobStore`
+plus the background :class:`~repro.jobs.JobExecutor` and exposes exactly
+the operations the HTTP layer needs: submit, get, cancel, list, stats.
+
+Boot-time recovery is part of construction: any job left ``running`` by
+a crashed or SIGKILLed previous process is flipped back to ``queued``
+before the executor starts, so a server restart transparently resumes
+interrupted work from its last checkpoint.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.jobs import (
+    JobExecutor, JobExecutorConfig, JobRecord, JobStore, JobTypeError,
+    job_type_names,
+)
+from repro.obs import counter, span
+
+__all__ = ["JobService"]
+
+
+class JobService:
+    """Persistent job queue + executor behind the ``/v1/jobs`` routes."""
+
+    def __init__(self, root: str | Path,
+                 executor_config: JobExecutorConfig | None = None):
+        self.store = JobStore(root)
+        with span("jobs.recover"):
+            self.recovered = self.store.recover()
+        if self.recovered:
+            counter("jobs.recovered").inc(self.recovered)
+        self.executor = JobExecutor(self.store, executor_config)
+        self._started = False
+
+    def start(self) -> "JobService":
+        self.executor.start()
+        self._started = True
+        return self
+
+    # -- API surface ----------------------------------------------------
+    def submit(self, job_type: str, params: dict | None) -> JobRecord:
+        if job_type not in job_type_names():
+            raise JobTypeError(
+                f"unknown job type {job_type!r}; known: {job_type_names()}")
+        record = self.store.submit(job_type, params or {})
+        counter("jobs.submitted").inc()
+        self.executor.notify()
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        return self.store.get(job_id)
+
+    def cancel(self, job_id: str) -> JobRecord:
+        return self.store.request_cancel(job_id)
+
+    def list(self) -> list[JobRecord]:
+        return self.store.list()
+
+    def stats(self) -> dict:
+        """The ``jobs`` section of ``/healthz``."""
+        stats = self.store.stats()
+        stats["executor"] = self.executor.stats()
+        stats["recovered_on_boot"] = self.recovered
+        stats["types"] = job_type_names()
+        return stats
+
+    def close(self, drain: bool = True, timeout_s: float = 30.0) -> None:
+        """Stop the executor; in-flight work is requeued at its latest
+        checkpoint (drain lets the current chunk finish first)."""
+        if self._started:
+            self.executor.close(drain=drain, timeout_s=timeout_s)

@@ -11,6 +11,11 @@ Routes:
   the request format.  ``?model=NAME`` and ``?version=N`` select a
   served checkpoint; ``?deadline_ms=`` bounds queue wait.
 * ``GET /v1/models`` — manifest summaries of every served checkpoint.
+* ``POST /v1/jobs`` / ``GET /v1/jobs[/<id>]`` / ``DELETE /v1/jobs/<id>``
+  — the async job queue (:mod:`repro.serve.jobs`): submit returns an id
+  immediately, GET reports per-iteration progress or the final result,
+  DELETE requests cancellation.  Long-running work (gradient-based OPC)
+  runs behind this instead of holding a request thread.
 * ``GET /healthz`` — liveness plus queue depth, cache hit rate and
   in-flight counts (what a load balancer sheds on).
 * ``GET /metrics`` — the :mod:`repro.obs` registry rendered in the
@@ -49,6 +54,7 @@ from urllib.parse import parse_qs, urlparse
 import numpy as np
 
 from repro.config import PEBConfig
+from repro.jobs import JobNotFound, JobTypeError
 from repro.obs import (
     HealthConfig, HealthMonitor, TraceContext, counter, histogram,
     metrics_snapshot, new_request_context, span, timer, use_context,
@@ -61,6 +67,7 @@ from .batcher import (
     QueueFullError, ServeError,
 )
 from .engine import PlanExecutor, plan_cache_stats, resolve_engine
+from .jobs import JobService
 from .pool import PoolConfig, WorkerCrashedError, WorkerPool, resolve_serve_workers
 from .registry import ModelManifest
 from .router import ShardRouter
@@ -343,6 +350,14 @@ class _Handler(BaseHTTPRequestHandler):
                                "text/plain; version=0.0.4")
                 elif parsed.path == "/v1/models":
                     self._send_json(200, {"models": self.app.list_models()})
+                elif parsed.path == "/v1/jobs":
+                    jobs = self._require_jobs()
+                    self._send_json(200, {"jobs": [
+                        _job_summary(record) for record in jobs.list()]})
+                elif parsed.path.startswith("/v1/jobs/"):
+                    jobs = self._require_jobs()
+                    record = self._lookup_job(jobs, parsed.path)
+                    self._send_json(200, _job_payload(record))
                 else:
                     raise _HTTPError(404, f"no route {parsed.path}")
         except _HTTPError as error:
@@ -355,13 +370,72 @@ class _Handler(BaseHTTPRequestHandler):
         ctx = self._begin_request()
         try:
             with use_context(ctx):
-                if parsed.path != "/v1/predict":
+                if parsed.path == "/v1/predict":
+                    self._predict(parse_qs(parsed.query))
+                elif parsed.path == "/v1/jobs":
+                    self._submit_job()
+                else:
                     raise _HTTPError(404, f"no route {parsed.path}")
-                self._predict(parse_qs(parsed.query))
         except _HTTPError as error:
             self._send_error_json(error)
         finally:
             self._finish_request(parsed.path)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib casing
+        parsed = urlparse(self.path)
+        ctx = self._begin_request()
+        try:
+            with use_context(ctx):
+                if not parsed.path.startswith("/v1/jobs/"):
+                    raise _HTTPError(404, f"no route {parsed.path}")
+                jobs = self._require_jobs()
+                record = self._lookup_job(jobs, parsed.path)
+                record = jobs.cancel(record.id)
+                self._send_json(202, _job_payload(record))
+        except _HTTPError as error:
+            self._send_error_json(error)
+        finally:
+            self._finish_request(parsed.path)
+
+    # -- job routes ----------------------------------------------------
+    def _require_jobs(self) -> JobService:
+        jobs = self.app.jobs
+        if jobs is None:
+            raise _HTTPError(404, "job queue is not enabled on this server")
+        return jobs
+
+    @staticmethod
+    def _lookup_job(jobs: JobService, path: str):
+        job_id = path[len("/v1/jobs/"):].strip("/")
+        if not job_id or "/" in job_id:
+            raise _HTTPError(404, f"no route {path}")
+        try:
+            return jobs.get(job_id)
+        except JobNotFound as error:
+            raise _HTTPError(404, str(error)) from error
+
+    def _submit_job(self) -> None:
+        jobs = self._require_jobs()
+        counter("serve.http.jobs_submit").inc()
+        with span("serve.request", route="/v1/jobs",
+                  request_id=self._request_id):
+            body = self._read_body()
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError as error:
+                raise _HTTPError(400, f"invalid JSON body: {error}") from error
+            if not isinstance(payload, dict) or "type" not in payload:
+                raise _HTTPError(
+                    400, 'JSON body must be an object with a "type" field')
+            params = payload.get("params") or {}
+            if not isinstance(params, dict):
+                raise _HTTPError(400, '"params" must be an object')
+            try:
+                record = jobs.submit(str(payload["type"]), params)
+            except JobTypeError as error:
+                raise _HTTPError(400, str(error)) from error
+            self._send_json(202, _job_payload(record),
+                            {"Location": f"/v1/jobs/{record.id}"})
 
     def _predict(self, query: dict) -> None:
         app = self.app
@@ -423,6 +497,24 @@ class _Handler(BaseHTTPRequestHandler):
             app.inflight_dec()
 
 
+def _job_summary(record) -> dict:
+    return {
+        "id": record.id,
+        "type": record.type,
+        "state": record.state,
+        "attempts": record.attempts,
+        "created_s": record.created_s,
+        "updated_s": record.updated_s,
+        "cancel_requested": record.cancel_requested,
+    }
+
+
+def _job_payload(record) -> dict:
+    payload = record.to_dict()
+    payload["href"] = f"/v1/jobs/{record.id}"
+    return payload
+
+
 def _parse_predict_payload(body: bytes, as_json: bool,
                            query: dict) -> tuple[np.ndarray, float | None]:
     deadline_ms: float | None = None
@@ -472,9 +564,15 @@ class PredictServer:
     """Owns the HTTP listener and one :class:`ServedModel` per checkpoint."""
 
     def __init__(self, served: list[ServedModel] | ServedModel,
-                 config: ServeConfig | None = None, verbose: bool = False):
+                 config: ServeConfig | None = None, verbose: bool = False,
+                 jobs: JobService | None = None):
         self.config = config if config is not None else ServeConfig()
         self.config_verbose = verbose
+        # the job service arrives constructed-but-not-started; the server
+        # owns its lifecycle so shutdown drains exactly once
+        self.jobs = jobs
+        if jobs is not None:
+            jobs.start()
         served = [served] if isinstance(served, ServedModel) else list(served)
         if not served:
             raise ValueError("PredictServer needs at least one ServedModel")
@@ -565,6 +663,8 @@ class PredictServer:
                                              for p in pools.values())
         if monitors:
             payload["health_monitors"] = monitors
+        if self.jobs is not None:
+            payload["jobs"] = self.jobs.stats()
         return payload
 
     def cache_stats(self) -> dict:
@@ -612,6 +712,19 @@ class PredictServer:
         counter("serve.pool.workers").value = workers
         counter("serve.pool.alive").value = alive
         counter("serve.pool.restart_total").value = restarts
+        if self.jobs is not None:
+            stats = self.jobs.stats()
+            for state, count in stats["counts"].items():
+                counter(f"serve.jobs.{state}").value = count
+            counter("serve.jobs.total").value = stats["total"]
+            age = stats.get("oldest_checkpoint_age_s")
+            counter("serve.jobs.oldest_checkpoint_age_s").value = \
+                round(age, 3) if age is not None else 0
+            executor = stats["executor"]
+            counter("serve.jobs.executor_busy").value = \
+                int(executor["busy"])
+            counter("serve.jobs.step_crashes").value = executor["crashes"]
+            counter("serve.jobs.requeued").value = executor["requeued"]
 
     def access_log(self, record: dict, warn: bool = False) -> None:
         """One structured JSON access-log line on stderr.
@@ -669,6 +782,10 @@ class PredictServer:
                 while self.inflight > 0 and time.monotonic() < deadline:
                     time.sleep(0.01)
             self._http.server_close()
+            if self.jobs is not None:
+                # in-flight jobs park back in the queue at their latest
+                # checkpoint; the next boot's recover() resumes them
+                self.jobs.close(drain=drain, timeout_s=timeout_s)
             for versions in self._models.values():
                 for entry in versions.values():
                     entry.close(drain=drain)

@@ -1,0 +1,180 @@
+"""Job store: lifecycle, crash-safe writes, checkpoints, recovery."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.jobs import JOB_STATES, JobNotFound, JobRecord, JobStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(tmp_path / "jobs")
+
+
+class TestLifecycle:
+    def test_submit_creates_queued_record(self, store):
+        record = store.submit("counter", {"iterations": 3})
+        assert record.state == "queued"
+        assert record.type == "counter"
+        assert record.params == {"iterations": 3}
+        assert record.attempts == 0
+        loaded = store.get(record.id)
+        assert loaded.to_dict() == store.get(record.id).to_dict()
+        assert loaded.created_s > 0
+
+    def test_ids_are_unique(self, store):
+        ids = {store.submit("counter", {}).id for _ in range(20)}
+        assert len(ids) == 20
+
+    def test_get_unknown_raises(self, store):
+        with pytest.raises(JobNotFound):
+            store.get("nope")
+
+    def test_list_is_oldest_first(self, store):
+        first = store.submit("counter", {})
+        second = store.submit("counter", {})
+        listed = [r.id for r in store.list()]
+        assert listed.index(first.id) < listed.index(second.id)
+
+    def test_transition_updates_state_and_fields(self, store):
+        record = store.submit("counter", {})
+        store.transition(record.id, "running", attempts=1)
+        loaded = store.get(record.id)
+        assert loaded.state == "running"
+        assert loaded.attempts == 1
+        assert loaded.updated_s >= loaded.created_s
+
+    def test_transition_rejects_unknown_state(self, store):
+        record = store.submit("counter", {})
+        with pytest.raises(ValueError, match="unknown job state"):
+            store.transition(record.id, "zombie")
+
+    def test_all_states_roundtrip(self, store):
+        for state in JOB_STATES:
+            record = store.submit("counter", {})
+            store.transition(record.id, state)
+            assert store.get(record.id).state == state
+
+
+class TestCancellation:
+    def test_cancel_queued_is_immediate(self, store):
+        record = store.submit("counter", {})
+        cancelled = store.request_cancel(record.id)
+        assert cancelled.state == "cancelled"
+        assert cancelled.cancel_requested
+
+    def test_cancel_running_is_cooperative(self, store):
+        record = store.submit("counter", {})
+        store.transition(record.id, "running")
+        flagged = store.request_cancel(record.id)
+        assert flagged.state == "running"
+        assert flagged.cancel_requested
+
+    def test_cancel_terminal_is_noop(self, store):
+        record = store.submit("counter", {})
+        store.transition(record.id, "completed", result={"ok": True})
+        after = store.request_cancel(record.id)
+        assert after.state == "completed"
+        assert not after.cancel_requested
+
+
+class TestAtomicWrites:
+    def test_record_write_leaves_no_temp_files(self, store):
+        record = store.submit("counter", {})
+        for _ in range(5):
+            store.transition(record.id, "running")
+            store.transition(record.id, "queued")
+        names = os.listdir(store.root / record.id)
+        assert not [n for n in names if n.endswith(".tmp")]
+
+    def test_record_file_is_valid_json(self, store):
+        record = store.submit("counter", {"iterations": 2})
+        with open(store.root / record.id / "job.json") as handle:
+            payload = json.load(handle)
+        assert payload["id"] == record.id
+        assert payload["state"] == "queued"
+
+    def test_from_dict_ignores_unknown_fields(self):
+        record = JobRecord.from_dict(
+            {"id": "x", "type": "counter", "params": {},
+             "future_field": 123})
+        assert record.id == "x"
+
+
+class TestCheckpoints:
+    def test_checkpoint_roundtrip_is_bitwise(self, store):
+        record = store.submit("counter", {})
+        state = {
+            "bias": np.array([1.25, -3.5, 7.125], dtype=np.float64),
+            "iteration": np.int64(4),
+        }
+        store.save_checkpoint(record.id, state)
+        loaded = store.load_checkpoint(record.id)
+        assert set(loaded) == set(state)
+        for key in state:
+            assert np.array_equal(loaded[key], state[key])
+            assert loaded[key].dtype == np.asarray(state[key]).dtype
+
+    def test_missing_checkpoint_is_none(self, store):
+        record = store.submit("counter", {})
+        assert store.load_checkpoint(record.id) is None
+        assert store.checkpoint_age_s(record.id) is None
+
+    def test_checkpoint_age(self, store):
+        record = store.submit("counter", {})
+        store.save_checkpoint(record.id, {"iteration": np.int64(0)})
+        age = store.checkpoint_age_s(record.id)
+        assert age is not None and 0.0 <= age < 60.0
+
+
+class TestRecovery:
+    def test_recover_requeues_running(self, store):
+        record = store.submit("counter", {})
+        store.transition(record.id, "running", attempts=1)
+        assert store.recover() == 1
+        assert store.get(record.id).state == "queued"
+
+    def test_recover_cancels_running_with_cancel_flag(self, store):
+        record = store.submit("counter", {})
+        store.transition(record.id, "running", cancel_requested=True)
+        store.recover()
+        assert store.get(record.id).state == "cancelled"
+
+    def test_recover_leaves_other_states_alone(self, store):
+        done = store.submit("counter", {})
+        store.transition(done.id, "completed", result={})
+        queued = store.submit("counter", {})
+        assert store.recover() == 0
+        assert store.get(done.id).state == "completed"
+        assert store.get(queued.id).state == "queued"
+
+    def test_store_survives_reopen(self, store):
+        record = store.submit("counter", {"iterations": 5})
+        store.save_checkpoint(record.id, {"iteration": np.int64(2)})
+        reopened = JobStore(store.root)
+        assert reopened.get(record.id).params == {"iterations": 5}
+        assert int(reopened.load_checkpoint(record.id)["iteration"]) == 2
+
+
+class TestStats:
+    def test_counts_by_state(self, store):
+        store.submit("counter", {})
+        running = store.submit("counter", {})
+        store.transition(running.id, "running")
+        done = store.submit("counter", {})
+        store.transition(done.id, "completed", result={})
+        stats = store.stats()
+        assert stats["counts"]["queued"] == 1
+        assert stats["counts"]["running"] == 1
+        assert stats["counts"]["completed"] == 1
+        assert stats["total"] == 3
+
+    def test_oldest_checkpoint_age_tracks_live_jobs(self, store):
+        record = store.submit("counter", {})
+        assert store.stats()["oldest_checkpoint_age_s"] is None
+        store.save_checkpoint(record.id, {"iteration": np.int64(0)})
+        age = store.stats()["oldest_checkpoint_age_s"]
+        assert age is not None and age >= 0.0

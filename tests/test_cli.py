@@ -189,3 +189,82 @@ class TestTrainManifest:
         manifest = json.loads(manifest_file.read_text())
         assert manifest["model_class"] == "DeepCNN"
         assert manifest["content_hash"].startswith("sha256:")
+
+
+class TestJobsCLI:
+    """`repro jobs …` against a live in-process server with a job queue."""
+
+    @pytest.fixture(scope="class")
+    def jobs_server(self, tmp_path_factory):
+        from repro import nn
+        from repro.config import GridConfig
+        from repro.experiments import build_method
+        from repro.jobs import JobExecutorConfig
+        from repro.serve import (
+            BatchPolicy, JobService, ModelRegistry, PredictServer,
+            ServeConfig, ServedModel,
+        )
+
+        grid = GridConfig(size_um=0.8, nx=16, ny=16, nz=2)
+        registry = ModelRegistry(tmp_path_factory.mktemp("registry"))
+        nn.init.seed(0)
+        model, _ = build_method("DeepCNN", grid)
+        model.set_output_stats(0.5, 1.0)
+        registry.publish(model, "DeepCNN", grid, "peb")
+        loaded, manifest = registry.load("peb")
+        served = ServedModel(loaded, manifest, BatchPolicy(max_wait_ms=2.0))
+        jobs = JobService(tmp_path_factory.mktemp("jobs"),
+                          JobExecutorConfig(poll_interval_s=0.02))
+        server = PredictServer(served, ServeConfig(port=0),
+                               jobs=jobs).start()
+        yield server
+        server.shutdown()
+
+    def url(self, jobs_server):
+        host, port = jobs_server.address
+        return f"http://{host}:{port}"
+
+    def test_submit_watch_and_list(self, jobs_server, capsys):
+        url = self.url(jobs_server)
+        code = run_cli(["jobs", "submit", "--url", url, "--type", "counter",
+                        "--params", '{"iterations": 4}', "--watch",
+                        "--poll-s", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "submitted" in out and "completed" in out
+        assert '"checksum"' in out
+
+        assert run_cli(["jobs", "list", "--url", url]) == 0
+        assert "counter" in capsys.readouterr().out
+
+    def test_status_and_cancel(self, jobs_server, capsys):
+        url = self.url(jobs_server)
+        assert run_cli(["jobs", "submit", "--url", url, "--type", "counter",
+                        "--params", '{"iterations": 100000}']) == 0
+        job_id = capsys.readouterr().out.split()[1]
+        assert run_cli(["jobs", "status", "--url", url, job_id]) == 0
+        assert job_id in capsys.readouterr().out
+        assert run_cli(["jobs", "cancel", "--url", url, job_id]) == 0
+        assert job_id in capsys.readouterr().out
+
+    def test_unknown_type_is_friendly(self, jobs_server, capsys):
+        code = run_cli(["jobs", "submit", "--url", self.url(jobs_server),
+                        "--type", "nope"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "unknown job type" in err
+        assert "Traceback" not in err
+
+    def test_unreachable_server_is_friendly(self, capsys):
+        code = run_cli(["jobs", "list", "--url", "http://127.0.0.1:1",
+                        "--timeout", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "is the server running" in err
+
+    def test_serve_parser_jobs_flags(self):
+        args = cli.build_parser().parse_args(["serve"])
+        assert args.jobs_dir == ".repro_jobs"
+        assert not args.no_jobs
+        args = cli.build_parser().parse_args(["serve", "--no-jobs"])
+        assert args.no_jobs
