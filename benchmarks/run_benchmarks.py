@@ -19,8 +19,11 @@ Seven sections, each a dict of timings/counters:
   rejection of the ``repro.serve`` HTTP service under 8 concurrent
   clients (delegates to ``run_serve_bench.bench_serving``);
 * ``obs_overhead`` — served-request p50/p95 with request tracing and
-  physics health monitors enabled vs the bare serving path (delegates
-  to ``run_serve_bench.bench_obs_overhead``; both p95s are gated);
+  physics health monitors enabled vs the bare serving path, plus a
+  third leg with the telemetry sampler + flight recorder on (delegates
+  to ``run_serve_bench.bench_obs_overhead``; both p95s are regression-
+  checked and the sampler's p50 overhead is gated under
+  ``gates.obs_overhead_max_p50_pct``);
 * ``sanitize_overhead`` — served-request p50/p95 with the runtime lock
   sanitizer (``repro.runtime.sync``) instrumenting every serve/obs lock
   vs off (delegates to ``run_serve_bench.bench_sanitize_overhead``;
@@ -322,7 +325,7 @@ def flatten_timings(sections: dict) -> dict:
 
 
 def check_gates(sections: dict, reference_path: Path) -> list[str]:
-    """Lower-bound gates from ``reference_perf.json``'s ``gates`` dict.
+    """Quality-bar gates from ``reference_perf.json``'s ``gates`` dict.
 
     Unlike :func:`check_regressions` (which caps how much slower a
     timing may get), a gate pins a quality bar that must keep holding —
@@ -358,6 +361,16 @@ def check_gates(sections: dict, reference_path: Path) -> list[str]:
                   f"{speedup:.2f}x (gate >= {min_scaling:.2f}x)")
             if speedup < min_scaling:
                 failures.append("serving.worker_scaling.speedup_2v1")
+    max_obs_pct = gates.get("obs_overhead_max_p50_pct")
+    obs = sections.get("obs_overhead")
+    if (max_obs_pct is not None and obs is not None
+            and "sampler_overhead_p50_pct" in obs):
+        pct = float(obs["sampler_overhead_p50_pct"])
+        status = "FAIL" if pct > max_obs_pct else "ok"
+        print(f"  {status:>4}  obs_overhead.sampler_overhead_p50_pct: "
+              f"{pct:+.1f}% (gate <= {max_obs_pct:.1f}%)")
+        if pct > max_obs_pct:
+            failures.append("obs_overhead.sampler_overhead_p50_pct")
     min_solve_ratio = gates.get("jobs_min_solve_ratio")
     jobs = sections.get("jobs")
     if min_solve_ratio is not None and jobs is not None:

@@ -64,7 +64,8 @@ def _bench_server(tmp_dir: Path, policy: BatchPolicy,
                   health: HealthConfig | None = None,
                   engine: str | None = None,
                   method: str = BENCH_METHOD,
-                  workers: int = 1) -> PredictServer:
+                  workers: int = 1,
+                  serve_kwargs: dict | None = None) -> PredictServer:
     """A server over a freshly published tiny checkpoint (untrained weights —
     serving latency does not depend on what the parameters converged to)."""
     tmp_dir.mkdir(parents=True, exist_ok=True)
@@ -76,7 +77,14 @@ def _bench_server(tmp_dir: Path, policy: BatchPolicy,
     loaded, manifest = load_checkpoint(tmp_dir / "bench.npz")
     served = ServedModel(loaded, manifest, policy, health=health, engine=engine,
                          workers=workers)
-    return PredictServer(served, ServeConfig(port=0, policy=policy)).start()
+    # telemetry + flight default ON in ServeConfig; benchmarks measure the
+    # bare serving path unless a leg opts back in through serve_kwargs
+    # (bench_obs_overhead's sampler leg), so every section's baseline is
+    # comparable across configurations
+    config_kwargs = {"telemetry": False, "flight": False}
+    config_kwargs.update(serve_kwargs or {})
+    config = ServeConfig(port=0, policy=policy, **config_kwargs)
+    return PredictServer(served, config).start()
 
 
 def _npz_payload(acid: np.ndarray) -> bytes:
@@ -335,12 +343,14 @@ def bench_inference_plan(smoke: bool) -> dict:
 
 def _obs_session(tmp_dir: Path, policy: BatchPolicy,
                  health: HealthConfig | None, trace_path: Path | None,
-                 num_clients: int, requests_per_client: int) -> dict:
+                 num_clients: int, requests_per_client: int,
+                 serve_kwargs: dict | None = None) -> dict:
     """One warmed measurement session with the given observability setup."""
     if trace_path is not None:
         enable_tracing(trace_path)
     try:
-        server = _bench_server(tmp_dir, policy, health=health)
+        server = _bench_server(tmp_dir, policy, health=health,
+                               serve_kwargs=serve_kwargs)
         try:
             _drive(server, 2, 2, repeat_fraction=0.0, seed=1)   # warm-up
             return _drive(server, num_clients, requests_per_client,
@@ -353,12 +363,23 @@ def _obs_session(tmp_dir: Path, policy: BatchPolicy,
 
 
 def bench_obs_overhead(smoke: bool) -> dict:
-    """The ``obs_overhead`` section: served-request latency with tracing +
-    physics health monitors enabled vs the bare serving path.
+    """The ``obs_overhead`` section: served-request latency under three
+    observability configurations against the bare serving path:
+
+    * ``baseline`` — telemetry, flight recorder, tracing and health
+      monitors all off;
+    * ``monitored`` — request tracing + physics health monitors on (the
+      hot-path cost of span recording plus inline invariant checks);
+    * ``telemetry`` — the production default: background telemetry
+      sampler (sub-second interval so it actually fires during the
+      measured window) + flight recorder rings on every request.
 
     The cache is disabled so the monitor sees every request, and shadow
-    audits stay off (they run off-thread by design; this measures the
-    hot-path cost of span recording plus inline invariant checks).
+    audits stay off (they run off-thread by design).  The sampler leg is
+    gated: ``sampler_overhead_p50_pct`` must stay under
+    ``gates.obs_overhead_max_p50_pct`` — the telemetry tentpole promises
+    observation-only monitoring, so its served-p50 cost is a quality bar,
+    not just a recorded number.
     """
     import tempfile
 
@@ -375,21 +396,34 @@ def bench_obs_overhead(smoke: bool) -> dict:
                                  trace_path, num_clients, requests_per_client)
         trace_events = sum(1 for line in trace_path.read_text().splitlines()
                            if line.strip())
+        telemetry = _obs_session(
+            Path(tmp) / "sampler", policy, None, None,
+            num_clients, requests_per_client,
+            serve_kwargs={"telemetry": True, "flight": True,
+                          "telemetry_interval_s": 0.2,
+                          "flight_dump_dir": str(Path(tmp) / "flight")})
     reset_metrics()
+    p50_off = _percentile(baseline["latencies_s"], 50)
     p95_off = _percentile(baseline["latencies_s"], 95)
     p95_on = _percentile(monitored["latencies_s"], 95)
+    p50_telemetry = _percentile(telemetry["latencies_s"], 50)
     return {
         "clients": num_clients,
         "requests_per_client": requests_per_client,
         "grid": list(BENCH_GRID.shape),
         "completed_baseline": len(baseline["latencies_s"]),
         "completed_monitored": len(monitored["latencies_s"]),
-        "baseline_p50_s": _percentile(baseline["latencies_s"], 50),
+        "completed_telemetry": len(telemetry["latencies_s"]),
+        "baseline_p50_s": p50_off,
         "monitored_p50_s": _percentile(monitored["latencies_s"], 50),
         "baseline_p95_s": p95_off,
         "monitored_p95_s": p95_on,
+        "telemetry_p50_s": p50_telemetry,
+        "telemetry_p95_s": _percentile(telemetry["latencies_s"], 95),
         "overhead_p95_pct": (100.0 * (p95_on - p95_off) / p95_off
                              if p95_off > 0 else 0.0),
+        "sampler_overhead_p50_pct": (100.0 * (p50_telemetry - p50_off) / p50_off
+                                     if p50_off > 0 else 0.0),
         "trace_events": trace_events,
     }
 
@@ -464,7 +498,8 @@ def merge_into_bench_json(section: dict, out_path: Path,
     payload.setdefault("sections", {})[name] = section
     timings = payload.setdefault("timings", {})
     keys = {"serving": ("latency_p50_s", "latency_p95_s", "latency_p99_s"),
-            "obs_overhead": ("baseline_p95_s", "monitored_p95_s"),
+            "obs_overhead": ("baseline_p95_s", "monitored_p95_s",
+                             "telemetry_p50_s"),
             "sanitize_overhead": ("baseline_p50_s", "sanitized_p50_s"),
             "inference_plan": ("tape_p50_s", "plan_p50_s")}[name]
     for key in keys:

@@ -17,7 +17,10 @@ Subcommands mirror the stages a user actually runs:
 * ``lint``      — repo-specific static analysis and the full-op
   gradcheck sweep (wraps :mod:`repro.lint`);
 * ``report``    — summarize a trace JSONL (from ``--trace`` or
-  ``REPRO_TRACE``) into a per-span table (wraps :mod:`repro.obs.report`).
+  ``REPRO_TRACE``) into a per-span table (wraps :mod:`repro.obs.report`);
+* ``flightdump`` — render a black-box ``flightdump-*.json`` written by a
+  serving process on SIGQUIT or a lane crash (wraps
+  :mod:`repro.obs.flight`).
 
 Every simulation/training subcommand accepts ``--sanitize``, which runs
 the whole command under the autograd tape sanitizer: each op's forward
@@ -270,8 +273,21 @@ def cmd_serve(args) -> int:
             print(f"recovered {jobs.recovered} interrupted job(s) from "
                   f"{args.jobs_dir}")
     config = ServeConfig(host=args.host, port=args.port, policy=policy,
-                         latency_buckets=buckets)
+                         latency_buckets=buckets,
+                         telemetry=not args.no_telemetry,
+                         telemetry_interval_s=args.telemetry_interval,
+                         flight=not args.no_flight,
+                         flight_dump_dir=args.flight_dir)
     server = PredictServer(served, config, verbose=args.verbose, jobs=jobs)
+    # SIGQUIT = operator-triggered black-box snapshot of the live server
+    # (kill -QUIT <pid>); the process keeps serving afterwards
+    def _sigquit(*_):
+        if server.flight is not None:
+            path = server.flight.dump("sigquit", force=True)
+            if path:
+                print(f"flight dump written to {path} "
+                      f"(render: python -m repro.cli flightdump {path})")
+    previous[signal.SIGQUIT] = signal.signal(signal.SIGQUIT, _sigquit)
     host, port = server.address
     for entry in served:
         m = entry.manifest
@@ -281,6 +297,8 @@ def cmd_serve(args) -> int:
               f"{m.param_count} params, grid {tuple(m.grid_config().shape)}, "
               f"engine {entry.engine}, {backend})")
     routes = "POST /v1/predict, GET /v1/models /healthz /metrics"
+    if not args.no_telemetry:
+        routes += " /v1/telemetry /dashboard"
     if jobs is not None:
         routes += ", POST/GET/DELETE /v1/jobs"
         print(f"job queue at {args.jobs_dir} "
@@ -416,6 +434,31 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_flightdump(args) -> int:
+    from repro.obs import load_flight_dump, render_flight_dump
+
+    path = Path(args.dump_file)
+    if not path.exists():
+        raise CLIError(f"no flight dump at {path}")
+    if path.is_dir():
+        # pointing at a directory picks the newest dump there — the
+        # "what just happened" workflow
+        candidates = sorted(path.glob("flightdump-*.json"))
+        if not candidates:
+            raise CLIError(f"no flightdump-*.json files in {path}")
+        path = candidates[-1]
+    try:
+        body = load_flight_dump(path)
+    except (OSError, ValueError) as error:
+        raise CLIError(str(error)) from error
+    if args.json:
+        print(json.dumps(body, indent=2, sort_keys=True))
+        return 0
+    print(f"{path}")
+    print(render_flight_dump(body, max_rows=args.limit))
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.lint import main as lint_main
 
@@ -527,6 +570,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the /v1/jobs async job queue")
     p.add_argument("--jobs-checkpoint-every", type=int, default=2, metavar="N",
                    help="job-executor checkpoint cadence in stepper iterations")
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="disable the rolling time-series sampler "
+                        "(/v1/telemetry, /dashboard, SLO burn alerts)")
+    p.add_argument("--telemetry-interval", type=float, default=10.0,
+                   metavar="S", help="telemetry sampling interval in seconds")
+    p.add_argument("--no-flight", action="store_true",
+                   help="disable the black-box flight recorder")
+    p.add_argument("--flight-dir", default=".", metavar="DIR",
+                   help="directory for flightdump-*.json crash/SIGQUIT dumps")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("jobs", help="submit/inspect async jobs on a running server")
@@ -573,6 +625,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request latency breakdown (one line per "
                         "X-Request-Id seen in the trace)")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("flightdump",
+                       help="render a black-box flight dump for humans")
+    p.add_argument("dump_file",
+                   help="a flightdump-*.json file, or a directory holding "
+                        "them (picks the newest)")
+    p.add_argument("--limit", type=int, default=20, metavar="N",
+                   help="rows shown per section (requests/spans/logs)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw dump JSON instead of the rendering")
+    p.set_defaults(func=cmd_flightdump)
 
     p = sub.add_parser("lint", help="static analysis (REP rules) and gradcheck sweep")
     p.add_argument("paths", nargs="*", help="files or directories to lint (default: src)")

@@ -31,7 +31,9 @@ import threading
 import time
 from dataclasses import dataclass
 
-from repro.obs import counter, span
+from repro.obs import (
+    TraceContext, counter, record_lane_crash, span, use_context,
+)
 from repro.runtime.pool import fork_available
 from repro.runtime.sync import check_fork_safety, make_condition, make_lock
 
@@ -63,20 +65,28 @@ class JobExecutorConfig:
 
 def _chunk_main(conn, job_type: str, params: dict, state: dict,
                 max_steps: int, step_delay_s: float) -> None:
-    """Child entry point: run up to ``max_steps`` stepper iterations."""
+    """Child entry point: run up to ``max_steps`` stepper iterations.
+
+    The ``jobs.chunk`` span parents naturally across the fork: the child
+    inherits the executor thread's span stack, whose top is the parent's
+    open ``jobs.execute`` span, and span uids are ``"<pid>-<seq>"`` so
+    the child's ids never collide with the parent's.  Inline (no-fork)
+    execution takes the identical path in the executor thread itself.
+    """
     try:
-        stepper = build_stepper(job_type, params)
-        progress = None
-        result = None
-        steps = 0
-        while steps < max_steps and not stepper.done(state):
-            if step_delay_s > 0.0:
-                time.sleep(step_delay_s)
-            state, progress = stepper.step(state)
-            steps += 1
-        done = stepper.done(state)
-        if done:
-            result, state = stepper.finalize(state)
+        with span("jobs.chunk", job_type=job_type, max_steps=max_steps):
+            stepper = build_stepper(job_type, params)
+            progress = None
+            result = None
+            steps = 0
+            while steps < max_steps and not stepper.done(state):
+                if step_delay_s > 0.0:
+                    time.sleep(step_delay_s)
+                state, progress = stepper.step(state)
+                steps += 1
+            done = stepper.done(state)
+            if done:
+                result, state = stepper.finalize(state)
         conn.send(("ok", state, progress, result, done))
     except Exception as error:  # noqa: BLE001 - marshalled to the parent
         try:
@@ -147,6 +157,15 @@ class JobExecutor:
 
     # -- scheduler loop -------------------------------------------------
     def _loop(self) -> None:
+        try:
+            self._loop_inner()
+        except BaseException as exc:
+            # per-job failures are recorded on the job; an exception
+            # reaching here kills the whole scheduler lane — black-box it
+            record_lane_crash("jobs.executor", exc)
+            raise
+
+    def _loop_inner(self) -> None:
         while True:
             with self._lock:
                 if self._closed:
@@ -176,8 +195,20 @@ class JobExecutor:
     def _execute(self, record: JobRecord) -> None:
         with self._lock:
             self._current_job_id = record.id
+        # adopt the submitting request's trace identity: jobs.execute
+        # (and the jobs.chunk spans forked under it) parent to the
+        # serve.request span that submitted the job, so the whole job
+        # reads back from the trace as one connected tree
+        ctx = None
+        if record.trace:
+            ctx = TraceContext(
+                trace_id=record.trace.get("trace_id"),
+                request_id=record.trace.get("request_id"),
+                parent_uid=record.trace.get("parent_uid"))
         try:
-            with span("jobs.execute", job_id=record.id, job_type=record.type):
+            with use_context(ctx), \
+                    span("jobs.execute", job_id=record.id,
+                         job_type=record.type, attempt=record.attempts):
                 self._execute_inner(record)
         finally:
             with self._lock:

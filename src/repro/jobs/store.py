@@ -59,6 +59,10 @@ class JobRecord:
     result: dict | None = None
     error: str | None = None
     cancel_requested: bool = False
+    #: trace identity of the submitting request
+    #: ({"trace_id", "request_id", "parent_uid"}); the executor adopts it
+    #: so the whole job reads back as one tree under the submit request
+    trace: dict | None = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -114,11 +118,12 @@ class JobStore:
                             payload.encode("utf-8"))
 
     # -- public API -----------------------------------------------------
-    def submit(self, job_type: str, params: dict) -> JobRecord:
+    def submit(self, job_type: str, params: dict,
+               trace: dict | None = None) -> JobRecord:
         """Create a new queued job and persist it."""
         job_id = uuid.uuid4().hex[:12]
         record = JobRecord(id=job_id, type=job_type, params=dict(params),
-                           created_s=time.time())
+                           created_s=time.time(), trace=trace)
         with self._lock:
             self._job_dir(job_id).mkdir(parents=True, exist_ok=True)
             self._write(record)

@@ -22,7 +22,18 @@ Sub-modules:
 * :mod:`repro.obs.export` — trace analytics: Chrome/Perfetto export,
   span-tree reconstruction, critical path, per-request breakdowns;
 * :mod:`repro.obs.profile` — wall-time/tracemalloc profiling contexts
-  and propagator-cache hit-rate collection.
+  and propagator-cache hit-rate collection;
+* :mod:`repro.obs.timeseries` — in-process ring-buffer TSDB: a sampler
+  snapshots every metric at a fixed interval into rolling windows with
+  derived rates and sliding-window quantiles (``/v1/telemetry``,
+  ``/dashboard``);
+* :mod:`repro.obs.slo` — declarative SLO targets with multiwindow
+  burn-rate alerting surfaced in ``/healthz`` and ``repro_slo_*``;
+* :mod:`repro.obs.flight` — black-box flight recorder: bounded rings of
+  recent spans/logs/requests, dumped atomically on SIGQUIT or lane
+  crashes (``repro flightdump`` renders one);
+* :mod:`repro.obs.process` — process-level gauges (RSS, open fds,
+  uptime, live ``/dev/shm`` segments).
 
 ``python -m repro.cli report <trace.jsonl>`` summarizes a recorded
 trace (``--export-chrome``, ``--critical-path``, ``--requests`` for the
@@ -31,13 +42,13 @@ span/metric catalog.
 """
 
 from .metrics import (
-    Counter, Timer, Histogram, MetricsRegistry,
-    counter, timer, histogram, metrics_snapshot, reset_metrics,
+    Counter, Gauge, Timer, Histogram, MetricsRegistry,
+    counter, gauge, timer, histogram, metrics_snapshot, reset_metrics,
 )
 from .trace import (
     span, trace_event, set_span_attrs, trace_enabled, enable_tracing,
     disable_tracing, current_trace_path, configure_from_env,
-    capture_context, current_span_uid,
+    capture_context, current_span_uid, set_flight_hook, flight_hook,
 )
 from .context import (
     TraceContext, current_context, use_context, new_request_id,
@@ -48,13 +59,30 @@ from .health import (
     threshold_cd_nm,
 )
 from .profile import profiled, propagator_cache_stats
+from .timeseries import Ring, TimeSeriesDB, TelemetrySampler
+from .slo import (
+    RatioSLO, LatencySLO, ThresholdSLO, SLOEvaluator, default_slos,
+)
+from .flight import (
+    FlightRecorder, current_recorder, record_lane_crash,
+    render_flight_dump, load_flight_dump,
+)
+from .process import refresh_process_gauges, process_info
 
 __all__ = [
-    "Counter", "Timer", "Histogram", "MetricsRegistry",
-    "counter", "timer", "histogram", "metrics_snapshot", "reset_metrics",
+    "Counter", "Gauge", "Timer", "Histogram", "MetricsRegistry",
+    "counter", "gauge", "timer", "histogram", "metrics_snapshot",
+    "reset_metrics",
     "span", "trace_event", "set_span_attrs", "trace_enabled",
     "enable_tracing", "disable_tracing", "current_trace_path",
     "configure_from_env", "capture_context", "current_span_uid",
+    "set_flight_hook", "flight_hook",
+    "Ring", "TimeSeriesDB", "TelemetrySampler",
+    "RatioSLO", "LatencySLO", "ThresholdSLO", "SLOEvaluator",
+    "default_slos",
+    "FlightRecorder", "current_recorder", "record_lane_crash",
+    "render_flight_dump", "load_flight_dump",
+    "refresh_process_gauges", "process_info",
     "TraceContext", "current_context", "use_context", "new_request_id",
     "new_request_context", "sanitize_request_id",
     "HealthConfig", "HealthMonitor", "ShadowAuditor", "check_prediction",

@@ -1,0 +1,145 @@
+"""Self-contained HTML dashboard over the telemetry ring buffers.
+
+``GET /dashboard`` returns one HTML page with inline CSS and inline SVG
+sparklines — no JavaScript frameworks, no external assets, nothing to
+load from a CDN, so it works from a curl'd file on an airgapped box.
+The page meta-refreshes every sampling interval.  All rendering happens
+server-side from the same :class:`~repro.obs.timeseries.TimeSeriesDB`
+that backs ``/v1/telemetry``; numbers shown are derived (rates,
+quantiles), never raw cumulative counters.
+"""
+
+from __future__ import annotations
+
+import html
+
+from .timeseries import TimeSeriesDB
+
+__all__ = ["render_dashboard", "sparkline_svg"]
+
+#: metric-name prefixes grouped into dashboard panels, in display order
+_PANELS = (
+    ("Serving", ("serve.",)),
+    ("Jobs", ("jobs.",)),
+    ("SLO burn", ("slo.",)),
+    ("Process", ("process.",)),
+    ("Health", ("health.",)),
+    ("Other", ("",)),
+)
+
+_STYLE = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       background: #101418; color: #d8dee4; margin: 1.2rem; }
+h1 { font-size: 1.1rem; } h2 { font-size: 0.95rem; color: #8fa1b3;
+     border-bottom: 1px solid #2a313a; padding-bottom: 0.2rem; }
+table { border-collapse: collapse; width: 100%; max-width: 72rem; }
+td, th { padding: 0.15rem 0.6rem; text-align: left; font-size: 0.8rem;
+         white-space: nowrap; }
+th { color: #8fa1b3; font-weight: normal; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+svg { vertical-align: middle; }
+.ok { color: #7bc275; } .pending { color: #e5c07b; }
+.firing { color: #e06c75; font-weight: bold; }
+.muted { color: #5c6773; }
+"""
+
+
+def sparkline_svg(values: list[float], width: int = 160, height: int = 24,
+                  color: str = "#61afef") -> str:
+    """An inline SVG polyline sparkline of ``values`` (empty-safe)."""
+    points = [float(v) for v in values if v is not None]
+    if len(points) < 2:
+        return (f'<svg width="{width}" height="{height}">'
+                f'<text x="2" y="{height - 8}" fill="#5c6773" '
+                f'font-size="9">no data</text></svg>')
+    lo, hi = min(points), max(points)
+    span = (hi - lo) or 1.0
+    step = width / (len(points) - 1)
+    coords = " ".join(
+        f"{i * step:.1f},{height - 2 - (v - lo) / span * (height - 4):.1f}"
+        for i, v in enumerate(points))
+    return (f'<svg width="{width}" height="{height}">'
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="1.2"/></svg>')
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "&mdash;"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e6 or abs(value) < 1e-3):
+            return f"{value:.3g}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    return html.escape(str(value))
+
+
+def _row(name: str, record: dict) -> str:
+    kind = record["kind"]
+    if kind == "gauge":
+        series = record.get("values", [])
+        latest = series[-1] if series else None
+        color = "#98c379"
+    else:
+        series = record.get("rate_per_s", [])
+        latest = series[-1] if series else None
+        color = "#61afef"
+    cells = [
+        f"<td>{html.escape(name)}</td>",
+        f'<td class="muted">{html.escape(kind)}</td>',
+        f"<td>{sparkline_svg(series, color=color)}</td>",
+        f'<td class="num">{_fmt(latest)}</td>',
+    ]
+    quantiles = record.get("quantiles") or {}
+    extras = [f"{q}={_fmt(v)}" for q, v in sorted(quantiles.items())]
+    if record.get("mean_s"):
+        extras.append(f"mean={_fmt(record['mean_s'][-1])}s")
+    cells.append(f'<td class="muted">{" ".join(extras)}</td>')
+    return "<tr>" + "".join(cells) + "</tr>"
+
+
+def render_dashboard(db: TimeSeriesDB, alerts: dict | None = None,
+                     title: str = "repro serving telemetry",
+                     window_s: float | None = None) -> str:
+    """The full ``/dashboard`` HTML page as a string."""
+    payload = db.series(window_s=window_s)
+    parts = [
+        "<!doctype html><html><head>",
+        f"<title>{html.escape(title)}</title>",
+        f'<meta http-equiv="refresh" content='
+        f'"{max(2, int(db.interval_s))}">',
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f'<p class="muted">interval {db.interval_s:g}s &middot; '
+        f'{payload["samples"]} samples &middot; '
+        f'{len(payload["series"])} series &middot; '
+        f'latest value column; sparkline spans retained window</p>',
+    ]
+    if alerts:
+        state = alerts.get("state", "ok")
+        parts.append(f'<h2>alerts: <span class="{html.escape(state)}">'
+                     f"{html.escape(state)}</span></h2><table>")
+        parts.append("<tr><th>slo</th><th>state</th><th>burn fast</th>"
+                     "<th>burn slow</th><th>objective</th></tr>")
+        for slo in alerts.get("slos", []):
+            s = html.escape(str(slo.get("state", "?")))
+            parts.append(
+                f'<tr><td>{html.escape(str(slo.get("name")))}</td>'
+                f'<td class="{s}">{s}</td>'
+                f'<td class="num">{_fmt(slo.get("burn_fast"))}</td>'
+                f'<td class="num">{_fmt(slo.get("burn_slow"))}</td>'
+                f'<td class="num">{_fmt(slo.get("objective"))}</td></tr>')
+        parts.append("</table>")
+    remaining = dict(payload["series"])
+    for panel_title, prefixes in _PANELS:
+        names = [n for n in sorted(remaining)
+                 if any(n.startswith(p) for p in prefixes)]
+        if not names:
+            continue
+        parts.append(f"<h2>{html.escape(panel_title)}</h2><table>")
+        parts.append("<tr><th>metric</th><th>kind</th><th>trend</th>"
+                     "<th>latest</th><th>derived</th></tr>")
+        for name in names:
+            parts.append(_row(name, remaining.pop(name)))
+        parts.append("</table>")
+    parts.append("</body></html>")
+    return "".join(parts)

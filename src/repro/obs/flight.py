@@ -1,0 +1,302 @@
+"""Black-box flight recorder: bounded recent-history rings + crash dumps.
+
+Traces answer "what happened" only if tracing was on *before* the
+incident.  The flight recorder closes that gap the way an aircraft black
+box does: it is always recording into fixed-size ring buffers — recent
+spans (tapped from :mod:`repro.obs.trace` via the flight hook, even when
+the JSONL sink is off), structured log lines, and per-request summaries
+— and dumps everything to a timestamped JSON file when something goes
+wrong:
+
+* ``SIGQUIT`` (``kill -QUIT <pid>``) — operator-triggered snapshot of a
+  live server (the CLI installs the handler);
+* an unhandled exception escaping a serving lane (batcher loop, pool
+  monitor, jobs executor) — via :func:`FlightRecorder.record_crash`;
+* worker-crash detection in the pool monitor.
+
+Dumps are atomic (write-tmp + ``os.replace``) so a dump racing a reader
+or a second signal never yields a torn file, and rate-limited so a
+crash-looping worker cannot fill the disk.  ``repro flightdump FILE``
+renders one for humans.
+
+Memory bound: every buffer is a ``collections.deque(maxlen=...)``; with
+defaults (256 spans, 256 logs, 128 requests) the recorder holds a few
+hundred small dicts regardless of uptime.  Recording appends to a deque
+under the GIL — no locks on the hot path, no simulation state touched.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import threading
+import time
+import traceback
+
+from .metrics import counter, metrics_snapshot
+from .trace import set_flight_hook
+
+__all__ = ["FlightRecorder", "current_recorder", "record_lane_crash",
+           "render_flight_dump", "load_flight_dump"]
+
+FLIGHT_DUMP_VERSION = 1
+
+#: the process's installed recorder (what lane crash hooks reach for)
+_CURRENT: "FlightRecorder | None" = None
+
+
+def current_recorder() -> "FlightRecorder | None":
+    """The installed recorder, or None when no black box is recording."""
+    return _CURRENT
+
+
+def record_lane_crash(lane: str, exc: BaseException) -> str | None:
+    """Record an unhandled lane exception on the installed recorder.
+
+    The one-liner the serving lanes (batcher loop, pool monitor, jobs
+    executor) call from their outermost except clause before re-raising;
+    a no-op when no recorder is installed.  Never raises.
+    """
+    recorder = _CURRENT
+    if recorder is None:
+        return None
+    try:
+        return recorder.record_crash(lane, exc)
+    except Exception:  # noqa: BLE001 - the black box must never turn a
+        # lane crash into a different crash
+        return None
+
+
+class FlightRecorder:
+    """Always-on bounded recorder with atomic crash dumps.
+
+    ``install()`` taps the span stream; ``record_log`` / ``record_request``
+    are called by the serving layer; ``dump(reason)`` writes
+    ``flightdump-<utc>-<pid>.json`` into ``dump_dir``.  One recorder per
+    process; ``close()`` removes the tap (tests install/uninstall around
+    each case so recorders never leak across tests).
+    """
+
+    def __init__(self, dump_dir: str | os.PathLike = ".",
+                 max_spans: int = 256, max_logs: int = 256,
+                 max_requests: int = 128,
+                 min_dump_interval_s: float = 30.0):
+        self.dump_dir = os.fspath(dump_dir)
+        self._spans: collections.deque = collections.deque(maxlen=max_spans)
+        self._logs: collections.deque = collections.deque(maxlen=max_logs)
+        self._requests: collections.deque = collections.deque(
+            maxlen=max_requests)
+        self._crashes: collections.deque = collections.deque(maxlen=32)
+        self.min_dump_interval_s = float(min_dump_interval_s)
+        self._state_lock = threading.Lock()
+        self._dump_lock = threading.Lock()
+        self._last_dump_s = 0.0
+        self._started_s = time.time()
+        self._installed = False
+        #: optional callables merged into the dump at write time
+        #: (the server registers health/alert providers here)
+        self.context_providers: dict[str, object] = {}
+
+    # -- lifecycle ------------------------------------------------------
+    def install(self) -> "FlightRecorder":
+        """Start tapping the span stream and become the process's
+        recorder (idempotent; a newer install wins)."""
+        global _CURRENT
+        with self._state_lock:
+            if not self._installed:
+                set_flight_hook(self._on_span)
+                self._installed = True
+            _CURRENT = self
+        return self
+
+    def close(self) -> None:
+        """Remove the span tap; retained buffers stay readable."""
+        global _CURRENT
+        with self._state_lock:
+            if self._installed:
+                set_flight_hook(None)
+                self._installed = False
+            if _CURRENT is self:
+                _CURRENT = None
+
+    # -- recording (hot paths; must never raise) ------------------------
+    def _on_span(self, payload: dict) -> None:
+        self._spans.append(payload)
+
+    def record_log(self, level: str, message: str, **fields) -> None:
+        """Append one structured log line to the ring."""
+        entry = {"t_wall_s": round(time.time(), 3), "level": level,
+                 "message": message}
+        if fields:
+            entry["fields"] = fields
+        self._logs.append(entry)
+
+    def record_request(self, summary: dict) -> None:
+        """Append one per-request summary (method/path/status/latency)."""
+        self._requests.append(summary)
+
+    # -- dumping --------------------------------------------------------
+    def record_crash(self, lane: str, exc: BaseException,
+                     dump: bool = True) -> str | None:
+        """Record an unhandled lane exception; optionally dump.
+
+        Returns the dump path (None when rate-limited or dump=False).
+        The caller re-raises — the recorder observes, it does not
+        swallow.
+        """
+        entry = {
+            "t_wall_s": round(time.time(), 3),
+            "lane": lane,
+            "error": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exception(
+                type(exc), exc, exc.__traceback__),
+        }
+        self._crashes.append(entry)
+        counter(f"flight.crashes.{lane}").inc()
+        self.record_log("error", f"unhandled exception in {lane} lane",
+                        error=type(exc).__name__)
+        if not dump:
+            return None
+        return self.dump(reason=f"crash:{lane}")
+
+    def snapshot(self, reason: str) -> dict:
+        """The full dump payload, JSON-ready."""
+        body = {
+            "version": FLIGHT_DUMP_VERSION,
+            "reason": reason,
+            "pid": os.getpid(),
+            "t_wall_s": round(time.time(), 3),
+            "uptime_s": round(time.time() - self._started_s, 3),
+            "spans": list(self._spans),
+            "logs": list(self._logs),
+            "requests": list(self._requests),
+            "crashes": list(self._crashes),
+            "metrics": metrics_snapshot(),
+        }
+        for key, provider in list(self.context_providers.items()):
+            try:
+                body[key] = provider() if callable(provider) else provider
+            except Exception as exc:  # noqa: BLE001 - a broken provider
+                # must not stop the dump the operator is waiting for
+                body[key] = {"error": f"{type(exc).__name__}: {exc}"}
+        return body
+
+    def dump(self, reason: str, force: bool = False) -> str | None:
+        """Atomically write a flight dump; returns its path.
+
+        Rate-limited by ``min_dump_interval_s`` unless ``force`` (the
+        SIGQUIT path forces — an operator asked for it explicitly).
+        """
+        now = time.time()
+        with self._dump_lock:
+            if not force and \
+                    now - self._last_dump_s < self.min_dump_interval_s:
+                return None
+            self._last_dump_s = now
+            stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(now))
+            path = os.path.join(
+                self.dump_dir, f"flightdump-{stamp}-{os.getpid()}.json")
+            data = json.dumps(self.snapshot(reason), indent=1,
+                              sort_keys=True, default=str).encode("utf-8")
+            tmp = f"{path}.tmp.{os.getpid()}"
+            try:
+                fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC,
+                             0o644)
+                try:
+                    os.write(fd, data)
+                    os.fsync(fd)
+                finally:
+                    os.close(fd)
+                os.replace(tmp, path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                return None
+        self.record_log("info", "flight dump written",
+                        path=path, reason=reason)
+        return path
+
+    def stats(self) -> dict:
+        return {
+            "installed": self._installed,
+            "spans": len(self._spans),
+            "logs": len(self._logs),
+            "requests": len(self._requests),
+            "crashes": len(self._crashes),
+            "uptime_s": round(time.time() - self._started_s, 3),
+        }
+
+
+def load_flight_dump(path: str | os.PathLike) -> dict:
+    """Parse a flight dump file (raises ValueError on malformed input)."""
+    with open(path, "rb") as handle:
+        try:
+            body = json.loads(handle.read().decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"not a flight dump: {path}: {exc}") from exc
+    if not isinstance(body, dict) or "version" not in body:
+        raise ValueError(f"not a flight dump: {path}: missing version")
+    return body
+
+
+def _format_ts(t_wall_s: float) -> str:
+    return time.strftime("%H:%M:%S", time.gmtime(t_wall_s)) + \
+        f".{int((t_wall_s % 1) * 1000):03d}"
+
+
+def render_flight_dump(body: dict, max_rows: int = 20) -> str:
+    """Human-readable rendering of a dump (the ``repro flightdump`` CLI)."""
+    lines = [
+        f"flight dump v{body.get('version')}  "
+        f"reason={body.get('reason')}  pid={body.get('pid')}  "
+        f"uptime={body.get('uptime_s', 0.0):.1f}s",
+    ]
+    alerts = body.get("alerts")
+    if isinstance(alerts, dict):
+        lines.append(f"\nalerts: {alerts.get('state', '?')}")
+        for slo in alerts.get("slos", []):
+            lines.append(
+                f"  {slo.get('state', '?'):>7}  {slo.get('name')}"
+                f"  burn_fast={slo.get('burn_fast')}"
+                f"  burn_slow={slo.get('burn_slow')}"
+                f"  objective={slo.get('objective')}")
+    crashes = body.get("crashes", [])
+    if crashes:
+        lines.append(f"\ncrashes ({len(crashes)}):")
+        for crash in crashes[-max_rows:]:
+            lines.append(f"  [{_format_ts(crash.get('t_wall_s', 0.0))}] "
+                         f"{crash.get('lane')}: {crash.get('error')}: "
+                         f"{crash.get('message')}")
+            for frame in crash.get("traceback", [])[-3:]:
+                lines.extend("      " + fl
+                             for fl in frame.rstrip().splitlines())
+    requests = body.get("requests", [])
+    lines.append(f"\nlast requests ({len(requests)} retained):")
+    for req in requests[-max_rows:]:
+        lines.append(
+            f"  [{_format_ts(req.get('t_wall_s', 0.0))}] "
+            f"{req.get('status', '?'):>3} {req.get('method', '?'):<4} "
+            f"{req.get('path', '?'):<24} {req.get('dur_ms', 0.0):8.1f}ms"
+            + (f"  rid={req['request_id']}" if req.get("request_id") else ""))
+    spans = body.get("spans", [])
+    lines.append(f"\nrecent spans ({len(spans)} retained):")
+    for sp in spans[-max_rows:]:
+        lines.append(
+            f"  [{_format_ts(sp.get('t_wall_s', 0.0))}] "
+            f"{'  ' * int(sp.get('depth', 0))}{sp.get('name')}  "
+            f"{sp.get('dur_s', 0.0) * 1e3:.2f}ms  pid={sp.get('pid')}"
+            + ("  ERROR=" + sp["attrs"]["error"]
+               if sp.get("attrs", {}).get("error") else ""))
+    logs = body.get("logs", [])
+    if logs:
+        lines.append(f"\nrecent logs ({len(logs)} retained):")
+        for entry in logs[-max_rows:]:
+            lines.append(
+                f"  [{_format_ts(entry.get('t_wall_s', 0.0))}] "
+                f"{entry.get('level', '?'):<5} {entry.get('message')}"
+                + (f"  {entry['fields']}" if entry.get("fields") else ""))
+    return "\n".join(lines)

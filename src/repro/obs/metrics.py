@@ -36,6 +36,34 @@ class Counter:
         return {"type": "counter", "value": self.value}
 
 
+class Gauge:
+    """A point-in-time level that can go up and down.
+
+    Counters accumulate; gauges are *set* (queue depth, RSS, burn rate).
+    The distinction matters at the Prometheus boundary: a gauge renders
+    without the ``_total`` suffix and with ``# TYPE ... gauge``, so rate
+    queries are never run over a value that was never cumulative.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
 class Timer:
     """Accumulated wall time with count/min/max, usable as a context manager.
 
@@ -147,7 +175,7 @@ class MetricsRegistry:
     """
 
     def __init__(self):
-        self._metrics: dict[str, Counter | Timer | Histogram] = {}
+        self._metrics: dict[str, Counter | Gauge | Timer | Histogram] = {}
         self._lock = threading.Lock()
 
     def _get(self, name: str, cls, *args):
@@ -165,6 +193,9 @@ class MetricsRegistry:
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
 
     def timer(self, name: str) -> Timer:
         return self._get(name, Timer)
@@ -191,6 +222,11 @@ _REGISTRY = MetricsRegistry()
 def counter(name: str) -> Counter:
     """The process-wide counter called ``name`` (created on first use)."""
     return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """The process-wide gauge called ``name`` (created on first use)."""
+    return _REGISTRY.gauge(name)
 
 
 def timer(name: str) -> Timer:

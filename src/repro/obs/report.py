@@ -38,19 +38,27 @@ class SpanSummary:
 
 def load_events(path: str | Path) -> list[dict]:
     """Parse a JSONL trace; skips blank/corrupt lines (a truncated last
-    line from a killed process must not poison the whole report)."""
+    line from a killed — or still-appending — process must not poison
+    the whole report).
+
+    The file is read as bytes and decoded per line: a live writer's
+    partial last line can end mid-multi-byte-UTF-8-sequence, which would
+    raise ``UnicodeDecodeError`` during text-mode iteration before any
+    JSON filtering got the chance to skip it.
+    """
     events = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                event = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if isinstance(event, dict):
-                events.append(event)
+    with open(path, "rb") as handle:
+        payload = handle.read()
+    for raw in payload.split(b"\n"):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            event = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            continue
+        if isinstance(event, dict):
+            events.append(event)
     return events
 
 

@@ -1,0 +1,225 @@
+"""Declarative SLOs with multiwindow burn-rate alerting over the TSDB.
+
+An SLO is "fraction of good events >= objective over time".  Alerting on
+the instantaneous bad fraction is noisy (one 500 at 3am pages someone)
+and alerting on the monthly average is too slow (the budget is gone
+before anyone looks).  The standard fix is **burn rate**: how many times
+faster than the sustainable pace the error budget is being consumed,
+
+    burn = bad_fraction / (1 - objective)
+
+evaluated over two windows.  A *fast* window (minutes) catches cliffs, a
+*slow* window (an hour) confirms the problem is sustained:
+
+* both windows above threshold  -> ``firing``
+* fast above, slow not (yet)    -> ``pending``
+* otherwise                     -> ``ok``
+
+Three SLO shapes cover the serving stack:
+
+* :class:`RatioSLO` — good/bad from counter deltas (availability from
+  ``serve.http.status.*``, job success from ``jobs.completed`` vs
+  ``jobs.failed``);
+* :class:`LatencySLO` — bad = requests above a threshold, from windowed
+  histogram bucket deltas of ``serve.request_latency_s``;
+* :class:`ThresholdSLO` — bad = observations of any histogram above a
+  threshold (shadow-audit CD error in nm).
+
+Evaluation publishes ``slo.<name>.burn_fast`` / ``burn_slow`` /
+``state`` gauges so alerts also appear in ``/metrics`` as
+``repro_slo_*``, and :meth:`SLOEvaluator.evaluate` returns the JSON
+block embedded in ``/healthz``.  Everything reads cumulative samples
+already recorded by the sampler — no simulation state is touched.
+"""
+
+from __future__ import annotations
+
+from .metrics import gauge
+from .timeseries import TimeSeriesDB
+
+__all__ = [
+    "RatioSLO", "LatencySLO", "ThresholdSLO",
+    "SLOEvaluator", "default_slos",
+    "STATE_OK", "STATE_PENDING", "STATE_FIRING",
+]
+
+STATE_OK = "ok"
+STATE_PENDING = "pending"
+STATE_FIRING = "firing"
+
+#: numeric encoding for the repro_slo_<name>_state gauge
+_STATE_CODE = {STATE_OK: 0, STATE_PENDING: 1, STATE_FIRING: 2}
+
+
+class _BaseSLO:
+    """Shared target/window bookkeeping; subclasses supply bad/total."""
+
+    kind = "base"
+
+    def __init__(self, name: str, objective: float,
+                 fast_window_s: float = 300.0,
+                 slow_window_s: float = 3600.0,
+                 burn_threshold: float = 10.0,
+                 min_events: int = 1):
+        if not 0.0 < objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if fast_window_s >= slow_window_s:
+            raise ValueError("fast window must be shorter than slow window")
+        self.name = name
+        self.objective = float(objective)
+        self.fast_window_s = float(fast_window_s)
+        self.slow_window_s = float(slow_window_s)
+        self.burn_threshold = float(burn_threshold)
+        #: below this many events in a window the burn is treated as 0
+        #: (a single bad event in an idle window is not an incident)
+        self.min_events = int(min_events)
+
+    def counts(self, db: TimeSeriesDB, window_s: float) -> tuple[float, float]:
+        """``(bad, total)`` event counts over the window."""
+        raise NotImplementedError
+
+    def _burn(self, db: TimeSeriesDB, window_s: float) -> tuple[float, float]:
+        """``(burn_rate, bad_fraction)`` over one window."""
+        bad, total = self.counts(db, window_s)
+        if total < self.min_events or total <= 0:
+            return 0.0, 0.0
+        bad_fraction = bad / total
+        budget = 1.0 - self.objective
+        return bad_fraction / budget, bad_fraction
+
+    def evaluate(self, db: TimeSeriesDB) -> dict:
+        burn_fast, frac_fast = self._burn(db, self.fast_window_s)
+        burn_slow, frac_slow = self._burn(db, self.slow_window_s)
+        fast_hot = burn_fast >= self.burn_threshold
+        slow_hot = burn_slow >= self.burn_threshold
+        if fast_hot and slow_hot:
+            state = STATE_FIRING
+        elif fast_hot:
+            state = STATE_PENDING
+        else:
+            state = STATE_OK
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "state": state,
+            "burn_fast": round(burn_fast, 4),
+            "burn_slow": round(burn_slow, 4),
+            "bad_fraction_fast": round(frac_fast, 6),
+            "bad_fraction_slow": round(frac_slow, 6),
+            "burn_threshold": self.burn_threshold,
+            "windows_s": [self.fast_window_s, self.slow_window_s],
+        }
+
+
+class RatioSLO(_BaseSLO):
+    """Good/bad events from counter deltas (name prefixes are summed)."""
+
+    kind = "ratio"
+
+    def __init__(self, name: str, objective: float,
+                 good_prefixes: tuple[str, ...],
+                 bad_prefixes: tuple[str, ...], **kwargs):
+        super().__init__(name, objective, **kwargs)
+        self.good_prefixes = tuple(good_prefixes)
+        self.bad_prefixes = tuple(bad_prefixes)
+
+    def counts(self, db: TimeSeriesDB, window_s: float) -> tuple[float, float]:
+        good = sum(db.counter_delta_prefix(p, window_s)
+                   for p in self.good_prefixes)
+        bad = sum(db.counter_delta_prefix(p, window_s)
+                  for p in self.bad_prefixes)
+        return bad, good + bad
+
+
+class LatencySLO(_BaseSLO):
+    """Bad = histogram observations above ``threshold`` over the window.
+
+    The threshold snaps to the smallest bucket bound >= the requested
+    value (bucket resolution is the best a histogram can answer).
+    """
+
+    kind = "latency"
+
+    def __init__(self, name: str, objective: float, histogram_name: str,
+                 threshold: float, **kwargs):
+        super().__init__(name, objective, **kwargs)
+        self.histogram_name = histogram_name
+        self.threshold = float(threshold)
+
+    def counts(self, db: TimeSeriesDB, window_s: float) -> tuple[float, float]:
+        delta = db.histogram_delta(self.histogram_name, window_s)
+        if delta is None:
+            return 0.0, 0.0
+        bounds, bucket_deltas, count, _ = delta
+        bad = 0
+        for index, bucket in enumerate(bucket_deltas):
+            # bucket i covers (bounds[i-1], bounds[i]]; the overflow
+            # bucket (index == len(bounds)) is always above threshold
+            upper = bounds[index] if index < len(bounds) else float("inf")
+            if upper > self.threshold:
+                bad += bucket
+        return float(bad), float(count)
+
+
+class ThresholdSLO(LatencySLO):
+    """:class:`LatencySLO` under a name that reads right for non-latency
+    histograms (shadow-audit CD error)."""
+
+    kind = "threshold"
+
+
+class SLOEvaluator:
+    """Evaluates a catalog of SLOs against one TSDB and publishes gauges."""
+
+    def __init__(self, db: TimeSeriesDB, slos: list | None = None):
+        self.db = db
+        self.slos = list(slos) if slos is not None else default_slos()
+
+    def evaluate(self) -> dict:
+        """The ``/healthz`` ``alerts`` block; also refreshes slo gauges."""
+        results = [slo.evaluate(self.db) for slo in self.slos]
+        for result in results:
+            base = f"slo.{result['name']}"
+            gauge(f"{base}.burn_fast").set(result["burn_fast"])
+            gauge(f"{base}.burn_slow").set(result["burn_slow"])
+            gauge(f"{base}.state").set(_STATE_CODE[result["state"]])
+        states = [r["state"] for r in results]
+        if STATE_FIRING in states:
+            overall = STATE_FIRING
+        elif STATE_PENDING in states:
+            overall = STATE_PENDING
+        else:
+            overall = STATE_OK
+        return {"state": overall, "slos": results}
+
+
+def default_slos(fast_window_s: float = 300.0,
+                 slow_window_s: float = 3600.0) -> list:
+    """The serving SLO catalog (documented in docs/observability.md)."""
+    kwargs = {"fast_window_s": fast_window_s, "slow_window_s": slow_window_s}
+    return [
+        # 99.9% of HTTP requests answered without a server-side error.
+        RatioSLO(
+            "availability", 0.999,
+            good_prefixes=("serve.http.status.2", "serve.http.status.3",
+                           "serve.http.status.4"),
+            bad_prefixes=("serve.http.status.5",),
+            min_events=10, **kwargs),
+        # 99% of served predictions complete within 2.5s end-to-end.
+        LatencySLO(
+            "served_latency", 0.99,
+            histogram_name="serve.request_latency_s", threshold=2.5,
+            min_events=10, **kwargs),
+        # 99% of shadow audits within 2nm CD error vs the reference engine.
+        ThresholdSLO(
+            "shadow_cd_error", 0.99,
+            histogram_name="health.shadow.cd_error_nm", threshold=2.0,
+            min_events=5, **kwargs),
+        # 95% of background jobs run to completion.
+        RatioSLO(
+            "job_success", 0.95,
+            good_prefixes=("jobs.completed",),
+            bad_prefixes=("jobs.failed",),
+            burn_threshold=2.0, min_events=2, **kwargs),
+    ]

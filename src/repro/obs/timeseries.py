@@ -1,0 +1,382 @@
+"""In-process ring-buffer time-series database over the metric registry.
+
+``/metrics`` and ``/healthz`` are point-in-time: they answer "what is
+the cumulative count *now*", which is useless ten minutes after an
+incident started.  This module adds history without any external
+dependency: a background :class:`TelemetrySampler` thread snapshots
+every counter/gauge/timer/histogram in the registry at a fixed interval
+into a :class:`TimeSeriesDB` of fixed-size rolling windows (default
+10 s × 360 slots = one hour of history in a few hundred kilobytes).
+
+From the raw cumulative samples the DB derives what operators actually
+ask for:
+
+* **per-interval rates** — ``rate(serve.requests)`` from successive
+  counter samples (restarts clamp to zero, never negative);
+* **sliding-window quantiles** — ``window_quantile`` subtracts the
+  histogram bucket vector at the window's left edge from the newest one
+  and interpolates inside the winning bucket, so "p99 over the last
+  5 minutes" is exact up to bucket resolution;
+* **windowed deltas** — ``counter_delta`` / ``histogram_delta`` feed the
+  SLO burn-rate evaluation (:mod:`repro.obs.slo`).
+
+Everything here is observation-only: the sampler thread reads metric
+snapshots (plain Python numbers) and touches no simulation state.  The
+determinism matrix in ``tests/serve/test_determinism.py`` pins that a
+sampler-on server serves bitwise-identical bytes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .metrics import metrics_snapshot
+
+__all__ = ["Ring", "TimeSeriesDB", "TelemetrySampler"]
+
+
+class Ring:
+    """A fixed-capacity append-only ring; oldest values fall off."""
+
+    __slots__ = ("capacity", "_values", "_start", "total_pushed")
+
+    def __init__(self, capacity: int):
+        if capacity < 2:
+            raise ValueError("ring capacity must be >= 2")
+        self.capacity = capacity
+        self._values: list = []
+        self._start = 0
+        self.total_pushed = 0
+
+    def push(self, value) -> None:
+        if len(self._values) < self.capacity:
+            self._values.append(value)
+        else:
+            self._values[self._start] = value
+            self._start = (self._start + 1) % self.capacity
+        self.total_pushed += 1
+
+    def values(self) -> list:
+        """Oldest-first contents."""
+        return self._values[self._start:] + self._values[:self._start]
+
+    def latest(self):
+        if not self._values:
+            return None
+        return self._values[(self._start - 1) % len(self._values)]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+#: snapshot fields kept per metric kind (cumulative, so deltas derive rates)
+_TRACKED_FIELDS = {
+    "counter": ("value",),
+    "gauge": ("value",),
+    "timer": ("count", "total_s"),
+    "histogram": ("count", "total", "bucket_counts"),
+}
+
+
+class TimeSeriesDB:
+    """Rolling windows of metric samples, one slot per sampling interval.
+
+    ``record(snapshot)`` appends one sample per metric; every read-side
+    method (``series``, ``rate``, ``window_quantile``, ``counter_delta``,
+    ``histogram_delta``) works over the retained window.  All methods
+    are thread-safe: the sampler thread writes while HTTP handler
+    threads read.
+    """
+
+    def __init__(self, interval_s: float = 10.0, slots: int = 360):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.interval_s = float(interval_s)
+        self.slots = int(slots)
+        self._lock = threading.Lock()
+        self._times = Ring(self.slots)
+        #: name -> {"kind": str, "fields": {field -> Ring}}
+        self._series: dict[str, dict] = {}
+        #: histogram name -> bucket bounds (fixed after first sample)
+        self._bounds: dict[str, tuple] = {}
+
+    # -- write side (sampler thread) -----------------------------------
+    def record(self, snapshot: dict | None = None,
+               t_wall_s: float | None = None) -> None:
+        """Append one sample of every metric in ``snapshot``."""
+        snapshot = metrics_snapshot() if snapshot is None else snapshot
+        t_wall_s = time.time() if t_wall_s is None else t_wall_s
+        with self._lock:
+            samples_before = self._times.total_pushed
+            self._times.push(round(t_wall_s, 3))
+            for name, metric in snapshot.items():
+                kind = metric.get("type")
+                fields = _TRACKED_FIELDS.get(kind)
+                if fields is None:
+                    continue
+                entry = self._series.get(name)
+                if entry is None:
+                    entry = self._series[name] = {
+                        "kind": kind,
+                        "fields": {f: Ring(self.slots) for f in fields},
+                        # a metric registered mid-flight starts later than
+                        # the DB; remember the offset so its slots align
+                        "first_sample": samples_before,
+                    }
+                    if kind == "histogram":
+                        self._bounds[name] = tuple(metric.get("bounds", ()))
+                for field in fields:
+                    value = metric.get(field)
+                    if field == "bucket_counts":
+                        value = list(value or ())
+                    entry["fields"][field].push(value)
+
+    # -- read side ------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        with self._lock:
+            return self._times.total_pushed
+
+    def names(self, prefix: str = "") -> list[str]:
+        with self._lock:
+            return sorted(n for n in self._series if n.startswith(prefix))
+
+    def times(self) -> list[float]:
+        with self._lock:
+            return self._times.values()
+
+    def _window_slots(self, window_s: float | None) -> int:
+        """How many sampling intervals ``window_s`` spans (>= 1)."""
+        if window_s is None:
+            return self.slots
+        return max(1, int(round(window_s / self.interval_s)))
+
+    def _field_values(self, name: str, field: str) -> list:
+        entry = self._series.get(name)
+        if entry is None:
+            return []
+        ring = entry["fields"].get(field)
+        return ring.values() if ring is not None else []
+
+    def _delta(self, values: list, window_slots: int):
+        """(newest - value at window left edge); None when < 2 samples."""
+        if len(values) < 2:
+            return None
+        left = max(0, len(values) - 1 - window_slots)
+        return values[-1], values[left]
+
+    def counter_delta(self, name: str, window_s: float | None = None) -> float:
+        """Increase of a counter/timer-count over the window (>= 0)."""
+        with self._lock:
+            entry = self._series.get(name)
+            if entry is None:
+                return 0.0
+            field = "count" if entry["kind"] == "timer" else "value"
+            pair = self._delta(self._field_values(name, field),
+                               self._window_slots(window_s))
+        if pair is None:
+            return 0.0
+        newest, oldest = pair
+        return max(0.0, float(newest) - float(oldest))
+
+    def counter_delta_prefix(self, prefix: str,
+                             window_s: float | None = None) -> float:
+        """Summed :meth:`counter_delta` over every name with ``prefix``."""
+        return sum(self.counter_delta(name, window_s)
+                   for name in self.names(prefix))
+
+    def rate(self, name: str, window_s: float | None = None) -> float:
+        """Per-second increase of a cumulative metric over the window."""
+        with self._lock:
+            entry = self._series.get(name)
+            if entry is None:
+                return 0.0
+            field = "count" if entry["kind"] == "timer" else "value"
+            values = self._field_values(name, field)
+            window_slots = self._window_slots(window_s)
+            pair = self._delta(values, window_slots)
+            if pair is None:
+                return 0.0
+            left = max(0, len(values) - 1 - window_slots)
+            elapsed = (len(values) - 1 - left) * self.interval_s
+        newest, oldest = pair
+        if elapsed <= 0:
+            return 0.0
+        return max(0.0, float(newest) - float(oldest)) / elapsed
+
+    def rate_series(self, name: str) -> list[float]:
+        """Per-interval rate at every retained slot (len(samples)-1 points)."""
+        with self._lock:
+            entry = self._series.get(name)
+            if entry is None:
+                return []
+            field = "count" if entry["kind"] == "timer" else "value"
+            values = self._field_values(name, field)
+        return [max(0.0, (float(b) - float(a))) / self.interval_s
+                for a, b in zip(values, values[1:])]
+
+    def gauge_series(self, name: str) -> list[float]:
+        """Raw sampled values (levels, not rates)."""
+        with self._lock:
+            values = self._field_values(name, "value")
+        return [float(v) for v in values]
+
+    def histogram_delta(self, name: str, window_s: float | None = None):
+        """``(bounds, bucket_deltas, count_delta, sum_delta)`` over the
+        window, or None when the histogram has under two samples."""
+        with self._lock:
+            entry = self._series.get(name)
+            if entry is None or entry["kind"] != "histogram":
+                return None
+            window_slots = self._window_slots(window_s)
+            counts = self._delta(self._field_values(name, "count"),
+                                 window_slots)
+            totals = self._delta(self._field_values(name, "total"),
+                                 window_slots)
+            buckets = self._delta(self._field_values(name, "bucket_counts"),
+                                  window_slots)
+            bounds = self._bounds.get(name, ())
+        if counts is None or buckets is None or totals is None:
+            return None
+        newest_b, oldest_b = buckets
+        if len(newest_b) != len(oldest_b):
+            return None
+        deltas = [max(0, int(n) - int(o)) for n, o in zip(newest_b, oldest_b)]
+        return (bounds, deltas,
+                max(0, int(counts[0]) - int(counts[1])),
+                max(0.0, float(totals[0]) - float(totals[1])))
+
+    def window_quantile(self, name: str, q: float,
+                        window_s: float | None = None) -> float | None:
+        """The ``q``-quantile of a histogram over the sliding window.
+
+        Linear interpolation inside the winning bucket (Prometheus
+        ``histogram_quantile`` semantics); the overflow bucket reports
+        its lower bound.  None when there is no data in the window.
+        """
+        delta = self.histogram_delta(name, window_s)
+        if delta is None:
+            return None
+        bounds, bucket_deltas, count, _ = delta
+        if count <= 0 or not bounds:
+            return None
+        target = q * count
+        cumulative = 0
+        for index, bucket in enumerate(bucket_deltas):
+            previous = cumulative
+            cumulative += bucket
+            if cumulative >= target and bucket > 0:
+                if index >= len(bounds):      # overflow bucket: no upper edge
+                    return float(bounds[-1])
+                lower = bounds[index - 1] if index > 0 else 0.0
+                upper = bounds[index]
+                fraction = (target - previous) / bucket
+                return float(lower + (upper - lower) * min(1.0, fraction))
+        return float(bounds[-1])
+
+    def series(self, prefix: str = "", window_s: float | None = None,
+               quantiles: tuple = (0.5, 0.99)) -> dict:
+        """JSON-ready dump of every retained series (the ``/v1/telemetry``
+        payload): raw samples plus derived rates and quantiles."""
+        window_slots = self._window_slots(window_s)
+        with self._lock:
+            names = sorted(n for n in self._series if n.startswith(prefix))
+            times = self._times.values()
+        out: dict = {
+            "interval_s": self.interval_s,
+            "slots": self.slots,
+            "samples": self.samples,
+            "t_wall_s": times[-window_slots - 1:],
+            "series": {},
+        }
+        for name in names:
+            with self._lock:
+                entry = self._series.get(name)
+                if entry is None:
+                    continue
+                kind = entry["kind"]
+            record: dict = {"kind": kind}
+            if kind == "gauge":
+                record["values"] = self.gauge_series(name)[-window_slots:]
+            else:
+                record["rate_per_s"] = self.rate_series(name)[-window_slots:]
+            if kind == "timer":
+                with self._lock:
+                    counts = self._field_values(name, "count")
+                    totals = self._field_values(name, "total_s")
+                means = []
+                for (c0, c1), (t0, t1) in zip(zip(counts, counts[1:]),
+                                              zip(totals, totals[1:])):
+                    dc = float(c1) - float(c0)
+                    means.append((float(t1) - float(t0)) / dc if dc > 0 else 0.0)
+                record["mean_s"] = means[-window_slots:]
+            if kind == "histogram":
+                record["quantiles"] = {
+                    f"p{q * 100:.10g}":
+                        self.window_quantile(name, q, window_s)
+                    for q in quantiles
+                }
+            out["series"][name] = record
+        return out
+
+
+class TelemetrySampler:
+    """Background thread feeding a :class:`TimeSeriesDB` at a fixed cadence.
+
+    The thread is a daemon waiting on an Event, so ``close`` returns
+    promptly and an abandoned sampler cannot keep a process alive.  An
+    injectable ``snapshot_fn`` keeps tests clock-free: call
+    :meth:`sample_once` directly instead of racing the thread.
+    """
+
+    def __init__(self, db: TimeSeriesDB | None = None,
+                 interval_s: float = 10.0, slots: int = 360,
+                 snapshot_fn=None, name: str = "default"):
+        self.db = db if db is not None else TimeSeriesDB(interval_s, slots)
+        self._snapshot_fn = snapshot_fn if snapshot_fn is not None \
+            else metrics_snapshot
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True,
+            name=f"repro-telemetry-sampler-{name}")
+        self._state_lock = threading.Lock()
+        self._started = False
+        self._errors = 0
+
+    def start(self) -> "TelemetrySampler":
+        with self._state_lock:
+            if self._started:
+                return self
+            self._started = True
+        self.sample_once()              # slot 0: a baseline for first deltas
+        self._thread.start()
+        return self
+
+    def sample_once(self) -> None:
+        """Record one sample now (also what the thread does every tick)."""
+        try:
+            self.db.record(self._snapshot_fn())
+        except Exception:  # noqa: BLE001 - sampling must never kill serving
+            with self._state_lock:
+                self._errors += 1
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.db.interval_s):
+            self.sample_once()
+
+    def stats(self) -> dict:
+        return {
+            "interval_s": self.db.interval_s,
+            "slots": self.db.slots,
+            "samples": self.db.samples,
+            "running": self._thread.is_alive(),
+            "sample_errors": self._errors,
+        }
+
+    def close(self) -> None:
+        self._stop.set()
+        with self._state_lock:
+            started = self._started
+        if started and self._thread.is_alive():
+            self._thread.join(timeout=5.0)

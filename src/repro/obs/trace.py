@@ -43,6 +43,7 @@ __all__ = [
     "span", "trace_event", "set_span_attrs", "trace_enabled",
     "enable_tracing", "disable_tracing", "current_trace_path",
     "configure_from_env", "capture_context", "current_span_uid",
+    "set_flight_hook", "flight_hook",
 ]
 
 _ENABLED = False
@@ -52,6 +53,10 @@ _FD: int | None = None
 #: per-process span sequence; itertools.count.__next__ is atomic under
 #: the GIL, so concurrent handler threads never share a sequence number
 _NEXT_SEQ = itertools.count(1)
+#: flight-recorder tap: a callable given every finished span/event
+#: payload dict.  Independent of _ENABLED — the black box keeps its span
+#: ring even with the JSONL sink off (see repro.obs.flight).
+_FLIGHT_HOOK = None
 
 
 class _StackLocal(threading.local):
@@ -139,6 +144,24 @@ def disable_tracing() -> None:
     _LOCAL.stack.clear()
 
 
+def set_flight_hook(hook) -> None:
+    """Install (or, with None, remove) the flight-recorder span tap.
+
+    While a hook is installed, spans are *measured* even when JSONL
+    tracing is disabled: :func:`span` returns a real span whose payload
+    goes to the hook instead of (or in addition to) the sink.  The hook
+    must never raise and must be cheap — it runs inside ``__exit__`` of
+    every instrumented scope.
+    """
+    global _FLIGHT_HOOK
+    _FLIGHT_HOOK = hook
+
+
+def flight_hook():
+    """The installed flight-recorder tap, or None."""
+    return _FLIGHT_HOOK
+
+
 def trace_enabled() -> bool:
     """Whether spans are currently being recorded."""
     if not _CONFIGURED:
@@ -171,7 +194,7 @@ def capture_context() -> TraceContext | None:
     uid = current_span_uid()
     if ctx is not None:
         return ctx.rebased(uid if uid is not None else ctx.parent_uid)
-    if uid is not None and _ENABLED:
+    if uid is not None and (_ENABLED or _FLIGHT_HOOK is not None):
         anonymous = new_request_id()
         return TraceContext(trace_id=anonymous, request_id=anonymous,
                             parent_uid=uid)
@@ -210,7 +233,8 @@ class _Span:
             stack.pop()
         if exc_type is not None:
             self.attrs["error"] = exc_type.__name__
-        if _ENABLED:
+        hook = _FLIGHT_HOOK
+        if _ENABLED or hook is not None:
             payload = {
                 "type": "span", "name": self.name, "pid": os.getpid(),
                 "tid": threading.get_native_id(),
@@ -220,17 +244,23 @@ class _Span:
             }
             if self.trace is not None:
                 payload["trace"] = self.trace
-            _emit(payload)
+            if _ENABLED:
+                _emit(payload)
+            if hook is not None:
+                hook(payload)
 
 
 def span(name: str, **attrs) -> "_Span | _NoopSpan":
     """Context manager recording a named span around its body.
 
     Disabled tracing returns a shared no-op context manager; nothing is
-    measured or allocated beyond the call itself.
+    measured or allocated beyond the call itself.  An installed flight
+    hook (:func:`set_flight_hook`) also counts as enabled — the black
+    box records spans even when the JSONL sink is off.
     """
     if not _ENABLED:
-        if _CONFIGURED or not configure_from_env():
+        if (_CONFIGURED or not configure_from_env()) \
+                and _FLIGHT_HOOK is None:
             return _NOOP
     return _Span(name, attrs)
 
@@ -238,7 +268,8 @@ def span(name: str, **attrs) -> "_Span | _NoopSpan":
 def trace_event(name: str, **attrs) -> None:
     """Record an instantaneous point event (no duration)."""
     if not _ENABLED:
-        if _CONFIGURED or not configure_from_env():
+        if (_CONFIGURED or not configure_from_env()) \
+                and _FLIGHT_HOOK is None:
             return
     ctx = current_context()
     payload = {
@@ -249,11 +280,14 @@ def trace_event(name: str, **attrs) -> None:
     }
     if ctx is not None:
         payload["trace"] = ctx.trace_id
-    _emit(payload)
+    if _ENABLED:
+        _emit(payload)
+    if _FLIGHT_HOOK is not None:
+        _FLIGHT_HOOK(payload)
 
 
 def set_span_attrs(**attrs) -> None:
     """Attach attributes to the innermost active span (no-op when disabled
     or outside any span)."""
-    if _ENABLED and _LOCAL.stack:
+    if (_ENABLED or _FLIGHT_HOOK is not None) and _LOCAL.stack:
         _LOCAL.stack[-1].attrs.update(attrs)

@@ -47,7 +47,7 @@ from .registry import (
 from .router import ShardRouter, shard_for
 from .server import (
     DEFAULT_LATENCY_BUCKETS, PredictServer, ServeConfig, ServedModel,
-    render_prometheus,
+    escape_label_value, render_prometheus,
 )
 from .shm import (
     ShmSpec, WeightStore, attach_views, live_segments, publish_weights,
@@ -63,7 +63,7 @@ __all__ = [
     "save_checkpoint", "load_checkpoint", "read_manifest", "verify_checkpoint",
     "manifest_path_for", "import_legacy_sidecar",
     "PredictServer", "ServeConfig", "ServedModel", "render_prometheus",
-    "DEFAULT_LATENCY_BUCKETS", "JobService",
+    "escape_label_value", "DEFAULT_LATENCY_BUCKETS", "JobService",
     "PoolConfig", "WorkerPool", "WorkerCrashedError", "resolve_serve_workers",
     "ShardRouter", "shard_for",
     "ShmSpec", "WeightStore", "segment_name", "publish_weights",

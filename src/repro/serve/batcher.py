@@ -48,8 +48,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.obs import (
-    capture_context, counter, histogram, set_span_attrs, span, timer,
-    use_context,
+    capture_context, counter, histogram, record_lane_crash,
+    set_span_attrs, span, timer, use_context,
 )
 from repro.runtime.sync import make_condition, make_lock
 
@@ -295,6 +295,16 @@ class MicroBatcher:
             return batch
 
     def _run(self) -> None:
+        try:
+            self._run_loop()
+        except BaseException as exc:
+            # an exception escaping the loop itself (not a per-batch
+            # failure, which _run_loop forwards to callers) kills this
+            # batcher's lane: snapshot the black box before dying
+            record_lane_crash("batcher", exc)
+            raise
+
+    def _run_loop(self) -> None:
         while True:
             batch = self._gather()
             if not batch:

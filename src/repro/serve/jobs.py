@@ -18,7 +18,7 @@ from repro.jobs import (
     JobExecutor, JobExecutorConfig, JobRecord, JobStore, JobTypeError,
     job_type_names,
 )
-from repro.obs import counter, span
+from repro.obs import capture_context, counter, span
 
 __all__ = ["JobService"]
 
@@ -46,7 +46,16 @@ class JobService:
         if job_type not in job_type_names():
             raise JobTypeError(
                 f"unknown job type {job_type!r}; known: {job_type_names()}")
-        record = self.store.submit(job_type, params or {})
+        # persist the submitting request's trace identity (rebased onto
+        # its open serve.request span) so the executor — a different
+        # thread, possibly a different process lifetime — parents the
+        # job's spans under the request that asked for it
+        ctx = capture_context()
+        trace = None
+        if ctx is not None:
+            trace = {"trace_id": ctx.trace_id, "request_id": ctx.request_id,
+                     "parent_uid": ctx.parent_uid}
+        record = self.store.submit(job_type, params or {}, trace=trace)
         counter("jobs.submitted").inc()
         self.executor.notify()
         return record

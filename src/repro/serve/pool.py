@@ -48,8 +48,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.obs import (
-    capture_context, counter, current_trace_path, disable_tracing,
-    enable_tracing, span, trace_enabled, use_context,
+    capture_context, counter, current_recorder, current_trace_path,
+    disable_tracing, enable_tracing, record_lane_crash, span,
+    trace_enabled, use_context,
 )
 from repro.runtime.pool import fork_available
 from repro.runtime.sync import check_fork_safety, make_lock
@@ -369,12 +370,30 @@ class WorkerPool:
 
     def _mark_crashed(self, handle: _WorkerHandle, why: str) -> WorkerCrashedError:
         counter("serve.pool.crashes").inc()
-        return WorkerCrashedError(
+        error = WorkerCrashedError(
             f"serving worker {handle.shard} (pool {self.name!r}) {why}; "
             "it is being respawned — retry shortly")
+        # a dead worker is exactly what the black box exists for: grab a
+        # dump while the surrounding state (queues, requests, alerts) is
+        # still the crash-time state.  record_crash rate-limits, so a
+        # crash-looping worker costs one dump per interval, not per death.
+        recorder = current_recorder()
+        if recorder is not None:
+            try:
+                recorder.record_crash(f"pool.worker.{handle.shard}", error)
+            except Exception:  # noqa: BLE001 - observing must not block respawn
+                pass
+        return error
 
     def _monitor_loop(self) -> None:
         """Respawn workers that died between requests (idle crashes)."""
+        try:
+            self._monitor_run()
+        except BaseException as exc:
+            record_lane_crash("pool.monitor", exc)
+            raise
+
+    def _monitor_run(self) -> None:
         while not self._monitor_stop.wait(self.config.heartbeat_interval_s):
             for handle in self._workers:
                 if self._closed:

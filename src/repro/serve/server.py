@@ -56,9 +56,12 @@ import numpy as np
 from repro.config import PEBConfig
 from repro.jobs import JobNotFound, JobTypeError
 from repro.obs import (
-    HealthConfig, HealthMonitor, TraceContext, counter, histogram,
-    metrics_snapshot, new_request_context, span, timer, use_context,
+    FlightRecorder, HealthConfig, HealthMonitor, SLOEvaluator,
+    TelemetrySampler, TimeSeriesDB, TraceContext, counter, default_slos,
+    gauge, histogram, metrics_snapshot, new_request_context,
+    process_info, refresh_process_gauges, span, timer, use_context,
 )
+from repro.obs.dashboard import render_dashboard
 from repro.runtime.sync import make_lock
 from repro.tensor import Tensor, no_grad
 
@@ -73,7 +76,8 @@ from .registry import ModelManifest
 from .router import ShardRouter
 from .shm import publish_weights, release_weights, shm_stats
 
-__all__ = ["ServeConfig", "ServedModel", "PredictServer", "render_prometheus"]
+__all__ = ["ServeConfig", "ServedModel", "PredictServer", "render_prometheus",
+           "escape_label_value"]
 
 NPZ_CONTENT_TYPES = ("application/octet-stream", "application/x-npz", "application/zip")
 
@@ -96,6 +100,18 @@ class ServeConfig:
     request_timeout_s: float = 120.0
     #: `serve.request_latency_s` histogram bucket bounds, seconds
     latency_buckets: tuple = DEFAULT_LATENCY_BUCKETS
+    #: rolling-window telemetry sampler (``/v1/telemetry``, ``/dashboard``)
+    telemetry: bool = True
+    telemetry_interval_s: float = 10.0
+    telemetry_slots: int = 360
+    #: SLO burn-rate windows (seconds); tests shrink these to the
+    #: sampling interval so alerts respond within a few samples
+    slo_fast_window_s: float = 300.0
+    slo_slow_window_s: float = 3600.0
+    #: black-box flight recorder (span/log/request rings + crash dumps)
+    flight: bool = True
+    flight_dump_dir: str = "."
+    flight_min_dump_interval_s: float = 30.0
 
 
 class ServedModel:
@@ -232,26 +248,49 @@ class _HTTPError(Exception):
         self.retry_after_s = retry_after_s
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a Prometheus label value (backslash, quote, newline)."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def render_prometheus(snapshot: dict | None = None) -> str:
-    """Render a :func:`repro.obs.metrics_snapshot` in Prometheus text format."""
+    """Render a :func:`repro.obs.metrics_snapshot` in Prometheus text format.
+
+    Each family is one ``# HELP``/``# TYPE`` pair followed by its sample
+    lines (the exposition-format ordering scrapers validate); the help
+    string is the dotted registry name, which is the one piece of
+    provenance the flat name loses.
+    """
     snapshot = metrics_snapshot() if snapshot is None else snapshot
     lines: list[str] = []
+
+    def family(flat: str, kind: str, source: str) -> None:
+        lines.append(f"# HELP {flat} repro metric {source}")
+        lines.append(f"# TYPE {flat} {kind}")
+
     for name, metric in sorted(snapshot.items()):
         flat = "repro_" + name.replace(".", "_").replace("-", "_")
         kind = metric.get("type")
         if kind == "counter":
-            lines.append(f"# TYPE {flat} counter")
+            # OpenMetrics style: the family is the base name, the sample
+            # carries the _total suffix
+            family(flat, "counter", name)
             lines.append(f"{flat}_total {metric['value']}")
+        elif kind == "gauge":
+            family(flat, "gauge", name)
+            lines.append(f"{flat} {metric['value']}")
         elif kind == "timer":
-            lines.append(f"# TYPE {flat}_seconds summary")
+            family(f"{flat}_seconds", "summary", name)
             lines.append(f"{flat}_seconds_count {metric['count']}")
             lines.append(f"{flat}_seconds_sum {metric['total_s']:.9f}")
         elif kind == "histogram":
-            lines.append(f"# TYPE {flat} histogram")
+            family(flat, "histogram", name)
             cumulative = 0
             for bound, bucket in zip(metric["bounds"], metric["bucket_counts"]):
                 cumulative += bucket
-                lines.append(f'{flat}_bucket{{le="{bound:g}"}} {cumulative}')
+                le = escape_label_value(f"{bound:g}")
+                lines.append(f'{flat}_bucket{{le="{le}"}} {cumulative}')
             lines.append(f'{flat}_bucket{{le="+Inf"}} {metric["count"]}')
             lines.append(f"{flat}_count {metric['count']}")
             lines.append(f"{flat}_sum {metric['total']:.9f}")
@@ -293,14 +332,19 @@ class _Handler(BaseHTTPRequestHandler):
         elapsed = time.perf_counter() - getattr(self, "_started_s", time.perf_counter())
         status = getattr(self, "_status", None) or 0
         counter(f"serve.http.status.{status}").inc()
-        self.app.access_log({
+        record = {
             "method": self.command,
             "path": path,
             "status": status,
             "dur_ms": round(elapsed * 1e3, 3),
             "request_id": getattr(self, "_request_id", None),
             "client": self.client_address[0] if self.client_address else None,
-        }, warn=status in (503, 504))
+        }
+        flight = self.app.flight
+        if flight is not None:
+            flight.record_request({"t_wall_s": round(time.time(), 3),
+                                   **record})
+        self.app.access_log(record, warn=status in (503, 504))
 
     def _send(self, status: int, body: bytes, content_type: str,
               extra_headers: dict | None = None) -> None:
@@ -348,6 +392,14 @@ class _Handler(BaseHTTPRequestHandler):
                     self.app.refresh_cache_metrics()
                     self._send(200, render_prometheus().encode(),
                                "text/plain; version=0.0.4")
+                elif parsed.path == "/v1/telemetry":
+                    query = parse_qs(parsed.query)
+                    self._send_json(200, self.app.telemetry(
+                        prefix=query.get("prefix", [""])[0],
+                        window_s=_float_arg(query, "window_s")))
+                elif parsed.path == "/dashboard":
+                    self._send(200, self.app.dashboard().encode(),
+                               "text/html; charset=utf-8")
                 elif parsed.path == "/v1/models":
                     self._send_json(200, {"models": self.app.list_models()})
                 elif parsed.path == "/v1/jobs":
@@ -497,6 +549,15 @@ class _Handler(BaseHTTPRequestHandler):
             app.inflight_dec()
 
 
+def _float_arg(query: dict, key: str) -> float | None:
+    if key not in query:
+        return None
+    try:
+        return float(query[key][0])
+    except ValueError as error:
+        raise _HTTPError(400, f"{key} must be a number") from error
+
+
 def _job_summary(record) -> dict:
     return {
         "id": record.id,
@@ -583,6 +644,29 @@ class PredictServer:
         self.default_name = served[0].manifest.name
         self._inflight = 0
         self._inflight_lock = make_lock("serve.server.inflight")
+        # telemetry / SLO / flight recorder (all observation-only; each
+        # individually disableable through ServeConfig)
+        self.telemetry_db: TimeSeriesDB | None = None
+        self.sampler: TelemetrySampler | None = None
+        self.slo: SLOEvaluator | None = None
+        if self.config.telemetry:
+            self.telemetry_db = TimeSeriesDB(self.config.telemetry_interval_s,
+                                             self.config.telemetry_slots)
+            self.sampler = TelemetrySampler(
+                self.telemetry_db,
+                snapshot_fn=self._sampler_snapshot).start()
+            self.slo = SLOEvaluator(self.telemetry_db, default_slos(
+                fast_window_s=self.config.slo_fast_window_s,
+                slow_window_s=self.config.slo_slow_window_s))
+        self.flight: FlightRecorder | None = None
+        if self.config.flight:
+            self.flight = FlightRecorder(
+                dump_dir=self.config.flight_dump_dir,
+                min_dump_interval_s=self.config.flight_min_dump_interval_s,
+            ).install()
+            # the dump carries the same context an operator would curl
+            self.flight.context_providers["health"] = self.health
+            self.flight.context_providers["alerts"] = self.alerts
         self._http = _Server((self.config.host, self.config.port), _Handler)
         self._http.app = self
         self._thread: threading.Thread | None = None
@@ -639,8 +723,12 @@ class PredictServer:
         total_depth = sum(stats["queue_depth"] for stats in queues.values())
         hits = sum(stats["cache_hits"] for stats in queues.values())
         lookups = hits + sum(stats["cache_misses"] for stats in queues.values())
+        refresh_process_gauges()
+        alerts = self.alerts()
         payload = {
             "status": "ok",
+            "alerts": alerts,
+            "process": process_info(),
             "models": sorted(self._models),
             "inflight": self.inflight,
             "engines": sorted({entry.engine for versions in self._models.values()
@@ -665,7 +753,46 @@ class PredictServer:
             payload["health_monitors"] = monitors
         if self.jobs is not None:
             payload["jobs"] = self.jobs.stats()
+        if self.sampler is not None:
+            payload["telemetry"] = self.sampler.stats()
+        if self.flight is not None:
+            payload["flight"] = self.flight.stats()
         return payload
+
+    def alerts(self) -> dict:
+        """Current SLO burn-rate alert states (the ``/healthz`` block)."""
+        if self.slo is None:
+            return {"state": "disabled", "slos": []}
+        return self.slo.evaluate()
+
+    def telemetry(self, prefix: str = "",
+                  window_s: float | None = None) -> dict:
+        """The ``/v1/telemetry`` payload: retained series + derived views."""
+        if self.telemetry_db is None:
+            return {"enabled": False, "series": {}}
+        payload = self.telemetry_db.series(prefix=prefix, window_s=window_s)
+        payload["enabled"] = True
+        payload["alerts"] = self.alerts()
+        return payload
+
+    def dashboard(self) -> str:
+        """The self-contained ``/dashboard`` HTML page."""
+        if self.telemetry_db is None:
+            return ("<!doctype html><html><body><p>telemetry disabled "
+                    "(ServeConfig.telemetry=False)</p></body></html>")
+        return render_dashboard(self.telemetry_db, alerts=self.alerts())
+
+    def _sampler_snapshot(self) -> dict:
+        """What the telemetry sampler records each tick: the registry,
+        with scrape-time gauges (caches, pool, jobs, process) refreshed
+        first so their history lands in the TSDB too."""
+        try:
+            self.refresh_cache_metrics()
+        except Exception:  # noqa: BLE001 - a closing batcher mid-sample
+            # must not kill the sampler thread
+            pass
+        refresh_process_gauges()
+        return metrics_snapshot()
 
     def cache_stats(self) -> dict:
         """Size/hit-rate/eviction snapshot of every cache on the serve path."""
@@ -692,14 +819,14 @@ class PredictServer:
                 stats = entry.batcher.response_cache_stats()
                 entries += stats["entries"]
                 evictions += stats["evictions"]
-        counter("serve.cache.entries").value = entries
-        counter("serve.cache.evictions").value = evictions
+        gauge("serve.cache.entries").set(entries)
+        gauge("serve.cache.evictions").set(evictions)
         plans = plan_cache_stats()
-        counter("serve.plan.cached_plans").value = plans["plans"]
-        counter("serve.plan.arena_bytes").value = plans["arena_bytes"]
+        gauge("serve.plan.cached_plans").set(plans["plans"])
+        gauge("serve.plan.arena_bytes").set(plans["arena_bytes"])
         segments = shm_stats()
-        counter("serve.shm.segments").value = segments["segment_count"]
-        counter("serve.shm.bytes").value = segments["total_bytes"]
+        gauge("serve.shm.segments").set(segments["segment_count"])
+        gauge("serve.shm.bytes").set(segments["total_bytes"])
         workers = alive = restarts = 0
         for versions in self._models.values():
             for entry in versions.values():
@@ -709,22 +836,21 @@ class PredictServer:
                 workers += stats["workers"]
                 alive += stats["alive"]
                 restarts += stats["restarts"]
-        counter("serve.pool.workers").value = workers
-        counter("serve.pool.alive").value = alive
-        counter("serve.pool.restart_total").value = restarts
+        gauge("serve.pool.workers").set(workers)
+        gauge("serve.pool.alive").set(alive)
+        gauge("serve.pool.restart_total").set(restarts)
         if self.jobs is not None:
             stats = self.jobs.stats()
             for state, count in stats["counts"].items():
-                counter(f"serve.jobs.{state}").value = count
-            counter("serve.jobs.total").value = stats["total"]
+                gauge(f"serve.jobs.{state}").set(count)
+            gauge("serve.jobs.total").set(stats["total"])
             age = stats.get("oldest_checkpoint_age_s")
-            counter("serve.jobs.oldest_checkpoint_age_s").value = \
-                round(age, 3) if age is not None else 0
+            gauge("serve.jobs.oldest_checkpoint_age_s").set(
+                round(age, 3) if age is not None else 0)
             executor = stats["executor"]
-            counter("serve.jobs.executor_busy").value = \
-                int(executor["busy"])
-            counter("serve.jobs.step_crashes").value = executor["crashes"]
-            counter("serve.jobs.requeued").value = executor["requeued"]
+            gauge("serve.jobs.executor_busy").set(int(executor["busy"]))
+            gauge("serve.jobs.step_crashes").set(executor["crashes"])
+            gauge("serve.jobs.requeued").set(executor["requeued"])
 
     def access_log(self, record: dict, warn: bool = False) -> None:
         """One structured JSON access-log line on stderr.
@@ -789,6 +915,12 @@ class PredictServer:
             for versions in self._models.values():
                 for entry in versions.values():
                     entry.close(drain=drain)
+            if self.sampler is not None:
+                self.sampler.close()
+            if self.flight is not None:
+                # uninstall the process-global span tap so a later server
+                # in the same process (tests) starts with a clean hook
+                self.flight.close()
             if self._thread is not None:
                 self._thread.join(timeout=10.0)
         self._stopped.set()

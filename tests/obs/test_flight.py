@@ -1,0 +1,217 @@
+"""Flight recorder: span tap with tracing off, bounded rings, crash
+records, rate-limited atomic dumps, and the dump load/render roundtrip."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    FlightRecorder, current_recorder, disable_tracing, enable_tracing,
+    load_flight_dump, record_lane_crash, render_flight_dump, reset_metrics,
+    span, counter,
+)
+from repro.obs.flight import FLIGHT_DUMP_VERSION
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    yield
+    recorder = current_recorder()
+    if recorder is not None:
+        recorder.close()
+    disable_tracing()
+    reset_metrics()
+
+
+def make_recorder(tmp_path, **kwargs):
+    kwargs.setdefault("min_dump_interval_s", 0.0)
+    return FlightRecorder(dump_dir=tmp_path, **kwargs).install()
+
+
+class TestSpanTap:
+    def test_captures_spans_with_tracing_off(self, tmp_path):
+        disable_tracing()
+        recorder = make_recorder(tmp_path)
+        with span("outer", label="L"):
+            with span("inner"):
+                pass
+        spans = list(recorder._spans)
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        assert spans[0]["depth"] == 1
+        assert spans[1]["attrs"] == {"label": "L"}
+
+    def test_no_jsonl_written_while_tapping(self, tmp_path):
+        disable_tracing()
+        make_recorder(tmp_path)
+        with span("quiet"):
+            pass
+        assert list(tmp_path.glob("*.jsonl")) == []
+
+    def test_tap_and_jsonl_sink_compose(self, tmp_path):
+        trace_path = tmp_path / "t.jsonl"
+        enable_tracing(trace_path)
+        recorder = make_recorder(tmp_path)
+        with span("both"):
+            pass
+        assert [s["name"] for s in recorder._spans] == ["both"]
+        written = [json.loads(line)
+                   for line in trace_path.read_text().splitlines()]
+        assert [e["name"] for e in written] == ["both"]
+
+    def test_close_removes_tap(self, tmp_path):
+        recorder = make_recorder(tmp_path)
+        recorder.close()
+        with span("after_close"):
+            pass
+        assert list(recorder._spans) == []
+        assert current_recorder() is None
+
+    def test_span_ring_is_bounded(self, tmp_path):
+        recorder = make_recorder(tmp_path, max_spans=8)
+        for i in range(50):
+            with span(f"s{i}"):
+                pass
+        spans = list(recorder._spans)
+        assert len(spans) == 8
+        assert spans[-1]["name"] == "s49"
+
+
+class TestRecording:
+    def test_log_and_request_rings(self, tmp_path):
+        recorder = make_recorder(tmp_path, max_logs=4, max_requests=4)
+        for i in range(10):
+            recorder.record_log("info", f"line {i}", n=i)
+            recorder.record_request({"t_wall_s": 0.0, "method": "GET",
+                                     "path": f"/{i}", "status": 200,
+                                     "dur_ms": 1.0})
+        assert len(recorder._logs) == 4
+        assert recorder._logs[-1]["message"] == "line 9"
+        assert recorder._logs[-1]["fields"] == {"n": 9}
+        assert [r["path"] for r in recorder._requests] == \
+            ["/6", "/7", "/8", "/9"]
+
+    def test_install_is_idempotent_and_latest_wins(self, tmp_path):
+        first = make_recorder(tmp_path)
+        first.install()
+        assert current_recorder() is first
+        second = make_recorder(tmp_path)
+        assert current_recorder() is second
+        second.close()
+        first.close()
+
+
+class TestCrashes:
+    def boom(self):
+        try:
+            raise RuntimeError("lane exploded")
+        except RuntimeError as exc:
+            return exc
+
+    def test_record_crash_dumps_with_traceback(self, tmp_path):
+        recorder = make_recorder(tmp_path)
+        path = recorder.record_crash("batcher", self.boom())
+        assert path is not None
+        body = load_flight_dump(path)
+        crash = body["crashes"][-1]
+        assert crash["lane"] == "batcher"
+        assert crash["error"] == "RuntimeError"
+        assert any("lane exploded" in frame
+                   for frame in crash["traceback"])
+        assert counter("flight.crashes.batcher").value == 1
+
+    def test_lane_crash_helper_reaches_installed_recorder(self, tmp_path):
+        recorder = make_recorder(tmp_path)
+        record_lane_crash("pool.monitor", self.boom())
+        assert recorder._crashes[-1]["lane"] == "pool.monitor"
+
+    def test_lane_crash_helper_is_noop_without_recorder(self):
+        assert current_recorder() is None
+        assert record_lane_crash("batcher", self.boom()) is None
+
+    def test_dump_rate_limited_unless_forced(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=tmp_path,
+                                  min_dump_interval_s=3600.0).install()
+        first = recorder.dump("crash:batcher")
+        assert first is not None
+        assert recorder.dump("crash:batcher") is None   # inside the interval
+        assert recorder.dump("sigquit", force=True) is not None
+
+
+class TestDumpFile:
+    def test_dump_roundtrip_and_shape(self, tmp_path):
+        recorder = make_recorder(tmp_path)
+        with span("request"):
+            pass
+        recorder.record_request({"t_wall_s": 1.0, "method": "POST",
+                                 "path": "/v1/predict", "status": 200,
+                                 "dur_ms": 12.5, "request_id": "r-1"})
+        path = recorder.dump("test")
+        assert path is not None
+        body = load_flight_dump(path)
+        assert body["version"] == FLIGHT_DUMP_VERSION
+        assert body["reason"] == "test"
+        assert body["requests"][-1]["path"] == "/v1/predict"
+        assert [s["name"] for s in body["spans"]] == ["request"]
+        assert "metrics" in body
+
+    def test_context_providers_merged_and_fault_isolated(self, tmp_path):
+        recorder = make_recorder(tmp_path)
+        recorder.context_providers["health"] = lambda: {"status": "ok"}
+        recorder.context_providers["broken"] = \
+            lambda: (_ for _ in ()).throw(RuntimeError("nope"))
+        body = load_flight_dump(recorder.dump("test"))
+        assert body["health"] == {"status": "ok"}
+        assert "RuntimeError" in body["broken"]["error"]
+
+    def test_load_rejects_malformed(self, tmp_path):
+        garbage = tmp_path / "flightdump-garbage.json"
+        garbage.write_text("not json {")
+        with pytest.raises(ValueError):
+            load_flight_dump(garbage)
+        no_version = tmp_path / "flightdump-nv.json"
+        no_version.write_text("{}")
+        with pytest.raises(ValueError):
+            load_flight_dump(no_version)
+
+    def test_render_mentions_the_important_bits(self, tmp_path):
+        recorder = make_recorder(tmp_path)
+        with span("serve.request"):
+            pass
+        recorder.record_request({"t_wall_s": 1.0, "method": "GET",
+                                 "path": "/healthz", "status": 500,
+                                 "dur_ms": 3.0})
+        recorder.record_crash("batcher", TestCrashes().boom(), dump=False)
+        recorder.context_providers["alerts"] = {
+            "state": "firing",
+            "slos": [{"name": "availability", "state": "firing",
+                      "burn_fast": 500.0, "burn_slow": 40.0,
+                      "objective": 0.999}],
+        }
+        text = render_flight_dump(load_flight_dump(recorder.dump("test")))
+        for needle in ("flight dump v1", "reason=test", "alerts: firing",
+                       "availability", "/healthz", "serve.request",
+                       "batcher: RuntimeError"):
+            assert needle in text
+
+    def test_concurrent_dumps_never_tear(self, tmp_path):
+        recorder = make_recorder(tmp_path)
+        for i in range(20):
+            recorder.record_log("info", f"warmup {i}")
+        errors = []
+
+        def dumper():
+            try:
+                for _ in range(5):
+                    path = recorder.dump("race", force=True)
+                    if path:
+                        load_flight_dump(path)   # must always parse whole
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=dumper) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []

@@ -33,6 +33,30 @@ class TestLoadEvents:
         events = load_events(path)
         assert [e["name"] for e in events] == ["a", "b"]
 
+    def test_tolerates_truncated_multibyte_last_line(self, tmp_path):
+        """A live writer can be mid-write when the reader opens the file;
+        a partial UTF-8 multi-byte sequence at EOF must be skipped, not
+        raised as UnicodeDecodeError."""
+        path = tmp_path / "t.jsonl"
+        complete = (span_line("a", 1.0) + "\n").encode("utf-8")
+        partial = json.dumps(
+            {"type": "span", "name": "héllo", "pid": 1, "id": 2,
+             "parent": None, "depth": 0, "t_wall_s": 0.0, "dur_s": 1.0,
+             "attrs": {}}, ensure_ascii=False).encode("utf-8")
+        cut = partial[:partial.index("é".encode("utf-8")) + 1]
+        assert cut[-1] >= 0x80    # the cut really splits a multi-byte char
+        path.write_bytes(complete + cut)
+        events = load_events(path)
+        assert [e["name"] for e in events] == ["a"]
+
+    def test_tolerates_truncation_mid_span_forest(self, tmp_path):
+        from repro.obs.export import build_span_forest
+        path = tmp_path / "t.jsonl"
+        payload = span_line("kept", 1.0).encode("utf-8")
+        path.write_bytes(payload + b"\n" + payload[: len(payload) // 2])
+        roots = build_span_forest(load_events(path))
+        assert [r.name for r in roots] == ["kept"]
+
 
 class TestSummarize:
     def test_aggregates_by_name_sorted_by_total(self, tmp_path):

@@ -1,0 +1,194 @@
+"""SLO burn-rate alerting: state transitions, min_events floor, gauges."""
+
+import pytest
+
+from repro.obs import (
+    LatencySLO, RatioSLO, SLOEvaluator, ThresholdSLO, TimeSeriesDB, counter,
+    default_slos, histogram, metrics_snapshot, reset_metrics,
+)
+from repro.obs.slo import STATE_FIRING, STATE_OK, STATE_PENDING
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    reset_metrics()
+    yield
+    reset_metrics()
+
+
+def make_db(slots=100):
+    return TimeSeriesDB(interval_s=1.0, slots=slots)
+
+
+def record(db, t):
+    db.record(metrics_snapshot(), t_wall_s=t)
+
+
+class TestRatioSLO:
+    def slo(self, **overrides):
+        kwargs = dict(fast_window_s=3.0, slow_window_s=30.0,
+                      burn_threshold=10.0, min_events=1)
+        kwargs.update(overrides)
+        return RatioSLO("availability", 0.999,
+                        good_prefixes=("s.status.2",),
+                        bad_prefixes=("s.status.5",), **kwargs)
+
+    def test_all_good_is_ok(self):
+        db = make_db()
+        ok = counter("s.status.200")
+        for i in range(10):
+            ok.inc(5)
+            record(db, 100.0 + i)
+        result = self.slo().evaluate(db)
+        assert result["state"] == STATE_OK
+        assert result["burn_fast"] == 0.0
+        assert result["bad_fraction_slow"] == 0.0
+
+    def test_sustained_errors_fire(self):
+        db = make_db()
+        ok, bad = counter("s.status.200"), counter("s.status.500")
+        # 50% errors for the whole retention: both windows hot
+        for i in range(40):
+            ok.inc()
+            bad.inc()
+            record(db, 100.0 + i)
+        result = self.slo().evaluate(db)
+        assert result["state"] == STATE_FIRING
+        assert result["burn_fast"] >= 10.0
+        assert result["burn_slow"] >= 10.0
+
+    def test_recent_cliff_is_pending(self):
+        db = make_db()
+        ok, bad = counter("s.status.200"), counter("s.status.500")
+        # long clean history...
+        for i in range(40):
+            ok.inc(10)
+            record(db, 100.0 + i)
+        # ...then an error cliff inside the fast window only: small
+        # against the slow window's 280 good events, dominant in the fast
+        for i in range(2):
+            bad.inc()
+            record(db, 140.0 + i)
+        result = self.slo().evaluate(db)
+        assert result["state"] == STATE_PENDING
+        assert result["burn_fast"] >= 10.0
+        assert result["burn_slow"] < 10.0
+
+    def test_min_events_floor_suppresses_idle_noise(self):
+        db = make_db()
+        bad = counter("s.status.500")
+        record(db, 100.0)
+        bad.inc()                    # one bad event in an idle window
+        record(db, 101.0)
+        record(db, 102.0)
+        result = self.slo(min_events=10).evaluate(db)
+        assert result["state"] == STATE_OK
+        assert result["burn_fast"] == 0.0
+
+    def test_empty_db_is_ok(self):
+        assert self.slo().evaluate(make_db())["state"] == STATE_OK
+
+    def test_objective_bounds_validated(self):
+        with pytest.raises(ValueError):
+            self.slo().__class__("x", 1.0, good_prefixes=(),
+                                 bad_prefixes=())
+        with pytest.raises(ValueError):
+            RatioSLO("x", 0.9, good_prefixes=(), bad_prefixes=(),
+                     fast_window_s=60.0, slow_window_s=60.0)
+
+
+class TestLatencySLO:
+    BOUNDS = (0.5, 1.0, 2.5, 5.0)
+
+    def slo(self):
+        return LatencySLO("served_latency", 0.9,
+                          histogram_name="lat", threshold=2.5,
+                          fast_window_s=3.0, slow_window_s=30.0,
+                          burn_threshold=5.0, min_events=1)
+
+    def test_fast_requests_are_ok(self):
+        db = make_db()
+        h = histogram("lat", bounds=self.BOUNDS)
+        for i in range(10):
+            h.observe(0.2)
+            record(db, 100.0 + i)
+        assert self.slo().evaluate(db)["state"] == STATE_OK
+
+    def test_slow_requests_fire(self):
+        db = make_db()
+        h = histogram("lat", bounds=self.BOUNDS)
+        for i in range(10):
+            h.observe(4.0)           # above the 2.5s threshold
+            record(db, 100.0 + i)
+        result = self.slo().evaluate(db)
+        assert result["state"] == STATE_FIRING
+        assert result["bad_fraction_fast"] == 1.0
+
+    def test_overflow_bucket_counts_as_bad(self):
+        db = make_db()
+        h = histogram("lat", bounds=self.BOUNDS)
+        record(db, 100.0)
+        h.observe(100.0)             # overflow bucket, no upper bound
+        record(db, 101.0)
+        bad, total = self.slo().counts(db, 3.0)
+        assert (bad, total) == (1.0, 1.0)
+
+    def test_threshold_snaps_to_bucket_resolution(self):
+        db = make_db()
+        h = histogram("lat", bounds=self.BOUNDS)
+        record(db, 100.0)
+        h.observe(2.0)               # inside (1.0, 2.5]: still "good"
+        record(db, 101.0)
+        bad, total = self.slo().counts(db, 3.0)
+        assert (bad, total) == (0.0, 1.0)
+
+    def test_threshold_alias_kind(self):
+        slo = ThresholdSLO("shadow", 0.9, histogram_name="lat",
+                           threshold=2.0, fast_window_s=3.0,
+                           slow_window_s=30.0)
+        assert slo.kind == "threshold"
+
+
+class TestEvaluator:
+    def test_overall_state_is_worst_slo(self):
+        db = make_db()
+        ok, bad = counter("s.status.200"), counter("s.status.500")
+        for i in range(40):
+            ok.inc()
+            bad.inc()
+            record(db, 100.0 + i)
+        firing = RatioSLO("bad_one", 0.999,
+                          good_prefixes=("s.status.2",),
+                          bad_prefixes=("s.status.5",),
+                          fast_window_s=3.0, slow_window_s=30.0)
+        quiet = RatioSLO("quiet_one", 0.999,
+                         good_prefixes=("s.status.2",),
+                         bad_prefixes=("never.seen",),
+                         fast_window_s=3.0, slow_window_s=30.0)
+        payload = SLOEvaluator(db, [quiet, firing]).evaluate()
+        assert payload["state"] == STATE_FIRING
+        by_name = {s["name"]: s for s in payload["slos"]}
+        assert by_name["bad_one"]["state"] == STATE_FIRING
+        assert by_name["quiet_one"]["state"] == STATE_OK
+
+    def test_publishes_slo_gauges(self):
+        db = make_db()
+        slo = RatioSLO("availability", 0.999,
+                       good_prefixes=("s.status.2",),
+                       bad_prefixes=("s.status.5",),
+                       fast_window_s=3.0, slow_window_s=30.0)
+        SLOEvaluator(db, [slo]).evaluate()
+        snapshot = metrics_snapshot()
+        assert snapshot["slo.availability.burn_fast"]["type"] == "gauge"
+        assert snapshot["slo.availability.state"]["value"] == 0.0
+
+    def test_default_catalog_covers_the_serving_stack(self):
+        names = {slo.name for slo in default_slos()}
+        assert names == {"availability", "served_latency",
+                         "shadow_cd_error", "job_success"}
+        payload = SLOEvaluator(make_db()).evaluate()
+        assert payload["state"] == STATE_OK
+        assert len(payload["slos"]) == 4
+        for entry in payload["slos"]:
+            assert set(entry) >= {"name", "kind", "objective", "state",
+                                  "burn_fast", "burn_slow", "windows_s"}

@@ -1,0 +1,255 @@
+"""Ring-buffer TSDB: rolling windows, derived rates, window quantiles."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    Ring, TelemetrySampler, TimeSeriesDB, counter, gauge, histogram,
+    metrics_snapshot, reset_metrics, timer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    reset_metrics()
+    yield
+    reset_metrics()
+
+
+class TestRing:
+    def test_keeps_only_capacity_newest(self):
+        ring = Ring(4)
+        for value in range(10):
+            ring.push(value)
+        assert ring.values() == [6, 7, 8, 9]
+        assert ring.latest() == 9
+        assert ring.total_pushed == 10
+
+    def test_partial_fill(self):
+        ring = Ring(8)
+        ring.push(1)
+        ring.push(2)
+        assert ring.values() == [1, 2]
+        assert len(ring) == 2
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            Ring(1)
+
+
+class TestRecordAndDeltas:
+    def make_db(self, samples=6, inc=5):
+        db = TimeSeriesDB(interval_s=1.0, slots=10)
+        c = counter("serve.http.status.200")
+        for i in range(samples):
+            c.inc(inc)
+            db.record(t_wall_s=100.0 + i)
+        return db
+
+    def test_counter_delta_over_window(self):
+        db = self.make_db()
+        # 3-second window = 3 slots back from the newest sample
+        assert db.counter_delta("serve.http.status.200", 3.0) == 15.0
+        # full retention
+        assert db.counter_delta("serve.http.status.200") == 25.0
+
+    def test_counter_delta_prefix_sums_families(self):
+        db = TimeSeriesDB(interval_s=1.0, slots=10)
+        ok, created = counter("s.status.200"), counter("s.status.201")
+        for i in range(4):
+            ok.inc(2)
+            created.inc(1)
+            db.record(t_wall_s=100.0 + i)
+        assert db.counter_delta_prefix("s.status.2", 2.0) == 6.0
+
+    def test_rate_is_per_second(self):
+        db = self.make_db(samples=6, inc=10)
+        assert db.rate("serve.http.status.200", 4.0) == pytest.approx(10.0)
+
+    def test_rate_clamps_counter_reset_to_zero(self):
+        db = TimeSeriesDB(interval_s=1.0, slots=10)
+        c = counter("x")
+        c.inc(100)
+        db.record(t_wall_s=100.0)
+        reset_metrics()          # simulated process restart
+        c = counter("x")
+        c.inc(1)
+        db.record(t_wall_s=101.0)
+        assert db.rate("x") == 0.0
+        assert db.counter_delta("x") == 0.0
+
+    def test_unknown_metric_is_zero_not_error(self):
+        db = self.make_db()
+        assert db.counter_delta("nope") == 0.0
+        assert db.rate("nope") == 0.0
+        assert db.window_quantile("nope", 0.5) is None
+
+    def test_timer_rate_uses_count(self):
+        db = TimeSeriesDB(interval_s=1.0, slots=10)
+        t = timer("serve.request")
+        for i in range(4):
+            t.observe(0.1)
+            t.observe(0.1)
+            db.record(t_wall_s=100.0 + i)
+        assert db.rate("serve.request", 2.0) == pytest.approx(2.0)
+
+    def test_gauge_series_tracks_levels(self):
+        db = TimeSeriesDB(interval_s=1.0, slots=10)
+        g = gauge("process.rss_bytes")
+        for level in (10.0, 30.0, 20.0):
+            g.set(level)
+            db.record()
+        assert db.gauge_series("process.rss_bytes") == [10.0, 30.0, 20.0]
+
+    def test_metric_registered_mid_flight(self):
+        db = TimeSeriesDB(interval_s=1.0, slots=10)
+        counter("early").inc()
+        db.record(t_wall_s=100.0)
+        late = counter("late")
+        for i in range(3):
+            late.inc(4)
+            db.record(t_wall_s=101.0 + i)
+        assert db.counter_delta("late", 2.0) == 8.0
+
+
+class TestWindowQuantiles:
+    BOUNDS = (0.1, 0.5, 1.0, 5.0)
+
+    def test_quantile_over_window_ignores_old_observations(self):
+        db = TimeSeriesDB(interval_s=1.0, slots=10)
+        h = histogram("lat", bounds=self.BOUNDS)
+        db.record(t_wall_s=99.0)     # baseline before any observation
+        # old samples: all fast
+        for _ in range(100):
+            h.observe(0.05)
+        db.record(t_wall_s=100.0)
+        db.record(t_wall_s=101.0)
+        # recent window: all slow
+        for _ in range(100):
+            h.observe(2.0)
+        db.record(t_wall_s=102.0)
+        p50_recent = db.window_quantile("lat", 0.5, window_s=1.0)
+        p50_all = db.window_quantile("lat", 0.5)
+        assert 1.0 < p50_recent <= 5.0
+        assert p50_all < 1.0
+
+    def test_quantile_interpolates_within_bucket(self):
+        db = TimeSeriesDB(interval_s=1.0, slots=10)
+        h = histogram("lat", bounds=self.BOUNDS)
+        db.record(t_wall_s=100.0)
+        for _ in range(10):
+            h.observe(0.3)       # all in the (0.1, 0.5] bucket
+        db.record(t_wall_s=101.0)
+        p50 = db.window_quantile("lat", 0.5)
+        assert 0.1 <= p50 <= 0.5
+
+    def test_overflow_bucket_reports_top_bound(self):
+        db = TimeSeriesDB(interval_s=1.0, slots=10)
+        h = histogram("lat", bounds=self.BOUNDS)
+        db.record(t_wall_s=100.0)
+        h.observe(50.0)
+        db.record(t_wall_s=101.0)
+        assert db.window_quantile("lat", 0.99) == pytest.approx(5.0)
+
+    def test_empty_window_is_none(self):
+        db = TimeSeriesDB(interval_s=1.0, slots=10)
+        h = histogram("lat", bounds=self.BOUNDS)
+        h.observe(0.3)
+        db.record(t_wall_s=100.0)
+        db.record(t_wall_s=101.0)   # no new observations in this window
+        assert db.window_quantile("lat", 0.5, window_s=1.0) is None
+
+
+class TestSeriesPayload:
+    def test_series_is_json_shaped_with_derived_views(self):
+        db = TimeSeriesDB(interval_s=1.0, slots=10)
+        c = counter("serve.http.predict")
+        h = histogram("serve.request_latency_s", bounds=(0.1, 1.0))
+        g = gauge("process.rss_bytes")
+        for i in range(4):
+            c.inc(3)
+            h.observe(0.5)
+            g.set(1000.0 * i)
+            db.record(t_wall_s=100.0 + i)
+        payload = db.series()
+        assert payload["interval_s"] == 1.0
+        assert payload["samples"] == 4
+        series = payload["series"]
+        assert series["serve.http.predict"]["rate_per_s"][-1] == 3.0
+        assert series["process.rss_bytes"]["values"][-1] == 3000.0
+        quantiles = series["serve.request_latency_s"]["quantiles"]
+        assert set(quantiles) == {"p50", "p99"}
+
+    def test_prefix_filter(self):
+        db = TimeSeriesDB(interval_s=1.0, slots=10)
+        counter("serve.a").inc()
+        counter("jobs.b").inc()
+        db.record(t_wall_s=100.0)
+        db.record(t_wall_s=101.0)
+        assert set(db.series(prefix="serve.")["series"]) == {"serve.a"}
+
+    def test_rolls_over_capacity(self):
+        db = TimeSeriesDB(interval_s=1.0, slots=5)
+        c = counter("x")
+        for i in range(20):
+            c.inc()
+            db.record(t_wall_s=100.0 + i)
+        assert db.samples == 20
+        assert len(db.times()) == 5
+        assert len(db.series()["series"]["x"]["rate_per_s"]) <= 5
+
+
+class TestSampler:
+    def test_sample_once_records_registry(self):
+        counter("a").inc(2)
+        sampler = TelemetrySampler(interval_s=60.0, slots=10)
+        sampler.sample_once()
+        counter("a").inc(3)
+        sampler.sample_once()
+        assert sampler.db.counter_delta("a") == 3.0
+        sampler.close()
+
+    def test_snapshot_errors_counted_not_raised(self):
+        def broken():
+            raise RuntimeError("boom")
+        sampler = TelemetrySampler(interval_s=60.0, slots=10,
+                                   snapshot_fn=broken)
+        sampler.sample_once()
+        assert sampler.stats()["sample_errors"] == 1
+        sampler.close()
+
+    def test_start_close_lifecycle(self):
+        sampler = TelemetrySampler(interval_s=60.0, slots=10,
+                                   snapshot_fn=metrics_snapshot)
+        sampler.start()
+        assert sampler.db.samples == 1        # the baseline sample
+        assert sampler.stats()["running"]
+        sampler.close()
+        assert not sampler.stats()["running"]
+
+    def test_concurrent_reads_during_writes(self):
+        db = TimeSeriesDB(interval_s=1.0, slots=16)
+        c = counter("x")
+        errors = []
+
+        def writer():
+            for i in range(200):
+                c.inc()
+                db.record(t_wall_s=100.0 + i)
+
+        def reader():
+            try:
+                for _ in range(200):
+                    db.series()
+                    db.rate("x", 5.0)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + \
+            [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []

@@ -252,6 +252,61 @@ class TestCrossWorkerMatrix:
         served.close()
 
 
+class TestTelemetryObservationOnly:
+    """The telemetry stack (sampler thread, SLO evaluation, flight
+    recorder span tap) must serve bitwise-identical bytes when enabled:
+    it reads metric snapshots and span payloads, never the batch."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize("engine", ["tape", "plan"])
+    def test_bitwise_identical_with_telemetry_on_vs_off(
+            self, checkpoint, workers, engine, tmp_path_factory):
+        import json
+
+        trainer, path, clips = checkpoint
+        expected = trainer.predict(clips, batch_size=1)
+        for telemetry in (False, True):
+            config = ServeConfig(
+                port=0, telemetry=telemetry, flight=telemetry,
+                # aggressive cadence + tiny SLO windows so the sampler
+                # and burn evaluation genuinely interleave with serving
+                telemetry_interval_s=0.05,
+                slo_fast_window_s=0.1, slo_slow_window_s=1.0,
+                flight_dump_dir=str(tmp_path_factory.mktemp("fdump")))
+            served = serve_model(path, workers=workers, engine=engine,
+                                 max_batch_size=1, max_wait_ms=0.0,
+                                 cache_entries=0)
+            server = PredictServer(served, config).start()
+            try:
+                host, port = server.address
+                connection = HTTPConnection(host, port, timeout=60)
+                for clip, want in zip(clips, expected):
+                    buffer = io.BytesIO()
+                    np.savez(buffer, acid=clip)
+                    connection.request(
+                        "POST", "/v1/predict", body=buffer.getvalue(),
+                        headers={"Content-Type":
+                                 "application/octet-stream"})
+                    response = connection.getresponse()
+                    assert response.status == 200
+                    with np.load(io.BytesIO(response.read())) as archive:
+                        got = archive["prediction"]
+                    assert np.array_equal(got, want)
+                    if telemetry:
+                        # exercise SLO evaluation concurrently with serving
+                        connection.request("GET", "/healthz")
+                        health = json.loads(
+                            connection.getresponse().read())
+                        assert health["alerts"]["state"] in (
+                            "ok", "pending", "firing")
+                connection.close()
+                if telemetry:
+                    assert server.sampler.db.samples >= 1
+                    assert server.flight.stats()["requests"] >= len(clips)
+            finally:
+                server.shutdown()
+
+
 class TestEndToEndHTTP:
     def test_http_npz_prediction_bitwise_identical(self, checkpoint):
         trainer, path, clips = checkpoint

@@ -139,9 +139,13 @@ class TestDirectKill:
 
 
 class TestHTTPKill:
-    def test_503_retry_after_then_healthz_reports_restart(self, checkpoint):
+    def test_503_retry_after_then_healthz_reports_restart(self, checkpoint,
+                                                          tmp_path):
         served = pooled_model(checkpoint)
-        server = PredictServer(served, ServeConfig(port=0)).start()
+        # crash dumps go to the flight dir — keep them out of the repo root
+        server = PredictServer(
+            served,
+            ServeConfig(port=0, flight_dump_dir=str(tmp_path))).start()
         try:
             host, port = server.address
             rng = np.random.default_rng(2)
@@ -192,8 +196,11 @@ class TestHTTPKill:
         from repro.obs import disable_tracing, enable_tracing
 
         trace_path = tmp_path_factory.mktemp("fault-trace") / "trace.jsonl"
+        dump_dir = tmp_path_factory.mktemp("fault-flight")
         served = pooled_model(checkpoint)
-        server = PredictServer(served, ServeConfig(port=0)).start()
+        server = PredictServer(
+            served,
+            ServeConfig(port=0, flight_dump_dir=str(dump_dir))).start()
         enable_tracing(trace_path)
         try:
             host, port = server.address

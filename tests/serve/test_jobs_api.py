@@ -171,10 +171,90 @@ class TestObservability:
             text = connection.getresponse().read().decode()
         finally:
             connection.close()
-        assert "repro_serve_jobs_completed_total" in text
-        assert "repro_serve_jobs_total_total" in text
-        assert "repro_serve_jobs_oldest_checkpoint_age_s_total" in text
-        assert "repro_serve_jobs_executor_busy_total" in text
+        # job-state levels are refresh-on-scrape gauges (no _total suffix)
+        assert "# TYPE repro_serve_jobs_completed gauge" in text
+        assert "# TYPE repro_serve_jobs_total gauge" in text
+        assert "# TYPE repro_serve_jobs_oldest_checkpoint_age_s gauge" in text
+        assert "# TYPE repro_serve_jobs_executor_busy gauge" in text
+
+
+class TestJobTracing:
+    def test_job_spans_parent_to_the_submitting_request(self, registry,
+                                                        tmp_path):
+        """The whole async job reads back from the trace as ONE connected
+        tree rooted at the submitting HTTP request: serve.request →
+        jobs.execute (executor thread, via the persisted trace context) →
+        jobs.chunk × N (one per disposable forked step process)."""
+        from repro.obs import disable_tracing, enable_tracing
+        from repro.obs.export import build_span_forest
+
+        trace_path = tmp_path / "jobs-trace.jsonl"
+        enable_tracing(trace_path)
+        server = None
+        try:
+            server = make_server(registry, tmp_path / "jobs",
+                                 checkpoint_every=2)
+            host, port = server.address
+            connection = HTTPConnection(host, port, timeout=30)
+            try:
+                connection.request(
+                    "POST", "/v1/jobs",
+                    body=json.dumps({"type": "counter",
+                                     "params": {"iterations": 6}}),
+                    headers={"Content-Type": "application/json",
+                             "X-Request-Id": "job-trace-1"})
+                response = connection.getresponse()
+                assert response.status == 202
+                created = json.loads(response.read())
+            finally:
+                connection.close()
+            wait_for_state(server, created["id"], "completed")
+            # the jobs.execute span closes momentarily after the store
+            # flips to completed; wait for it to land in the file
+            deadline = time.monotonic() + 10.0
+            spans = []
+            while time.monotonic() < deadline:
+                spans = [json.loads(line)
+                         for line in trace_path.read_text().splitlines()
+                         if line.strip()]
+                spans = [e for e in spans if e.get("type") == "span"
+                         and e.get("trace") == "job-trace-1"]
+                if any(e["name"] == "jobs.execute" for e in spans):
+                    break
+                time.sleep(0.05)
+            use_fork = server.jobs.executor._use_fork
+        finally:
+            if server is not None:
+                server.shutdown()
+            disable_tracing()
+
+        by_name = {}
+        for event in spans:
+            by_name.setdefault(event["name"], []).append(event)
+        (request,) = by_name["serve.request"]
+        (execute,) = by_name["jobs.execute"]
+        chunks = by_name["jobs.chunk"]
+        assert request["attrs"]["route"] == "/v1/jobs"
+        assert request["parent"] is None
+        assert execute["parent"] == request["id"]
+        assert execute["attrs"]["job_id"] == created["id"]
+        # 6 iterations at checkpoint_every=2: one chunk per checkpoint
+        assert len(chunks) >= 2
+        for chunk in chunks:
+            assert chunk["parent"] == execute["id"]
+            assert chunk["attrs"]["job_type"] == "counter"
+        if use_fork:
+            # each chunk ran in its own disposable forked process
+            assert all(c["pid"] != execute["pid"] for c in chunks)
+            assert len({c["pid"] for c in chunks}) >= 2
+
+        roots = build_span_forest(spans)
+        (root,) = [r for r in roots if r.name == "serve.request"]
+        assert not root.orphaned
+        (execute_node,) = [c for c in root.children
+                           if c.name == "jobs.execute"]
+        assert [c.name for c in execute_node.children] == \
+            ["jobs.chunk"] * len(chunks)
 
 
 class TestRestartResume:

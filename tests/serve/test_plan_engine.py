@@ -223,12 +223,14 @@ class TestHTTPSurfaces:
         status, body = self._request(server, "GET", "/metrics")
         assert status == 200
         text = body.decode()
+        # refresh-on-scrape levels are real gauges now (no _total suffix);
+        # cumulative families keep their counter rendering
         for needle in ("repro_serve_plan_captures_total",
-                       "repro_serve_plan_cached_plans_total",
-                       "repro_serve_plan_arena_bytes_total",
+                       "# TYPE repro_serve_plan_cached_plans gauge",
+                       "# TYPE repro_serve_plan_arena_bytes gauge",
                        "repro_serve_plan_capture_seconds_count",
                        "repro_serve_plan_replay_seconds_count",
-                       "repro_serve_cache_entries_total",
-                       "repro_serve_cache_evictions_total",
+                       "# TYPE repro_serve_cache_entries gauge",
+                       "# TYPE repro_serve_cache_evictions gauge",
                        "repro_cache_propagator_hits_total"):
             assert needle in text, f"missing {needle} in /metrics"

@@ -10,8 +10,8 @@ import re
 
 import pytest
 
-from repro.obs import counter, histogram, reset_metrics, timer
-from repro.serve import render_prometheus
+from repro.obs import counter, gauge, histogram, reset_metrics, timer
+from repro.serve import escape_label_value, render_prometheus
 
 
 @pytest.fixture(autouse=True)
@@ -83,3 +83,172 @@ class TestOtherFamilies:
         histogram("health.shadow.cd_error_nm", bounds=(1.0,)).observe(0.5)
         text = render_prometheus()
         assert 'repro_health_shadow_cd_error_nm_bucket{le="1"} 1' in text
+
+    def test_gauge_rendering(self):
+        gauge("process.rss_bytes").set(4096.0)
+        text = render_prometheus()
+        assert "# TYPE repro_process_rss_bytes gauge" in text
+        assert "repro_process_rss_bytes 4096" in text
+
+
+# ---------------------------------------------------------------------------
+# A minimal exposition-format parser: what a Prometheus scraper validates.
+# Strict on the rules that break ingestion (metric-name charset, HELP
+# before TYPE before samples, sample names legal for the family's kind,
+# parseable values) plus the histogram consistency invariants.
+# ---------------------------------------------------------------------------
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$")
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\["\\n])*)"$')
+
+#: legal sample-name suffixes relative to the family name, per kind
+SUFFIXES = {
+    "counter": {"_total"},
+    "gauge": {""},
+    "summary": {"_count", "_sum"},
+    "histogram": {"_bucket", "_count", "_sum"},
+}
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return float("inf")
+    return float(text)            # raises on garbage: that IS the check
+
+
+def parse_exposition(text):
+    """family -> {"kind", "samples": [(name, {label: value}, value)]}.
+
+    Raises AssertionError on any rule a scraper would reject.
+    """
+    families = {}
+    current = None                # family the last # TYPE opened
+    pending_help = None           # family the last # HELP announced
+    for line in text.rstrip("\n").split("\n"):
+        assert line == line.strip(), f"stray whitespace: {line!r}"
+        if line.startswith("# HELP "):
+            name = line.split(" ", 3)[2]
+            assert NAME_RE.match(name), f"bad family name: {name!r}"
+            assert name not in families, f"duplicate family {name!r}"
+            pending_help = name
+            current = None
+        elif line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert name == pending_help, \
+                f"# TYPE {name} not preceded by its # HELP"
+            assert kind in SUFFIXES, f"unknown kind {kind!r}"
+            families[name] = {"kind": kind, "samples": []}
+            current = name
+            pending_help = None
+        else:
+            match = SAMPLE_RE.match(line)
+            assert match, f"unparseable sample line: {line!r}"
+            name, label_text, value = match.groups()
+            assert current is not None and name.startswith(current), \
+                f"sample {name!r} outside its family block"
+            suffix = name[len(current):]
+            kind = families[current]["kind"]
+            assert suffix in SUFFIXES[kind], \
+                f"sample suffix {suffix!r} illegal for {kind}"
+            labels = {}
+            for pair in (label_text.split(",") if label_text else []):
+                pair_match = LABEL_RE.match(pair)
+                assert pair_match, f"bad label pair {pair!r} in {line!r}"
+                labels[pair_match.group(1)] = pair_match.group(2)
+            families[current]["samples"].append(
+                (name, labels, parse_value(value)))
+    return families
+
+
+def check_histogram_invariants(family_name, entry):
+    buckets = [(labels.get("le"), value)
+               for name, labels, value in entry["samples"]
+               if name.endswith("_bucket")]
+    scalars = {name: value for name, labels, value in entry["samples"]
+               if not name.endswith("_bucket")}
+    count = scalars[f"{family_name}_count"]
+    total = scalars[f"{family_name}_sum"]
+    counts = [value for _, value in buckets]
+    assert counts == sorted(counts), \
+        f"{family_name}: buckets not cumulative-monotone: {counts}"
+    assert buckets[-1][0] == "+Inf", f"{family_name}: missing +Inf bucket"
+    assert buckets[-1][1] == count, \
+        f"{family_name}: +Inf bucket != _count"
+    assert all(value <= count for value in counts), \
+        f"{family_name}: a bucket exceeds _count"
+    assert total >= 0.0
+    if count == 0:
+        assert total == 0.0
+
+
+class TestExpositionValidity:
+    def populate(self):
+        counter("serve.http.predict").inc(3)
+        counter("serve.http.status.200").inc(3)
+        counter("flight.crashes.pool.worker-0").inc()
+        gauge("process.rss_bytes").set(1.5e8)
+        gauge("slo.availability.burn_fast").set(0.0)
+        gauge("serve.jobs.oldest_checkpoint_age_s").set(-1.0)
+        timer("serve.batch_compute").observe(0.25)
+        h = histogram("serve.request_latency_s",
+                      bounds=(0.1, 0.5, 1.0, 5.0))
+        for value in (0.05, 0.3, 0.7, 9.0):
+            h.observe(value)
+        histogram("health.shadow.cd_error_nm", bounds=(1.0, 2.0))
+
+    def test_full_registry_render_is_scrapeable(self):
+        self.populate()
+        families = parse_exposition(render_prometheus())
+        assert "repro_serve_http_predict" in families
+        assert families["repro_process_rss_bytes"]["kind"] == "gauge"
+        assert families["repro_serve_batch_compute_seconds"]["kind"] == \
+            "summary"
+
+    def test_histogram_invariants_hold(self):
+        self.populate()
+        families = parse_exposition(render_prometheus())
+        checked = 0
+        for name, entry in families.items():
+            if entry["kind"] == "histogram":
+                check_histogram_invariants(name, entry)
+                checked += 1
+        assert checked == 2        # the empty histogram is validated too
+
+    def test_every_family_has_exactly_one_help_and_type(self):
+        self.populate()
+        text = render_prometheus()
+        helps = re.findall(r"^# HELP (\S+)", text, re.M)
+        types = re.findall(r"^# TYPE (\S+)", text, re.M)
+        assert helps == types                  # pairing and ordering
+        assert len(helps) == len(set(helps))   # no duplicates
+
+    def test_help_carries_the_dotted_source_name(self):
+        counter("serve.http.predict").inc()
+        text = render_prometheus()
+        assert ("# HELP repro_serve_http_predict "
+                "repro metric serve.http.predict") in text
+
+    def test_parser_rejects_malformed_input(self):
+        with pytest.raises(AssertionError):
+            parse_exposition("repro_orphan_sample 1")
+        with pytest.raises(AssertionError):
+            parse_exposition("# TYPE repro_x counter\nrepro_x_total 1")
+
+
+class TestLabelEscaping:
+    def test_escapes_backslash_quote_newline(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        # escaping order: backslashes first, so a quote never doubles
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_escaped_values_survive_the_parser(self):
+        for raw in ('quo"te', "back\\slash", "new\nline", "plain"):
+            line = (f"# HELP repro_x repro metric x\n"
+                    f"# TYPE repro_x counter\n"
+                    f'repro_x_total{{tag="{escape_label_value(raw)}"}} 1')
+            families = parse_exposition(line)
+            assert len(families["repro_x"]["samples"]) == 1
